@@ -1,0 +1,147 @@
+// Figure 5: diff management cost as a function of modification granularity.
+//
+// A 1 MB int-array segment; the writer modifies every N-th word (N = the
+// change ratio, swept over powers of two from 1 to 16384) and releases the
+// write lock; a Full-coherence reader then fetches the update. Six curves,
+// phase-isolated exactly as in the paper:
+//
+//   client_collect_diff — twins + word diffing + translation (writer)
+//   client_word_diffing — the word-by-word page comparison alone
+//   client_translation  — wire-format conversion alone
+//   server_apply_diff   — server applying the writer's diff
+//   server_collect_diff — server building the reader's update
+//   client_apply_diff   — reader applying that update
+//
+// Expected shape: a knee in word diffing at ratio 1024 (one modified word
+// per 4 KiB page); flat server-collect/client-apply for ratios 1..16 (the
+// 16-unit subblocks blur fine-grained changes); a jump in collect and
+// apply between ratios 2 and 4 where run splicing is lost.
+#include <benchmark/benchmark.h>
+
+#include "interweave/interweave.hpp"
+
+namespace iw::bench {
+namespace {
+
+using client::TrackingMode;
+
+constexpr uint64_t kWords = 262144;  // 1 MB of int32
+
+struct Rig {
+  Rig() : server(server_options()),
+          writer(factory(), writer_options()),
+          reader(factory(), {}) {
+    const TypeDescriptor* arr = writer.types().array_of(
+        writer.types().primitive(PrimitiveKind::kInt32),
+        kWords);
+    seg_w = writer.open_segment("bench/fig5");
+    writer.write_lock(seg_w);
+    data = static_cast<int32_t*>(writer.malloc_block(seg_w, arr, "a"));
+    for (uint64_t i = 0; i < kWords; ++i) data[i] = static_cast<int32_t>(i);
+    writer.write_unlock(seg_w);
+    seg_r = reader.open_segment("bench/fig5");
+    reader.read_lock(seg_r);
+    reader.read_unlock(seg_r);
+  }
+
+  static server::SegmentServer::Options server_options() {
+    server::SegmentServer::Options options;
+    // The server must really build the reader's diff from subblock state.
+    options.store.enable_diff_cache = false;
+    return options;
+  }
+  static client::Client::Options writer_options() {
+    client::Client::Options options;
+    options.tracking = TrackingMode::kVmDiff;
+    return options;
+  }
+  Client::ChannelFactory factory() {
+    return [this](const std::string&) {
+      return std::make_shared<InProcChannel>(server);
+    };
+  }
+
+  /// One write critical section touching every `ratio`-th word, then one
+  /// reader refresh. Returns nothing; phase counters accumulate.
+  void round(uint64_t ratio, uint64_t salt) {
+    writer.write_lock(seg_w);
+    for (uint64_t i = 0; i < kWords; i += ratio) {
+      data[i] = static_cast<int32_t>(i + salt);
+    }
+    writer.write_unlock(seg_w);
+    reader.read_lock(seg_r);
+    reader.read_unlock(seg_r);
+  }
+
+  server::SegmentServer server;
+  Client writer;
+  Client reader;
+  ClientSegment* seg_w = nullptr;
+  ClientSegment* seg_r = nullptr;
+  int32_t* data = nullptr;
+};
+
+enum class Curve {
+  kClientCollect,
+  kClientWordDiff,
+  kClientTranslate,
+  kServerApply,
+  kServerCollect,
+  kClientApply,
+};
+
+uint64_t read_counter(Rig& rig, Curve curve) {
+  switch (curve) {
+    case Curve::kClientCollect: return rig.writer.stats().collect_ns;
+    case Curve::kClientWordDiff: return rig.writer.stats().word_diff_ns;
+    case Curve::kClientTranslate: return rig.writer.stats().translate_ns;
+    case Curve::kServerApply:
+      return rig.server.segment_stats("bench/fig5").apply_ns;
+    case Curve::kServerCollect:
+      return rig.server.segment_stats("bench/fig5").collect_ns;
+    case Curve::kClientApply: return rig.reader.stats().apply_ns;
+  }
+  return 0;
+}
+
+void bm_fig5(benchmark::State& state, Curve curve) {
+  static Rig* rig = new Rig();  // shared across curves; state is reset by
+                                // each full-modification round anyway
+  uint64_t ratio = static_cast<uint64_t>(state.range(0));
+  uint64_t salt = 1;
+  for (auto _ : state) {
+    uint64_t before = read_counter(*rig, curve);
+    rig->round(ratio, salt++);
+    state.SetIterationTime(
+        static_cast<double>(read_counter(*rig, curve) - before) * 1e-9);
+  }
+  state.counters["ratio"] = static_cast<double>(ratio);
+}
+
+void register_all() {
+  auto reg = [](const std::string& name, Curve curve) {
+    auto* b = benchmark::RegisterBenchmark(
+        name.c_str(), [curve](benchmark::State& s) { bm_fig5(s, curve); });
+    b->UseManualTime()->MinTime(0.02);
+    for (uint64_t ratio = 1; ratio <= 16384; ratio *= 2) {
+      b->Arg(static_cast<int64_t>(ratio));
+    }
+  };
+  reg("fig5/client_collect_diff", Curve::kClientCollect);
+  reg("fig5/client_word_diffing", Curve::kClientWordDiff);
+  reg("fig5/client_translation", Curve::kClientTranslate);
+  reg("fig5/server_apply_diff", Curve::kServerApply);
+  reg("fig5/server_collect_diff", Curve::kServerCollect);
+  reg("fig5/client_apply_diff", Curve::kClientApply);
+}
+
+}  // namespace
+}  // namespace iw::bench
+
+int main(int argc, char** argv) {
+  iw::bench::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Figure 6: pointer swizzling cost as a function of pointed-to object type.
+//
+//   int_1     intra-segment pointer to the start of an integer block
+//   struct_1  intra-segment pointer into the middle of a 32-field struct
+//   cross_N   cross-segment pointer to a block in a segment that holds N
+//             blocks, N in {1, 16, 64, 256, 1024, 4096, 16384, 65536}
+//
+// collect = local pointer -> MIP (ptr_to_mip); apply = MIP -> local pointer
+// (mip_to_ptr). The modest rise with N reflects the balanced metadata
+// trees; the paper reports about one million swizzles per second even for
+// complex cross-segment pointers.
+#include <benchmark/benchmark.h>
+
+#include "interweave/interweave.hpp"
+
+namespace iw::bench {
+namespace {
+
+struct Rig {
+  Rig() : client(
+              [this](const std::string&) {
+                return std::make_shared<InProcChannel>(server);
+              }) {}
+
+  /// Builds a segment with `blocks` int blocks and returns a pointer to the
+  /// middle block's data plus its MIP.
+  std::pair<void*, std::string> target_in_segment(const std::string& url,
+                                                  uint64_t blocks) {
+    const TypeDescriptor* int_t = client.types().primitive(PrimitiveKind::kInt32);
+    ClientSegment* seg = client.open_segment(url);
+    client.write_lock(seg);
+    void* mid = nullptr;
+    for (uint64_t i = 0; i < blocks; ++i) {
+      void* p = client.malloc_block(seg, int_t);
+      if (i == blocks / 2) mid = p;
+    }
+    client.write_unlock(seg);
+    return {mid, client.ptr_to_mip(mid)};
+  }
+
+  server::SegmentServer server;
+  Client client;
+};
+
+Rig& rig() {
+  static Rig* r = new Rig();
+  return *r;
+}
+
+/// Defeats the client's one-entry swizzle caches by alternating between the
+/// probe target and a decoy in another segment, so every measured swizzle
+/// pays the metadata-tree searches the paper measures.
+struct Probe {
+  void* ptr;
+  std::string mip;
+};
+
+void bm_collect(benchmark::State& state, Probe probe, Probe decoy) {
+  Client& c = rig().client;
+  bool flip = false;
+  for (auto _ : state) {
+    const Probe& p = flip ? decoy : probe;
+    flip = !flip;
+    std::string mip = c.ptr_to_mip(p.ptr);
+    benchmark::DoNotOptimize(mip);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void bm_apply(benchmark::State& state, Probe probe, Probe decoy) {
+  Client& c = rig().client;
+  bool flip = false;
+  for (auto _ : state) {
+    const Probe& p = flip ? decoy : probe;
+    flip = !flip;
+    void* ptr = c.mip_to_ptr(p.mip);
+    benchmark::DoNotOptimize(ptr);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void register_all() {
+  Rig& r = rig();
+  Client& c = r.client;
+
+  // Decoy target in its own segment.
+  auto [decoy_ptr, decoy_mip] = r.target_in_segment("bench/decoy", 4);
+  Probe decoy{decoy_ptr, decoy_mip};
+
+  // int_1: single int block.
+  auto [int_ptr, int_mip] = r.target_in_segment("bench/int1", 1);
+
+  // struct_1: pointer to the middle of a 32-field struct.
+  StructBuilder sb = c.types().struct_builder("s32");
+  for (int i = 0; i < 32; ++i) {
+    sb.field("f" + std::to_string(i), c.types().primitive(PrimitiveKind::kInt32));
+  }
+  const TypeDescriptor* s32 = sb.finish();
+  ClientSegment* sseg = c.open_segment("bench/struct1");
+  c.write_lock(sseg);
+  auto* sdata = static_cast<uint8_t*>(c.malloc_block(sseg, s32));
+  c.write_unlock(sseg);
+  void* struct_mid = sdata + 16 * 4;  // field 16 of 32
+  Probe struct_probe{struct_mid, c.ptr_to_mip(struct_mid)};
+
+  auto reg = [&](const std::string& name, Probe probe) {
+    benchmark::RegisterBenchmark(
+        ("fig6/collect_pointer/" + name).c_str(),
+        [probe, decoy](benchmark::State& s) { bm_collect(s, probe, decoy); })
+        ->MinTime(0.05);
+    benchmark::RegisterBenchmark(
+        ("fig6/apply_pointer/" + name).c_str(),
+        [probe, decoy](benchmark::State& s) { bm_apply(s, probe, decoy); })
+        ->MinTime(0.05);
+  };
+
+  reg("int_1", Probe{int_ptr, int_mip});
+  reg("struct_1", struct_probe);
+  for (uint64_t n : {1u, 16u, 64u, 256u, 1024u, 4096u, 16384u, 65536u}) {
+    auto [p, mip] =
+        r.target_in_segment("bench/cross" + std::to_string(n), n);
+    reg("cross_" + std::to_string(n), Probe{p, mip});
+  }
+}
+
+}  // namespace
+}  // namespace iw::bench
+
+int main(int argc, char** argv) {
+  iw::bench::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Figure 7: total bandwidth requirement of the datamining application.
+//
+// A database-server client incrementally mines the Quest database and keeps
+// the sequence lattice in an InterWeave segment: the summary is first built
+// from half the database, then updated with an additional 1% per round.
+// A mining client refreshes its cached copy each round under different
+// configurations:
+//
+//   full_transfer  the whole summary is fetched every round (a fresh
+//                  cacheless client per round — what plain RPC would do)
+//   diff_only      InterWeave diffs under Full coherence
+//   delta_2/3/4    Delta(x) coherence: stale by up to x versions
+//
+// Output is one row per configuration with total MB received by the mining
+// client — the paper's bars. Expected shape: diffs cut bandwidth by ~80%
+// relative to full transfers, and Delta-x shaves further with growing x.
+//
+// Flags: --customers=N  (default 20000; the paper's 100000 also works but
+//                        takes several minutes on one core)
+//        --rounds=N     (default 20 one-percent updates)
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "interweave/interweave.hpp"
+#include "mining/lattice.hpp"
+#include "mining/quest.hpp"
+
+namespace iw::bench {
+namespace {
+
+struct Config {
+  uint32_t customers = 20000;
+  uint32_t rounds = 20;
+};
+
+struct RunResult {
+  uint64_t bytes_received;
+  uint32_t final_nodes;
+};
+
+/// Runs the writer side: initial build from half the DB, then `rounds`
+/// 1%-increments. `on_round` is invoked after the initial build and after
+/// every increment with the round index (0 = initial).
+template <typename F>
+void drive_writer(const Config& config, server::SegmentServer& server,
+                  F&& on_round) {
+  mining::QuestConfig qc;
+  qc.customers = config.customers;
+  mining::QuestGenerator db(qc);
+
+  client::Client writer(
+      [&](const std::string&) {
+        return std::make_shared<InProcChannel>(server);
+      });
+  mining::LatticeWriter::Options options;
+  options.min_support = std::max<uint32_t>(5, config.customers / 2000);
+  mining::LatticeWriter lattice(writer, "mine/summary", qc.items, options);
+
+  uint32_t half = config.customers / 2;
+  uint32_t step = std::max<uint32_t>(1, config.customers / 100);
+  lattice.mine_customers(db, 0, half);
+  on_round(0);
+  for (uint32_t round = 1; round <= config.rounds; ++round) {
+    uint32_t from = half + (round - 1) * step;
+    lattice.mine_customers(db, from, std::min(from + step, config.customers));
+    on_round(round);
+  }
+}
+
+/// All configurations are served server-built (subblock-granular) diffs so
+/// the coherence models are compared at uniform diff granularity, as in the
+/// paper's setup; with the diff cache on, single-version readers would be
+/// handed the writer's finer-grained diffs and the comparison would mix
+/// granularities (see EXPERIMENTS.md).
+server::SegmentServer::Options fig7_server_options() {
+  server::SegmentServer::Options options;
+  options.store.enable_diff_cache = false;
+  return options;
+}
+
+/// Mining client that keeps one cached copy under `policy`.
+RunResult run_cached(const Config& config, CoherencePolicy policy) {
+  server::SegmentServer server(fig7_server_options());
+  std::unique_ptr<client::Client> miner;
+  std::unique_ptr<mining::LatticeReader> reader;
+  uint32_t nodes = 0;
+  drive_writer(config, server, [&](uint32_t) {
+    if (miner == nullptr) {
+      miner = std::make_unique<client::Client>([&](const std::string&) {
+        return std::make_shared<InProcChannel>(server);
+      });
+      reader = std::make_unique<mining::LatticeReader>(*miner, "mine/summary");
+      miner->set_coherence(reader->segment(), policy);
+    }
+    reader->refresh();
+    nodes = reader->node_count();
+  });
+  return {miner->bytes_received(), nodes};
+}
+
+/// Mining "client" with no cache: a fresh client fetches the whole summary
+/// every round (the paper's leftmost bar).
+RunResult run_full_transfer(const Config& config) {
+  server::SegmentServer server(fig7_server_options());
+  uint64_t total = 0;
+  uint32_t nodes = 0;
+  drive_writer(config, server, [&](uint32_t) {
+    client::Client miner([&](const std::string&) {
+      return std::make_shared<InProcChannel>(server);
+    });
+    mining::LatticeReader reader(miner, "mine/summary");
+    reader.refresh();
+    nodes = reader.node_count();
+    total += miner.bytes_received();
+  });
+  return {total, nodes};
+}
+
+int run(const Config& config) {
+  std::printf("Figure 7: datamining bandwidth (customers=%u, rounds=%u)\n",
+              config.customers, config.rounds);
+  std::printf("%-16s %14s %10s\n", "configuration", "MB transferred",
+              "nodes");
+  auto row = [](const char* name, RunResult r) {
+    std::printf("%-16s %14.2f %10u\n", name,
+                static_cast<double>(r.bytes_received) / 1e6, r.final_nodes);
+  };
+  row("full_transfer", run_full_transfer(config));
+  row("diff_only", run_cached(config, CoherencePolicy::full()));
+  row("delta_2", run_cached(config, CoherencePolicy::delta(2)));
+  row("delta_3", run_cached(config, CoherencePolicy::delta(3)));
+  row("delta_4", run_cached(config, CoherencePolicy::delta(4)));
+  return 0;
+}
+
+}  // namespace
+}  // namespace iw::bench
+
+int main(int argc, char** argv) {
+  iw::bench::Config config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::sscanf(argv[i], "--customers=%u", &config.customers) == 1) continue;
+    if (std::sscanf(argv[i], "--rounds=%u", &config.rounds) == 1) continue;
+    std::fprintf(stderr, "usage: %s [--customers=N] [--rounds=N]\n", argv[0]);
+    return 2;
+  }
+  return iw::bench::run(config);
+}

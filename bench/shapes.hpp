@@ -1,0 +1,286 @@
+// The nine 1 MB data shapes of the paper's Figure 4, with both their
+// InterWeave type descriptors and rpcgen-style XDR marshaling procedures.
+//
+//   int_array      int[262144]
+//   double_array   double[131072]
+//   int_struct     struct{int f0..f31}[8192]
+//   double_struct  struct{double f0..f31}[4096]
+//   string         string<256>[4096]
+//   small_string   string<4>[262144]
+//   pointer        (int*)[131072], each pointing at an int (RPC deep-copies)
+//   int_double     struct{int i; double d;}[65536]
+//   mix            struct{int; double; string<64>; string<4>; ptr}[10922]
+//
+// "1 MB" is measured in the native local format, as in the paper.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "client/client.hpp"
+#include "rpcbase/xdr.hpp"
+#include "util/rand.hpp"
+
+namespace iw::bench {
+
+inline constexpr uint64_t kShapeBytes = 1 << 20;
+
+/// One Figure-4 shape: how to build its IW type, how to fill/mutate the
+/// block, and how rpcgen would marshal the same data.
+struct Shape {
+  std::string name;
+  /// Builds the descriptor in `reg` (1 MB worth of data).
+  std::function<const TypeDescriptor*(TypeRegistry&)> type;
+  /// Fills the native-format block with deterministic data; `salt` varies
+  /// contents between iterations so diffs are non-empty.
+  std::function<void(uint8_t* base, uint64_t salt)> fill;
+  /// rpcgen-equivalent marshal/unmarshal of the whole native block.
+  std::function<bool(rpc::Xdr&, uint8_t* base)> xdr;
+};
+
+namespace detail {
+
+// ---- XDR element procs (out-of-line, called through xdrproc_t, exactly
+// like rpcgen output; this is what makes doubles expensive for RPC). ----
+
+inline bool xp_int(rpc::Xdr* x, void* p) {
+  return x->x_int(static_cast<int32_t*>(p));
+}
+inline bool xp_double(rpc::Xdr* x, void* p) {
+  return x->x_double(static_cast<double*>(p));
+}
+
+struct IntStruct32 {
+  int32_t f[32];
+};
+inline bool xp_int_struct(rpc::Xdr* x, void* p) {
+  auto* s = static_cast<IntStruct32*>(p);
+  for (int i = 0; i < 32; ++i) {
+    if (!x->x_int(&s->f[i])) return false;
+  }
+  return true;
+}
+
+struct DoubleStruct32 {
+  double f[32];
+};
+inline bool xp_double_struct(rpc::Xdr* x, void* p) {
+  auto* s = static_cast<DoubleStruct32*>(p);
+  for (int i = 0; i < 32; ++i) {
+    if (!x->x_double(&s->f[i])) return false;
+  }
+  return true;
+}
+
+template <size_t N>
+bool xp_string(rpc::Xdr* x, void* p) {
+  return x->x_string(static_cast<char*>(p), N);
+}
+
+inline bool xp_int_ptr(rpc::Xdr* x, void* p) {
+  return rpc::xdr_pointer(x, static_cast<void**>(p), sizeof(int32_t), xp_int);
+}
+
+struct IntDouble {
+  int32_t i;
+  double d;
+};
+inline bool xp_int_double(rpc::Xdr* x, void* p) {
+  auto* s = static_cast<IntDouble*>(p);
+  return x->x_int(&s->i) && x->x_double(&s->d);
+}
+
+struct Mix {
+  int32_t i;
+  double d;
+  char s[64];
+  char ss[4];
+  int32_t* p;
+};
+inline bool xp_mix(rpc::Xdr* x, void* ptr) {
+  auto* m = static_cast<Mix*>(ptr);
+  return x->x_int(&m->i) && x->x_double(&m->d) &&
+         x->x_string(m->s, sizeof m->s) && x->x_string(m->ss, sizeof m->ss) &&
+         rpc::xdr_pointer(x, reinterpret_cast<void**>(&m->p), sizeof(int32_t),
+                          xp_int);
+}
+
+/// Fills a NUL-terminated string of exactly `len` content chars.
+inline void fill_string(char* p, uint32_t capacity, uint32_t len,
+                        uint64_t salt) {
+  for (uint32_t i = 0; i < len && i < capacity; ++i) {
+    p[i] = static_cast<char>('a' + (i + salt) % 26);
+  }
+  if (len < capacity) p[len] = '\0';
+}
+
+}  // namespace detail
+
+/// Builds all nine shapes. `pointer_pool` must outlive uses of the
+/// "pointer" and "mix" shapes' XDR marshaling: it is the deep-copy target
+/// array (for InterWeave the targets live in a second block instead; see
+/// fig4_translation.cpp).
+std::vector<Shape> make_shapes();
+
+inline std::vector<Shape> make_shapes() {
+  using detail::fill_string;
+  std::vector<Shape> shapes;
+
+  shapes.push_back(Shape{
+      "int_array",
+      [](TypeRegistry& reg) {
+        return reg.array_of(reg.primitive(PrimitiveKind::kInt32), 262144);
+      },
+      [](uint8_t* base, uint64_t salt) {
+        auto* p = reinterpret_cast<int32_t*>(base);
+        for (uint64_t i = 0; i < 262144; ++i) {
+          p[i] = static_cast<int32_t>(i + salt);
+        }
+      },
+      [](rpc::Xdr& x, uint8_t* base) {
+        return rpc::xdr_vector(&x, base, 262144, 4, detail::xp_int);
+      }});
+
+  shapes.push_back(Shape{
+      "double_array",
+      [](TypeRegistry& reg) {
+        return reg.array_of(reg.primitive(PrimitiveKind::kFloat64), 131072);
+      },
+      [](uint8_t* base, uint64_t salt) {
+        auto* p = reinterpret_cast<double*>(base);
+        for (uint64_t i = 0; i < 131072; ++i) {
+          p[i] = static_cast<double>(i) * 0.5 + static_cast<double>(salt);
+        }
+      },
+      [](rpc::Xdr& x, uint8_t* base) {
+        return rpc::xdr_vector(&x, base, 131072, 8, detail::xp_double);
+      }});
+
+  shapes.push_back(Shape{
+      "int_struct",
+      [](TypeRegistry& reg) {
+        StructBuilder b = reg.struct_builder("int_struct32");
+        for (int i = 0; i < 32; ++i) {
+          b.field("f" + std::to_string(i), reg.primitive(PrimitiveKind::kInt32));
+        }
+        return reg.array_of(b.finish(), 8192);
+      },
+      [](uint8_t* base, uint64_t salt) {
+        auto* p = reinterpret_cast<int32_t*>(base);
+        for (uint64_t i = 0; i < 262144; ++i) {
+          p[i] = static_cast<int32_t>(i * 3 + salt);
+        }
+      },
+      [](rpc::Xdr& x, uint8_t* base) {
+        return rpc::xdr_vector(&x, base, 8192, sizeof(detail::IntStruct32),
+                               detail::xp_int_struct);
+      }});
+
+  shapes.push_back(Shape{
+      "double_struct",
+      [](TypeRegistry& reg) {
+        StructBuilder b = reg.struct_builder("double_struct32");
+        for (int i = 0; i < 32; ++i) {
+          b.field("f" + std::to_string(i),
+                  reg.primitive(PrimitiveKind::kFloat64));
+        }
+        return reg.array_of(b.finish(), 4096);
+      },
+      [](uint8_t* base, uint64_t salt) {
+        auto* p = reinterpret_cast<double*>(base);
+        for (uint64_t i = 0; i < 131072; ++i) {
+          p[i] = static_cast<double>(i) + 0.25 * static_cast<double>(salt);
+        }
+      },
+      [](rpc::Xdr& x, uint8_t* base) {
+        return rpc::xdr_vector(&x, base, 4096, sizeof(detail::DoubleStruct32),
+                               detail::xp_double_struct);
+      }});
+
+  shapes.push_back(Shape{
+      "string",
+      [](TypeRegistry& reg) { return reg.array_of(reg.string_type(256), 4096); },
+      [](uint8_t* base, uint64_t salt) {
+        for (uint64_t i = 0; i < 4096; ++i) {
+          fill_string(reinterpret_cast<char*>(base) + i * 256, 256, 255,
+                      salt + i);
+        }
+      },
+      [](rpc::Xdr& x, uint8_t* base) {
+        return rpc::xdr_vector(&x, base, 4096, 256, detail::xp_string<256>);
+      }});
+
+  shapes.push_back(Shape{
+      "small_string",
+      [](TypeRegistry& reg) {
+        return reg.array_of(reg.string_type(4), 262144);
+      },
+      [](uint8_t* base, uint64_t salt) {
+        for (uint64_t i = 0; i < 262144; ++i) {
+          fill_string(reinterpret_cast<char*>(base) + i * 4, 4, 3, salt + i);
+        }
+      },
+      [](rpc::Xdr& x, uint8_t* base) {
+        return rpc::xdr_vector(&x, base, 262144, 4, detail::xp_string<4>);
+      }});
+
+  shapes.push_back(Shape{
+      "pointer",
+      [](TypeRegistry& reg) {
+        return reg.array_of(
+            reg.pointer_to(reg.primitive(PrimitiveKind::kInt32)), 131072);
+      },
+      // fill is installed by the harness: pointer targets are harness-owned
+      // (an IW block for InterWeave runs, a plain array for RPC runs).
+      nullptr,
+      [](rpc::Xdr& x, uint8_t* base) {
+        return rpc::xdr_vector(&x, base, 131072, sizeof(void*),
+                               detail::xp_int_ptr);
+      }});
+
+  shapes.push_back(Shape{
+      "int_double",
+      [](TypeRegistry& reg) {
+        return reg.array_of(reg.struct_builder("int_double")
+                                .field("i", reg.primitive(PrimitiveKind::kInt32))
+                                .field("d", reg.primitive(PrimitiveKind::kFloat64))
+                                .finish(),
+                            65536);
+      },
+      [](uint8_t* base, uint64_t salt) {
+        auto* p = reinterpret_cast<detail::IntDouble*>(base);
+        for (uint64_t i = 0; i < 65536; ++i) {
+          p[i].i = static_cast<int32_t>(i + salt);
+          p[i].d = static_cast<double>(i) * 1.5 + static_cast<double>(salt);
+        }
+      },
+      [](rpc::Xdr& x, uint8_t* base) {
+        return rpc::xdr_vector(&x, base, 65536, sizeof(detail::IntDouble),
+                               detail::xp_int_double);
+      }});
+
+  shapes.push_back(Shape{
+      "mix",
+      [](TypeRegistry& reg) {
+        return reg.array_of(
+            reg.struct_builder("mix")
+                .field("i", reg.primitive(PrimitiveKind::kInt32))
+                .field("d", reg.primitive(PrimitiveKind::kFloat64))
+                .field("s", reg.string_type(64))
+                .field("ss", reg.string_type(4))
+                .field("p", reg.pointer_to(reg.primitive(PrimitiveKind::kInt32)))
+                .finish(),
+            10922);
+      },
+      nullptr,  // installed by the harness (contains pointers)
+      [](rpc::Xdr& x, uint8_t* base) {
+        return rpc::xdr_vector(&x, base, 10922, sizeof(detail::Mix),
+                               detail::xp_mix);
+      }});
+
+  return shapes;
+}
+
+}  // namespace iw::bench

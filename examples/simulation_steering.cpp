@@ -1,0 +1,158 @@
+// On-line visualization and steering of a running simulation — the
+// Astroflow pattern of the paper's §4.5.
+//
+// A heat-diffusion stencil simulation (standing in for the Fortran fluid
+// code) publishes its frames in an InterWeave segment; a visualization
+// client maps the segment under Temporal coherence, rendering at its own
+// rate while the simulator runs flat out, and *steers* the simulation by
+// writing control parameters into a second shared segment. No file dumps,
+// no hand-rolled messaging — exactly the change InterWeave enabled for
+// Astroflow.
+//
+//   $ ./simulation_steering [steps]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "interweave/interweave.hpp"
+
+namespace {
+
+constexpr uint32_t kGrid = 64;
+
+struct Frame {
+  int32_t step;
+  double grid[kGrid][kGrid];
+};
+
+struct Controls {
+  double source_temperature;
+  int32_t paused;
+};
+
+const iw::TypeDescriptor* frame_type(iw::Client& c) {
+  return c.types().struct_builder("frame")
+      .field("step", c.types().primitive(iw::PrimitiveKind::kInt32))
+      .field("grid", c.types().array_of(
+                         c.types().primitive(iw::PrimitiveKind::kFloat64),
+                         kGrid * kGrid))
+      .finish();
+}
+
+const iw::TypeDescriptor* controls_type(iw::Client& c) {
+  return c.types().struct_builder("controls")
+      .field("source_temperature",
+             c.types().primitive(iw::PrimitiveKind::kFloat64))
+      .field("paused", c.types().primitive(iw::PrimitiveKind::kInt32))
+      .finish();
+}
+
+void render(const Frame& frame) {
+  // Coarse ASCII rendering of the temperature field.
+  static const char* shades = " .:-=+*#%@";
+  std::printf("step %5d\n", frame.step);
+  for (uint32_t y = 0; y < kGrid; y += 8) {
+    std::printf("  ");
+    for (uint32_t x = 0; x < kGrid; x += 2) {
+      double v = frame.grid[y][x];
+      int shade = static_cast<int>(std::fmin(9.0, std::fmax(0.0, v / 10.0)));
+      std::putchar(shades[shade]);
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int steps = argc > 1 ? std::atoi(argv[1]) : 200;
+
+  iw::SegmentServer server;
+  auto factory = [&](const std::string&) {
+    return std::make_shared<iw::InProcChannel>(server);
+  };
+
+  // --- Simulator -------------------------------------------------------
+  iw::Client sim(factory);
+  iw::ClientSegment* frames = sim.open_segment("sim/frames");
+  iw::ClientSegment* controls_seg = sim.open_segment("sim/controls");
+
+  sim.write_lock(frames);
+  auto* frame = static_cast<Frame*>(
+      sim.malloc_block(frames, frame_type(sim), "frame"));
+  frame->step = 0;
+  sim.write_unlock(frames);
+
+  sim.write_lock(controls_seg);
+  auto* controls = static_cast<Controls*>(
+      sim.malloc_block(controls_seg, controls_type(sim), "controls"));
+  controls->source_temperature = 100.0;
+  controls->paused = 0;
+  sim.write_unlock(controls_seg);
+
+  // --- Visualization / steering client ---------------------------------
+  iw::Client viz(factory);
+  iw::ClientSegment* viz_frames = viz.open_segment("sim/frames");
+  // The front end controls its update rate purely by the coherence bound —
+  // here: a frame older than 30 ms is stale (paper: "the visualization
+  // front end can control the frequency of updates ... simply by
+  // specifying a temporal bound").
+  viz.set_coherence(viz_frames, iw::CoherencePolicy::temporal(30));
+  iw::ClientSegment* viz_controls = viz.open_segment("sim/controls");
+
+  double local[kGrid][kGrid] = {};
+  for (int step = 1; step <= steps; ++step) {
+    // Check steering input (cheap: controls segment rarely changes).
+    sim.read_lock(controls_seg);
+    double source = controls->source_temperature;
+    bool paused = controls->paused != 0;
+    sim.read_unlock(controls_seg);
+    if (paused) continue;
+
+    // One diffusion step with a hot source in the corner.
+    local[8][8] = source;
+    static double next[kGrid][kGrid];
+    for (uint32_t y = 1; y + 1 < kGrid; ++y) {
+      for (uint32_t x = 1; x + 1 < kGrid; ++x) {
+        next[y][x] = 0.2 * (local[y][x] + local[y - 1][x] + local[y + 1][x] +
+                            local[y][x - 1] + local[y][x + 1]);
+      }
+    }
+    std::memcpy(local, next, sizeof local);
+
+    // Publish the frame.
+    sim.write_lock(frames);
+    frame->step = step;
+    std::memcpy(frame->grid, local, sizeof local);
+    sim.write_unlock(frames);
+
+    // The "remote" visualizer polls at its own pace.
+    if (step % 50 == 0) {
+      viz.read_lock(viz_frames);
+      auto* vf = reinterpret_cast<const Frame*>(
+          viz_frames->heap().find_by_name("frame")->data());
+      render(*vf);
+      viz.read_unlock(viz_frames);
+    }
+
+    // Steering: halfway through, the viewer cranks up the heat source.
+    if (step == steps / 2) {
+      viz.write_lock(viz_controls);
+      auto* vc = reinterpret_cast<Controls*>(const_cast<uint8_t*>(
+          viz_controls->heap().find_by_name("controls")->data()));
+      vc->source_temperature = 400.0;
+      viz.write_unlock(viz_controls);
+      std::printf("  [viewer steered source to 400 degrees]\n");
+    }
+  }
+
+  std::printf(
+      "simulator sent %.2f MB; visualizer received %.2f MB "
+      "(temporal bound avoided %llu of %llu fetches)\n",
+      static_cast<double>(sim.bytes_sent()) / 1e6,
+      static_cast<double>(viz.bytes_received()) / 1e6,
+      static_cast<unsigned long long>(viz.stats().read_lock_local_hits),
+      static_cast<unsigned long long>(viz.stats().read_lock_local_hits +
+                                      viz.stats().read_lock_server_calls));
+  return 0;
+}

@@ -1,0 +1,120 @@
+// InterWeave public API.
+//
+// Two surfaces are provided:
+//
+//  1. The C++ API: iw::client::Client and friends (re-exported here), the
+//     primary interface. One Client per (possibly simulated) machine.
+//
+//  2. The paper's C-flavoured API (Figure 1): IW_init / IW_open_segment /
+//     IW_malloc / IW_free / IW_rl_acquire / IW_rl_release / IW_wl_acquire /
+//     IW_wl_release / IW_mip_to_ptr / IW_ptr_to_mip, operating on a
+//     process-global default client. Examples use this surface so they read
+//     like the paper's code.
+//
+// Quickstart:
+//
+//   iw::server::SegmentServer server;
+//   iw::client::Client client(
+//       [&](const std::string&) {
+//         return std::make_shared<iw::InProcChannel>(server);
+//       });
+//   IW_init(&client);
+//   IW_handle_t h = IW_open_segment("host/list");
+//   const iw::TypeDescriptor* node = ...;  // from IDL or Client::types()
+//   IW_wl_acquire(h);
+//   node_t* p = static_cast<node_t*>(IW_malloc(h, node));
+//   ...
+//   IW_wl_release(h);
+#pragma once
+
+#include <string>
+
+#include "client/client.hpp"
+#include "idl/codegen.hpp"
+#include "idl/parser.hpp"
+#include "net/inproc.hpp"
+#include "net/tcp.hpp"
+#include "server/server.hpp"
+
+namespace iw {
+
+using client::Client;
+using client::ClientSegment;
+using client::ClientStats;
+using client::TrackingMode;
+using server::SegmentServer;
+
+}  // namespace iw
+
+/// Opaque segment handle of the C-flavoured API.
+using IW_handle_t = iw::ClientSegment*;
+using IW_mip_t = std::string;
+
+/// Installs the process-global default client used by the IW_* calls. Pass
+/// nullptr to detach. The client must outlive its use.
+void IW_init(iw::Client* client);
+
+/// The process-global client (throws iw::Error(kState) when unset).
+iw::Client& IW_client();
+
+/// Opens (creating if needed) the segment at `url`.
+IW_handle_t IW_open_segment(const std::string& url);
+
+/// Allocates a block of `type` in `segment` (write lock required).
+void* IW_malloc(IW_handle_t segment, const iw::TypeDescriptor* type,
+                const std::string& name = {});
+void IW_free(IW_handle_t segment, void* block);
+
+void IW_rl_acquire(IW_handle_t segment);
+void IW_rl_release(IW_handle_t segment);
+void IW_wl_acquire(IW_handle_t segment);
+void IW_wl_release(IW_handle_t segment);
+
+/// Sets the coherence model governing this client's reads of `segment`.
+void IW_set_coherence(IW_handle_t segment, iw::CoherencePolicy policy);
+
+IW_mip_t IW_ptr_to_mip(const void* ptr);
+void* IW_mip_to_ptr(const IW_mip_t& mip);
+
+/// RAII reader/writer lock guards for the C++-inclined.
+namespace iw {
+
+class ReadLock {
+ public:
+  explicit ReadLock(ClientSegment* segment)
+      : client_(&IW_client()), segment_(segment) {
+    client_->read_lock(segment_);
+  }
+  ReadLock(Client& client, ClientSegment* segment)
+      : client_(&client), segment_(segment) {
+    client_->read_lock(segment_);
+  }
+  ~ReadLock() { client_->read_unlock(segment_); }
+  ReadLock(const ReadLock&) = delete;
+  ReadLock& operator=(const ReadLock&) = delete;
+
+ private:
+  Client* client_;
+  ClientSegment* segment_;
+};
+
+class WriteLock {
+ public:
+  explicit WriteLock(ClientSegment* segment)
+      : client_(&IW_client()), segment_(segment) {
+    client_->write_lock(segment_);
+  }
+  WriteLock(Client& client, ClientSegment* segment)
+      : client_(&client), segment_(segment) {
+    client_->write_lock(segment_);
+  }
+  ~WriteLock() { client_->write_unlock(segment_); }
+  WriteLock(const WriteLock&) = delete;
+  WriteLock& operator=(const WriteLock&) = delete;
+
+ private:
+  Client* client_;
+  ClientSegment* segment_;
+};
+
+}  // namespace iw

@@ -1,0 +1,45 @@
+// Implementation of the C-flavoured IW_* API over a process-global client.
+#include "interweave/interweave.hpp"
+
+#include <atomic>
+
+namespace {
+std::atomic<iw::Client*> g_default_client{nullptr};
+}  // namespace
+
+void IW_init(iw::Client* client) { g_default_client.store(client); }
+
+iw::Client& IW_client() {
+  iw::Client* client = g_default_client.load();
+  if (client == nullptr) {
+    throw iw::Error(iw::ErrorCode::kState,
+                    "IW_init has not been called with a client");
+  }
+  return *client;
+}
+
+IW_handle_t IW_open_segment(const std::string& url) {
+  return IW_client().open_segment(url, /*create=*/true);
+}
+
+void* IW_malloc(IW_handle_t segment, const iw::TypeDescriptor* type,
+                const std::string& name) {
+  return IW_client().malloc_block(segment, type, name);
+}
+
+void IW_free(IW_handle_t segment, void* block) {
+  IW_client().free_block(segment, block);
+}
+
+void IW_rl_acquire(IW_handle_t segment) { IW_client().read_lock(segment); }
+void IW_rl_release(IW_handle_t segment) { IW_client().read_unlock(segment); }
+void IW_wl_acquire(IW_handle_t segment) { IW_client().write_lock(segment); }
+void IW_wl_release(IW_handle_t segment) { IW_client().write_unlock(segment); }
+
+void IW_set_coherence(IW_handle_t segment, iw::CoherencePolicy policy) {
+  IW_client().set_coherence(segment, policy);
+}
+
+IW_mip_t IW_ptr_to_mip(const void* ptr) { return IW_client().ptr_to_mip(ptr); }
+
+void* IW_mip_to_ptr(const IW_mip_t& mip) { return IW_client().mip_to_ptr(mip); }

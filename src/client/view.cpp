@@ -1,0 +1,204 @@
+#include "client/view.hpp"
+
+#include <charconv>
+
+namespace iw::client {
+
+namespace {
+
+[[noreturn]] void bad_path(std::string_view path, const std::string& why) {
+  throw Error(ErrorCode::kInvalidArgument,
+              "field path '" + std::string(path) + "': " + why);
+}
+
+}  // namespace
+
+uint64_t View::unit_of(std::string_view path) const {
+  const TypeDescriptor* t = type_;
+  uint64_t unit = 0;
+  std::string_view rest = path;
+  while (!rest.empty()) {
+    if (rest.front() == '.') rest.remove_prefix(1);
+    if (rest.empty()) break;
+    if (rest.front() == '[') {
+      // Array index.
+      auto close = rest.find(']');
+      if (close == std::string_view::npos) bad_path(path, "missing ']'");
+      std::string_view num = rest.substr(1, close - 1);
+      uint64_t index = 0;
+      auto [end, ec] = std::from_chars(num.data(), num.data() + num.size(), index);
+      if (ec != std::errc() || end != num.data() + num.size()) {
+        bad_path(path, "bad array index");
+      }
+      if (t->kind() != TypeKind::kArray) bad_path(path, "not an array");
+      if (index >= t->count()) bad_path(path, "index out of range");
+      unit += index * t->element()->prim_units();
+      t = t->element();
+      rest.remove_prefix(close + 1);
+      continue;
+    }
+    // Field name up to the next '.' or '['.
+    size_t cut = rest.find_first_of(".[");
+    std::string_view name = rest.substr(0, cut);
+    rest.remove_prefix(cut == std::string_view::npos ? rest.size() : cut);
+    if (t->kind() != TypeKind::kStruct) bad_path(path, "not a struct");
+    const TypeDescriptor::Field* found = nullptr;
+    for (const auto& f : t->fields()) {
+      if (f.name == name) {
+        found = &f;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      // Note: the isomorphic transform merges runs of same-kind scalar
+      // fields into synthetic arrays named "first..last"; address those by
+      // the synthetic name plus an index.
+      bad_path(path, "no field '" + std::string(name) + "' in struct " +
+                         t->struct_name());
+    }
+    unit += found->prim_offset;
+    t = found->type;
+  }
+  return unit;
+}
+
+PrimLocation View::locate(uint64_t unit, PrimitiveKind expect_a,
+                          PrimitiveKind expect_b) const {
+  PrimLocation loc = type_->locate_prim(unit);
+  if (loc.kind != expect_a && loc.kind != expect_b) {
+    throw Error(ErrorCode::kInvalidArgument,
+                std::string("unit is a ") + primitive_kind_name(loc.kind));
+  }
+  return loc;
+}
+
+uint64_t View::load_raw(const uint8_t* p, uint32_t size) const {
+  const LayoutRules& rules = client_.options().platform.rules;
+  uint64_t v = 0;
+  if (rules.byte_order == ByteOrder::kBig) {
+    for (uint32_t i = 0; i < size; ++i) v = (v << 8) | p[i];
+  } else {
+    for (uint32_t i = size; i > 0; --i) v = (v << 8) | p[i - 1];
+  }
+  return v;
+}
+
+void View::store_raw(uint8_t* p, uint32_t size, uint64_t v) const {
+  const LayoutRules& rules = client_.options().platform.rules;
+  if (rules.byte_order == ByteOrder::kBig) {
+    for (uint32_t i = size; i > 0; --i) {
+      p[i - 1] = static_cast<uint8_t>(v);
+      v >>= 8;
+    }
+  } else {
+    for (uint32_t i = 0; i < size; ++i) {
+      p[i] = static_cast<uint8_t>(v);
+      v >>= 8;
+    }
+  }
+}
+
+int64_t View::get_int(uint64_t unit) const {
+  PrimLocation loc = type_->locate_prim(unit);
+  const uint8_t* p = base_ + loc.local_offset;
+  switch (loc.kind) {
+    case PrimitiveKind::kChar:
+      return static_cast<int8_t>(*p);
+    case PrimitiveKind::kInt16:
+      return static_cast<int16_t>(load_raw(p, 2));
+    case PrimitiveKind::kInt32:
+      return static_cast<int32_t>(load_raw(p, 4));
+    case PrimitiveKind::kInt64:
+      return static_cast<int64_t>(load_raw(p, 8));
+    default:
+      throw Error(ErrorCode::kInvalidArgument, "unit is not an integer");
+  }
+}
+
+void View::set_int(uint64_t unit, int64_t v) {
+  PrimLocation loc = type_->locate_prim(unit);
+  uint8_t* p = base_ + loc.local_offset;
+  switch (loc.kind) {
+    case PrimitiveKind::kChar:
+      *p = static_cast<uint8_t>(v);
+      return;
+    case PrimitiveKind::kInt16:
+      store_raw(p, 2, static_cast<uint64_t>(v));
+      return;
+    case PrimitiveKind::kInt32:
+      store_raw(p, 4, static_cast<uint64_t>(v));
+      return;
+    case PrimitiveKind::kInt64:
+      store_raw(p, 8, static_cast<uint64_t>(v));
+      return;
+    default:
+      throw Error(ErrorCode::kInvalidArgument, "unit is not an integer");
+  }
+}
+
+double View::get_f64(uint64_t unit) const {
+  PrimLocation loc =
+      locate(unit, PrimitiveKind::kFloat32, PrimitiveKind::kFloat64);
+  const uint8_t* p = base_ + loc.local_offset;
+  if (loc.kind == PrimitiveKind::kFloat32) {
+    return std::bit_cast<float>(static_cast<uint32_t>(load_raw(p, 4)));
+  }
+  return std::bit_cast<double>(load_raw(p, 8));
+}
+
+void View::set_f64(uint64_t unit, double v) {
+  PrimLocation loc =
+      locate(unit, PrimitiveKind::kFloat32, PrimitiveKind::kFloat64);
+  uint8_t* p = base_ + loc.local_offset;
+  if (loc.kind == PrimitiveKind::kFloat32) {
+    store_raw(p, 4, std::bit_cast<uint32_t>(static_cast<float>(v)));
+  } else {
+    store_raw(p, 8, std::bit_cast<uint64_t>(v));
+  }
+}
+
+std::string View::get_string(uint64_t unit) const {
+  PrimLocation loc =
+      locate(unit, PrimitiveKind::kString, PrimitiveKind::kString);
+  const char* p = reinterpret_cast<const char*>(base_) + loc.local_offset;
+  return std::string(p, strnlen(p, loc.string_capacity));
+}
+
+void View::set_string(uint64_t unit, std::string_view v) {
+  PrimLocation loc =
+      locate(unit, PrimitiveKind::kString, PrimitiveKind::kString);
+  char* p = reinterpret_cast<char*>(base_) + loc.local_offset;
+  size_t n = std::min<size_t>(v.size(), loc.string_capacity);
+  std::memcpy(p, v.data(), n);
+  if (n < loc.string_capacity) std::memset(p + n, 0, loc.string_capacity - n);
+}
+
+void* View::get_ptr(uint64_t unit) const {
+  PrimLocation loc =
+      locate(unit, PrimitiveKind::kPointer, PrimitiveKind::kPointer);
+  return client_.read_pointer_field(base_ + loc.local_offset);
+}
+
+void View::set_ptr(uint64_t unit, void* addr) {
+  PrimLocation loc =
+      locate(unit, PrimitiveKind::kPointer, PrimitiveKind::kPointer);
+  client_.write_pointer_field(base_ + loc.local_offset, addr);
+}
+
+View View::follow(std::string_view path) const {
+  void* addr = get_ptr(unit_of(path));
+  if (addr == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument, "null pointer at " + std::string(path));
+  }
+  Subsegment* subseg = FaultRegistry::instance().find(addr);
+  if (subseg == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument, "pointer outside any segment");
+  }
+  BlockHeader* block = subseg->segment->heap().find_by_address(addr);
+  if (block == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument, "pointer not inside a block");
+  }
+  return View(client_, const_cast<uint8_t*>(block->data()), block->type);
+}
+
+}  // namespace iw::client

@@ -1,0 +1,84 @@
+// Typed, platform-aware views over shared blocks.
+//
+// On the native platform, programs access shared data through ordinary
+// structs and pointers. A client bound to a *simulated* architecture (or a
+// generic tool that does not know the struct at compile time) still needs
+// to read and write blocks correctly; View provides that: descriptor-driven
+// accessors addressed by primitive unit or by field path, honouring the
+// client's byte order, alignment and pointer representation.
+//
+//   View v(client, block);
+//   int32_t id = v.get_i32("header.id");
+//   v.set_f64("samples[3]", 2.5);
+//   void* next = v.get_ptr("next");
+//
+// Paths are `field`, `field.sub`, `field[i]`, combined arbitrarily; the
+// root may also be indexed when the block is an array ("[7].key").
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "client/client.hpp"
+
+namespace iw::client {
+
+class View {
+ public:
+  /// View over `block` (must belong to `client`).
+  View(Client& client, const BlockHeader* block)
+      : View(client, const_cast<BlockHeader*>(block)->data(), block->type) {}
+
+  /// View over raw memory laid out as `type` under the client's platform.
+  View(Client& client, uint8_t* base, const TypeDescriptor* type)
+      : client_(client), base_(base), type_(type) {}
+
+  const TypeDescriptor* type() const noexcept { return type_; }
+
+  /// Resolves a field path to the primitive unit index it names.
+  /// Throws Error(kInvalidArgument) for unknown fields or bad indices.
+  uint64_t unit_of(std::string_view path) const;
+
+  // --- by unit index ---
+  int64_t get_int(uint64_t unit) const;     ///< any integer kind, widened
+  void set_int(uint64_t unit, int64_t v);   ///< any integer kind, narrowed
+  double get_f64(uint64_t unit) const;      ///< float32 or float64
+  void set_f64(uint64_t unit, double v);
+  std::string get_string(uint64_t unit) const;
+  void set_string(uint64_t unit, std::string_view v);
+  void* get_ptr(uint64_t unit) const;
+  void set_ptr(uint64_t unit, void* addr);
+
+  // --- by path ---
+  int64_t get_int(std::string_view path) const { return get_int(unit_of(path)); }
+  void set_int(std::string_view path, int64_t v) { set_int(unit_of(path), v); }
+  double get_f64(std::string_view path) const { return get_f64(unit_of(path)); }
+  void set_f64(std::string_view path, double v) { set_f64(unit_of(path), v); }
+  std::string get_string(std::string_view path) const {
+    return get_string(unit_of(path));
+  }
+  void set_string(std::string_view path, std::string_view v) {
+    set_string(unit_of(path), v);
+  }
+  void* get_ptr(std::string_view path) const { return get_ptr(unit_of(path)); }
+  void set_ptr(std::string_view path, void* addr) {
+    set_ptr(unit_of(path), addr);
+  }
+
+  /// Convenience: a view of the block `path` points at (follows the
+  /// pointer through the client's swizzling tables). Throws when null or
+  /// not resolvable to a block.
+  View follow(std::string_view path) const;
+
+ private:
+  PrimLocation locate(uint64_t unit, PrimitiveKind expect_a,
+                      PrimitiveKind expect_b) const;
+  uint64_t load_raw(const uint8_t* p, uint32_t size) const;
+  void store_raw(uint8_t* p, uint32_t size, uint64_t v) const;
+
+  Client& client_;
+  uint8_t* base_;
+  const TypeDescriptor* type_;
+};
+
+}  // namespace iw::client

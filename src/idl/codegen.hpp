@@ -1,0 +1,26 @@
+// C++ code generation from IDL — the language half of the IDL compiler.
+//
+// generate_cpp_header() emits a self-contained C++ header declaring every
+// IDL struct/typedef with the native in-memory layout, static_asserts that
+// pin sizeof/offsetof to the layout the InterWeave runtime computes for the
+// native platform, and the original IDL source embedded as a constant so
+// programs can register the same types at runtime with one call.
+#pragma once
+
+#include <string>
+
+#include "idl/parser.hpp"
+
+namespace iw::idl {
+
+struct CodegenOptions {
+  std::string cpp_namespace = "iwgen";  ///< namespace for generated types
+  bool emit_layout_asserts = true;      ///< static_assert the native layout
+};
+
+/// Renders a C++ header for `file`. `source` is the original IDL text,
+/// embedded verbatim for runtime registration.
+std::string generate_cpp_header(const IdlFile& file, std::string_view source,
+                                const CodegenOptions& options = {});
+
+}  // namespace iw::idl

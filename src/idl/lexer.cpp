@@ -1,0 +1,94 @@
+#include "idl/lexer.hpp"
+
+#include <cctype>
+
+namespace iw::idl {
+
+namespace {
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw Error(ErrorCode::kInvalidArgument,
+              "IDL line " + std::to_string(line) + ": " + message);
+}
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1;
+  auto peek = [&](size_t ahead = 0) -> char {
+    return i + ahead < source.size() ? source[i + ahead] : '\0';
+  };
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i < source.size() && !(source[i] == '*' && peek(1) == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i >= source.size()) fail(line, "unterminated block comment");
+      i += 2;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back(
+          {TokenKind::kIdent, std::string(source.substr(start, i - start)), 0,
+           line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      uint64_t value = 0;
+      size_t start = i;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        uint64_t next = value * 10 + static_cast<uint64_t>(source[i] - '0');
+        if (next < value) fail(line, "integer literal overflows");
+        value = next;
+        ++i;
+      }
+      (void)start;
+      tokens.push_back({TokenKind::kInteger, {}, value, line});
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case '{': kind = TokenKind::kLBrace; break;
+      case '}': kind = TokenKind::kRBrace; break;
+      case '[': kind = TokenKind::kLBracket; break;
+      case ']': kind = TokenKind::kRBracket; break;
+      case '<': kind = TokenKind::kLAngle; break;
+      case '>': kind = TokenKind::kRAngle; break;
+      case '*': kind = TokenKind::kStar; break;
+      case ';': kind = TokenKind::kSemi; break;
+      case ',': kind = TokenKind::kComma; break;
+      case '=': kind = TokenKind::kEquals; break;
+      default:
+        fail(line, std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back({kind, {}, 0, line});
+    ++i;
+  }
+  tokens.push_back({TokenKind::kEof, {}, 0, line});
+  return tokens;
+}
+
+}  // namespace iw::idl

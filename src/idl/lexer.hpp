@@ -1,0 +1,44 @@
+// Lexer for the InterWeave interface description language.
+//
+// The IDL is a small C-flavoured declaration language (rpcgen-like): struct
+// and typedef declarations over primitive types, fixed-capacity strings,
+// pointers and fixed-length arrays. See parser.hpp for the grammar.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace iw::idl {
+
+enum class TokenKind : uint8_t {
+  kIdent,     ///< identifier or keyword (keywords resolved by the parser)
+  kInteger,   ///< decimal integer literal
+  kLBrace,    ///< {
+  kRBrace,    ///< }
+  kLBracket,  ///< [
+  kRBracket,  ///< ]
+  kLAngle,    ///< <
+  kRAngle,    ///< >
+  kStar,      ///< *
+  kSemi,      ///< ;
+  kComma,     ///< ,
+  kEquals,    ///< =
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   ///< identifier spelling
+  uint64_t value = 0; ///< integer value
+  int line = 0;       ///< 1-based source line, for diagnostics
+};
+
+/// Tokenizes `source`, stripping whitespace, // line comments and /* block
+/// comments. Throws Error(kInvalidArgument) with a line number on bad input.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace iw::idl

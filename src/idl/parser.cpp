@@ -1,0 +1,313 @@
+#include "idl/parser.hpp"
+
+#include <optional>
+
+namespace iw::idl {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw Error(ErrorCode::kInvalidArgument,
+              "IDL line " + std::to_string(line) + ": " + message);
+}
+
+/// Maps a primitive keyword to its kind; nullopt for non-keywords.
+std::optional<PrimitiveKind> primitive_keyword(const std::string& word) {
+  if (word == "char") return PrimitiveKind::kChar;
+  if (word == "short" || word == "int16") return PrimitiveKind::kInt16;
+  if (word == "int" || word == "int32") return PrimitiveKind::kInt32;
+  if (word == "long" || word == "hyper" || word == "int64")
+    return PrimitiveKind::kInt64;
+  if (word == "float") return PrimitiveKind::kFloat32;
+  if (word == "double") return PrimitiveKind::kFloat64;
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  IdlFile parse_file() {
+    IdlFile file;
+    while (peek().kind != TokenKind::kEof) {
+      file.decls.push_back(parse_declaration());
+    }
+    return file;
+  }
+
+ private:
+  const Token& peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token take() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  Token expect(TokenKind kind, const char* what) {
+    if (peek().kind != kind) fail(peek().line, std::string("expected ") + what);
+    return take();
+  }
+  std::string expect_ident(const char* what) {
+    return expect(TokenKind::kIdent, what).text;
+  }
+
+  Declaration parse_declaration() {
+    Declaration decl;
+    const Token& t = peek();
+    if (t.kind != TokenKind::kIdent) fail(t.line, "expected declaration");
+    if (t.text == "struct" && peek(2).kind == TokenKind::kLBrace) {
+      decl.kind = Declaration::Kind::kStruct;
+      decl.is_struct = true;
+      decl.struct_def = parse_struct();
+      return decl;
+    }
+    if (t.text == "enum") {
+      decl.kind = Declaration::Kind::kEnum;
+      decl.enum_def = parse_enum();
+      return decl;
+    }
+    if (t.text == "typedef") {
+      decl.kind = Declaration::Kind::kTypedef;
+      decl.typedef_def = parse_typedef();
+      return decl;
+    }
+    fail(t.line, "expected 'struct', 'enum' or 'typedef' declaration");
+  }
+
+  EnumDef parse_enum() {
+    expect(TokenKind::kIdent, "'enum'");
+    EnumDef def;
+    def.name = expect_ident("enum name");
+    expect(TokenKind::kLBrace, "'{'");
+    int64_t next_value = 0;
+    for (;;) {
+      std::string name = expect_ident("enumerator");
+      if (peek().kind == TokenKind::kEquals) {
+        take();
+        Token v = expect(TokenKind::kInteger, "enumerator value");
+        next_value = static_cast<int64_t>(v.value);
+      }
+      def.values.emplace_back(std::move(name), next_value);
+      ++next_value;
+      if (peek().kind == TokenKind::kComma) {
+        take();
+        if (peek().kind == TokenKind::kRBrace) break;  // trailing comma
+        continue;
+      }
+      break;
+    }
+    expect(TokenKind::kRBrace, "'}'");
+    expect(TokenKind::kSemi, "';'");
+    if (def.values.empty()) fail(peek().line, "enum has no values");
+    return def;
+  }
+
+  StructDef parse_struct() {
+    expect(TokenKind::kIdent, "'struct'");
+    StructDef def;
+    def.name = expect_ident("struct name");
+    expect(TokenKind::kLBrace, "'{'");
+    while (peek().kind != TokenKind::kRBrace) {
+      def.fields.push_back(parse_field());
+    }
+    if (def.fields.empty()) fail(peek().line, "struct has no fields");
+    expect(TokenKind::kRBrace, "'}'");
+    expect(TokenKind::kSemi, "';'");
+    return def;
+  }
+
+  FieldDef parse_field() {
+    auto [type, name] = parse_typed_declarator();
+    expect(TokenKind::kSemi, "';'");
+    return {std::move(type), std::move(name)};
+  }
+
+  TypedefDef parse_typedef() {
+    expect(TokenKind::kIdent, "'typedef'");
+    auto [type, name] = parse_typed_declarator();
+    expect(TokenKind::kSemi, "';'");
+    return {std::move(name), std::move(type)};
+  }
+
+  std::pair<TypeExpr, std::string> parse_typed_declarator() {
+    TypeExpr base = parse_type_spec();
+    bool is_pointer = false;
+    if (peek().kind == TokenKind::kStar) {
+      take();
+      is_pointer = true;
+    }
+    std::string name = expect_ident("declarator name");
+    // Collect array dimensions; outermost dimension is written first.
+    std::vector<uint64_t> dims;
+    while (peek().kind == TokenKind::kLBracket) {
+      take();
+      Token n = expect(TokenKind::kInteger, "array length");
+      if (n.value == 0) fail(n.line, "array length must be positive");
+      dims.push_back(n.value);
+      expect(TokenKind::kRBracket, "']'");
+    }
+    TypeExpr type = std::move(base);
+    if (is_pointer) {
+      TypeExpr ptr;
+      ptr.kind = TypeExpr::Kind::kPointer;
+      ptr.inner = std::make_unique<TypeExpr>(std::move(type));
+      type = std::move(ptr);
+    }
+    for (auto it = dims.rbegin(); it != dims.rend(); ++it) {
+      TypeExpr arr;
+      arr.kind = TypeExpr::Kind::kArray;
+      arr.array_count = *it;
+      arr.inner = std::make_unique<TypeExpr>(std::move(type));
+      type = std::move(arr);
+    }
+    return {std::move(type), std::move(name)};
+  }
+
+  TypeExpr parse_type_spec() {
+    Token t = expect(TokenKind::kIdent, "type name");
+    TypeExpr e;
+    if (t.text == "unsigned") {
+      // "unsigned" alone means unsigned int; otherwise it qualifies the
+      // following integer keyword. Representation is shared with the
+      // signed kind (two's complement bytes on the wire).
+      e.kind = TypeExpr::Kind::kPrimitive;
+      e.prim = PrimitiveKind::kInt32;
+      if (peek().kind == TokenKind::kIdent) {
+        if (auto prim = primitive_keyword(peek().text)) {
+          if (*prim == PrimitiveKind::kFloat32 ||
+              *prim == PrimitiveKind::kFloat64) {
+            fail(peek().line, "'unsigned' cannot qualify a float type");
+          }
+          e.prim = *prim;
+          take();
+        }
+      }
+      return e;
+    }
+    if (auto prim = primitive_keyword(t.text)) {
+      e.kind = TypeExpr::Kind::kPrimitive;
+      e.prim = *prim;
+      return e;
+    }
+    if (t.text == "string") {
+      expect(TokenKind::kLAngle, "'<'");
+      Token n = expect(TokenKind::kInteger, "string capacity");
+      if (n.value == 0 || n.value > (1u << 30)) {
+        fail(n.line, "string capacity out of range");
+      }
+      expect(TokenKind::kRAngle, "'>'");
+      e.kind = TypeExpr::Kind::kString;
+      e.string_capacity = static_cast<uint32_t>(n.value);
+      return e;
+    }
+    if (t.text == "struct") {
+      // "struct foo" reference form.
+      e.kind = TypeExpr::Kind::kNamed;
+      e.name = expect_ident("struct name");
+      return e;
+    }
+    e.kind = TypeExpr::Kind::kNamed;
+    e.name = t.text;
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+/// Resolves an AST type to a descriptor. `current` names the struct being
+/// built (self references allowed only behind a pointer); `builder` is that
+/// struct's builder, used to register self-pointer fields.
+const TypeDescriptor* resolve(
+    const TypeExpr& e,
+    const std::map<std::string, const TypeDescriptor*>& named,
+    const std::string& current, TypeRegistry& registry, bool behind_pointer) {
+  switch (e.kind) {
+    case TypeExpr::Kind::kPrimitive:
+      return registry.primitive(e.prim);
+    case TypeExpr::Kind::kString:
+      return registry.string_type(e.string_capacity);
+    case TypeExpr::Kind::kNamed: {
+      auto it = named.find(e.name);
+      if (it == named.end()) {
+        if (e.name == current) {
+          if (behind_pointer) return nullptr;  // signals self reference
+          throw Error(ErrorCode::kInvalidArgument,
+                      "struct '" + current + "' contains itself by value");
+        }
+        throw Error(ErrorCode::kInvalidArgument,
+                    "undeclared type '" + e.name + "'");
+      }
+      return it->second;
+    }
+    case TypeExpr::Kind::kPointer: {
+      const TypeDescriptor* pointee = resolve(*e.inner, named, current,
+                                              registry, /*behind_pointer=*/true);
+      if (pointee == nullptr) return nullptr;  // self pointer; handled above
+      return registry.pointer_to(pointee);
+    }
+    case TypeExpr::Kind::kArray: {
+      const TypeDescriptor* elem =
+          resolve(*e.inner, named, current, registry, behind_pointer);
+      if (elem == nullptr) {
+        throw Error(ErrorCode::kInvalidArgument,
+                    "array of self pointers is not supported in field '" +
+                        current + "' (wrap the pointer in a struct)");
+      }
+      return registry.array_of(elem, e.array_count);
+    }
+  }
+  throw Error(ErrorCode::kInternal, "bad TypeExpr kind");
+}
+
+}  // namespace
+
+IdlFile parse(std::string_view source) {
+  return Parser(tokenize(source)).parse_file();
+}
+
+std::map<std::string, const TypeDescriptor*> build_descriptors(
+    const IdlFile& file, TypeRegistry& registry) {
+  std::map<std::string, const TypeDescriptor*> named;
+  for (const auto& decl : file.decls) {
+    if (decl.kind == Declaration::Kind::kEnum) {
+      if (named.count(decl.enum_def.name)) {
+        throw Error(ErrorCode::kAlreadyExists,
+                    "type '" + decl.enum_def.name + "'");
+      }
+      // Enums are 32-bit integers on the wire (XDR convention).
+      named.emplace(decl.enum_def.name,
+                    registry.primitive(PrimitiveKind::kInt32));
+      continue;
+    }
+    if (decl.is_struct) {
+      const StructDef& sd = decl.struct_def;
+      if (named.count(sd.name)) {
+        throw Error(ErrorCode::kAlreadyExists, "type '" + sd.name + "'");
+      }
+      StructBuilder builder = registry.struct_builder(sd.name);
+      for (const FieldDef& f : sd.fields) {
+        // A direct self pointer resolves to nullptr; nested self pointers
+        // (e.g. pointer-to-array-of-self) are rejected in resolve().
+        const TypeDescriptor* ft =
+            resolve(f.type, named, sd.name, registry, false);
+        if (ft == nullptr) {
+          builder.self_pointer_field(f.name);
+        } else {
+          builder.field(f.name, ft);
+        }
+      }
+      named.emplace(sd.name, builder.finish());
+    } else {
+      const TypedefDef& td = decl.typedef_def;
+      if (named.count(td.name)) {
+        throw Error(ErrorCode::kAlreadyExists, "type '" + td.name + "'");
+      }
+      const TypeDescriptor* t =
+          resolve(td.type, named, td.name, registry, false);
+      check_internal(t != nullptr, "typedef resolved to self pointer");
+      named.emplace(td.name, t);
+    }
+  }
+  return named;
+}
+
+}  // namespace iw::idl

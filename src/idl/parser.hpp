@@ -1,0 +1,93 @@
+// Parser and semantic analysis for the InterWeave IDL.
+//
+// Grammar (EBNF):
+//   file        := declaration*
+//   declaration := struct_decl | typedef_decl | enum_decl
+//   struct_decl := "struct" IDENT "{" field+ "}" ";"
+//   field       := type_spec "*"? IDENT ("[" INT "]")* ";"
+//   typedef_decl:= "typedef" type_spec "*"? IDENT ("[" INT "]")* ";"
+//   enum_decl   := "enum" IDENT "{" IDENT ("=" INT)? ("," ...)* "}" ";"
+//   type_spec   := "unsigned"? ("char" | "short" | "int" | "long" | "hyper")
+//               | "float" | "double" | "string" "<" INT ">"
+//               | "struct"? IDENT
+//
+// Enums are 32-bit integers on the wire (as in XDR); unsigned variants
+// share their signed kind's representation (two's complement bytes).
+//
+// Semantics follow C: a named type must be declared before use, except that
+// a *pointer* field may reference the struct currently being declared
+// (linked structures). Arrays bind tighter than the leading "*", i.e.
+// `node *next[4];` is an array of four pointers.
+//
+// The parser produces a small AST shared by two consumers:
+//   * build_descriptors() instantiates TypeDescriptors in a TypeRegistry
+//     (one registry per platform — same IDL, different layouts), and
+//   * generate_cpp_header() (codegen.hpp) emits a C++ mapping of the types.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "idl/lexer.hpp"
+#include "types/registry.hpp"
+
+namespace iw::idl {
+
+/// AST type expression.
+struct TypeExpr {
+  enum class Kind { kPrimitive, kString, kNamed, kPointer, kArray };
+  Kind kind = Kind::kPrimitive;
+  PrimitiveKind prim = PrimitiveKind::kChar;  // kPrimitive
+  uint32_t string_capacity = 0;               // kString
+  std::string name;                           // kNamed
+  std::unique_ptr<TypeExpr> inner;            // kPointer / kArray
+  uint64_t array_count = 0;                   // kArray
+};
+
+struct FieldDef {
+  TypeExpr type;
+  std::string name;
+};
+
+struct StructDef {
+  std::string name;
+  std::vector<FieldDef> fields;
+};
+
+struct TypedefDef {
+  std::string name;
+  TypeExpr type;
+};
+
+struct EnumDef {
+  std::string name;
+  std::vector<std::pair<std::string, int64_t>> values;
+};
+
+struct Declaration {
+  enum class Kind { kStruct, kTypedef, kEnum };
+  Kind kind = Kind::kTypedef;
+  // Back-compat convenience for the common struct/typedef dichotomy.
+  bool is_struct = false;
+  StructDef struct_def;
+  TypedefDef typedef_def;
+  EnumDef enum_def;
+};
+
+struct IdlFile {
+  std::vector<Declaration> decls;
+};
+
+/// Parses IDL source into an AST. Throws Error(kInvalidArgument) with a line
+/// number on syntax errors and on semantic errors detectable syntactically.
+IdlFile parse(std::string_view source);
+
+/// Instantiates all declared types in `registry` and returns them by name.
+/// Throws Error(kInvalidArgument) for undeclared type references, by-value
+/// self reference, or duplicate declarations.
+std::map<std::string, const TypeDescriptor*> build_descriptors(
+    const IdlFile& file, TypeRegistry& registry);
+
+}  // namespace iw::idl

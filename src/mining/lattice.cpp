@@ -1,0 +1,322 @@
+#include "mining/lattice.hpp"
+
+#include <algorithm>
+
+namespace iw::mining {
+
+namespace {
+
+/// Platform-aware 32-bit read/write at a raw field address.
+int32_t load_i32(const LayoutRules& rules, const uint8_t* p) {
+  uint32_t v = 0;
+  if (rules.byte_order == ByteOrder::kBig) {
+    for (int i = 0; i < 4; ++i) v = (v << 8) | p[i];
+  } else {
+    for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  }
+  return static_cast<int32_t>(v);
+}
+
+// Primitive-unit indices inside a SeqNode (machine-independent).
+constexpr uint64_t kUnitSupport = 0;
+constexpr uint64_t kUnitLength = 1;
+constexpr uint64_t kUnitItems = 2;                      // .. +kMaxSeqLen
+constexpr uint64_t kUnitChildCount = 2 + kMaxSeqLen;
+constexpr uint64_t kUnitChildren = kUnitChildCount + 2;  // skip pad
+
+// Root block: units 0..3 header, 4.. pointer slots.
+constexpr uint64_t kRootUnitItemCount = 0;
+constexpr uint64_t kRootUnitNodeCount = 1;
+constexpr uint64_t kRootUnitCustomers = 2;
+constexpr uint64_t kRootUnitSlots = 4;
+
+}  // namespace
+
+LatticeTypes make_lattice_types(TypeRegistry& registry, uint32_t items) {
+  const TypeDescriptor* i32 = registry.primitive(PrimitiveKind::kInt32);
+  StructBuilder nb = registry.struct_builder("seq_node");
+  nb.field("support", i32);
+  nb.field("length", i32);
+  nb.field("items", registry.array_of(i32, kMaxSeqLen));
+  nb.field("child_count", i32);
+  nb.field("pad", i32);
+  // children[kMaxChildren]: individual self-pointer fields (the registry's
+  // isomorphic transform only merges primitives, so the layout matches a
+  // plain pointer array on every platform).
+  for (uint32_t i = 0; i < kMaxChildren; ++i) {
+    nb.self_pointer_field("c" + std::to_string(i));
+  }
+  const TypeDescriptor* node = nb.finish();
+
+  const TypeDescriptor* root = registry.struct_builder("lattice_root")
+      .field("item_count", i32)
+      .field("node_count", i32)
+      .field("customers_mined", i32)
+      .field("pad", i32)
+      .field("roots", registry.array_of(registry.pointer_to(node), items))
+      .finish();
+  return {node, root};
+}
+
+// ---------------------------------------------------------------- writer
+
+LatticeWriter::LatticeWriter(client::Client& client, const std::string& url,
+                             uint32_t items, Options options)
+    : client_(client), options_(options), items_(items) {
+  check_internal(
+      client.options().platform.rules.size[static_cast<int>(
+          PrimitiveKind::kPointer)] == sizeof(void*),
+      "LatticeWriter requires the native platform");
+  types_ = make_lattice_types(client_.types(), items_);
+  segment_ = client_.open_segment(url);
+  client_.write_lock(segment_);
+  auto* existing = segment_->heap().find_by_name("root");
+  if (existing == nullptr) {
+    root_block_ =
+        static_cast<uint8_t*>(client_.malloc_block(segment_, types_.root, "root"));
+    auto* header = reinterpret_cast<uint32_t*>(root_block_);
+    header[0] = items_;
+  } else {
+    root_block_ = const_cast<uint8_t*>(existing->data());
+    customers_mined_ = reinterpret_cast<uint32_t*>(root_block_)[2];
+    // Rebuild the key map by walking the existing lattice.
+    std::vector<SeqNode*> stack;
+    for (uint32_t i = 0; i < items_; ++i) {
+      if (root_slots()[i] != nullptr) stack.push_back(root_slots()[i]);
+    }
+    while (!stack.empty()) {
+      SeqNode* node = stack.back();
+      stack.pop_back();
+      Key key;
+      key.length = node->length;
+      std::copy(node->items, node->items + node->length, key.items.begin());
+      nodes_.emplace(key, node);
+      ++node_count_;
+      for (int32_t c = 0; c < node->child_count; ++c) {
+        stack.push_back(node->children[c]);
+      }
+    }
+  }
+  client_.write_unlock(segment_);
+}
+
+SeqNode** LatticeWriter::root_slots() {
+  return reinterpret_cast<SeqNode**>(root_block_ + kRootHeaderBytes);
+}
+
+void LatticeWriter::flush_key(const Key& key, int64_t count) {
+  auto it = nodes_.find(key);
+  if (it != nodes_.end()) {
+    it->second->support += static_cast<int32_t>(count);
+    return;
+  }
+  int64_t& pending = below_threshold_[key];
+  if (pending < 0) return;  // permanently dropped (full parent)
+  pending += count;
+  if (pending < options_.min_support) return;
+
+  // Crossed the threshold: materialize a node and link it to its prefix.
+  SeqNode* parent = nullptr;
+  if (key.length > 1) {
+    Key prefix = key;
+    prefix.length = key.length - 1;
+    prefix.items[key.length - 1] = 0;
+    auto pit = nodes_.find(prefix);
+    // A prefix is at least as frequent as its extension and batches flush
+    // shortest-first, so a missing prefix means it was itself dropped
+    // (fan-out overflow); its extensions are dropped with it.
+    if (pit == nodes_.end()) {
+      pending = -1;
+      return;
+    }
+    parent = pit->second;
+    if (parent->child_count >= static_cast<int32_t>(kMaxChildren)) {
+      pending = -1;  // no room; drop this extension permanently
+      return;
+    }
+  }
+  auto* node =
+      static_cast<SeqNode*>(client_.malloc_block(segment_, types_.node));
+  node->support = static_cast<int32_t>(pending);
+  node->length = key.length;
+  std::copy(key.items.begin(), key.items.begin() + key.length, node->items);
+  node->child_count = 0;
+  if (parent != nullptr) {
+    parent->children[parent->child_count++] = node;
+  } else {
+    root_slots()[key.items[0]] = node;
+  }
+  nodes_.emplace(key, node);
+  below_threshold_.erase(key);
+  ++node_count_;
+}
+
+void LatticeWriter::mine_customers(const QuestGenerator& db, uint32_t from,
+                                   uint32_t to) {
+  // Phase 1 (no lock): count contiguous item n-grams across the batch.
+  std::unordered_map<Key, int64_t, KeyHash> counts;
+  for (uint32_t c = from; c < to; ++c) {
+    std::vector<uint32_t> stream = db.customer(c).flattened();
+    for (size_t i = 0; i < stream.size(); ++i) {
+      Key key;
+      for (uint32_t len = 1;
+           len <= options_.max_length && i + len <= stream.size(); ++len) {
+        key.items[len - 1] = static_cast<int32_t>(stream[i + len - 1]);
+        key.length = static_cast<int32_t>(len);
+        ++counts[key];
+      }
+    }
+  }
+
+  // Phase 2 (write lock): merge into the shared lattice, shortest keys
+  // first so prefixes materialize before their extensions.
+  std::vector<const std::pair<const Key, int64_t>*> batch;
+  batch.reserve(counts.size());
+  for (const auto& kv : counts) batch.push_back(&kv);
+  std::sort(batch.begin(), batch.end(), [](const auto* a, const auto* b) {
+    return a->first.length < b->first.length;
+  });
+
+  client_.write_lock(segment_);
+  for (const auto* kv : batch) {
+    flush_key(kv->first, kv->second);
+  }
+  customers_mined_ += to - from;
+  auto* header = reinterpret_cast<uint32_t*>(root_block_);
+  header[1] = node_count_;
+  header[2] = customers_mined_;
+  client_.write_unlock(segment_);
+}
+
+// ---------------------------------------------------------------- reader
+
+LatticeReader::LatticeReader(client::Client& client, const std::string& url)
+    : client_(client) {
+  segment_ = client_.open_segment(url, /*create=*/false);
+}
+
+const uint8_t* LatticeReader::root_block() {
+  const auto* block = segment_->heap().find_by_name("root");
+  if (block == nullptr) {
+    throw Error(ErrorCode::kState, "lattice root not present; refresh first");
+  }
+  return block->data();
+}
+
+std::optional<int32_t> LatticeReader::support_of(
+    const std::vector<int32_t>& sequence) {
+  if (sequence.empty() || sequence.size() > kMaxSeqLen) return std::nullopt;
+  const auto* root_blk = segment_->heap().find_by_name("root");
+  if (root_blk == nullptr) return std::nullopt;
+  const LayoutRules& rules = client_.options().platform.rules;
+  const TypeDescriptor* root_type = root_blk->type;
+
+  // roots[item] slot.
+  uint64_t slot_unit = kRootUnitSlots + static_cast<uint64_t>(sequence[0]);
+  const uint8_t* slot =
+      root_blk->data() + root_type->locate_prim(slot_unit).local_offset;
+  const void* node = client_.read_pointer_field(slot);
+  const client::BlockHeader* nb =
+      node ? segment_->heap().find_by_address(node) : nullptr;
+
+  for (size_t depth = 1; nb != nullptr && depth < sequence.size(); ++depth) {
+    // Scan the node's children for one extending with sequence[depth].
+    const TypeDescriptor* nt = nb->type;
+    int32_t nchildren = load_i32(
+        rules, nb->data() + nt->locate_prim(kUnitChildCount).local_offset);
+    const client::BlockHeader* next = nullptr;
+    for (int32_t c = 0; c < nchildren; ++c) {
+      const uint8_t* child_slot =
+          nb->data() + nt->locate_prim(kUnitChildren + c).local_offset;
+      const void* child = client_.read_pointer_field(child_slot);
+      if (child == nullptr) continue;
+      const auto* cb = segment_->heap().find_by_address(child);
+      if (cb == nullptr) continue;
+      int32_t last = load_i32(
+          rules, cb->data() +
+                     cb->type->locate_prim(kUnitItems + depth).local_offset);
+      if (last == sequence[depth]) {
+        next = cb;
+        break;
+      }
+    }
+    nb = next;
+  }
+  if (nb == nullptr) return std::nullopt;
+  return load_i32(rules,
+                  nb->data() + nb->type->locate_prim(kUnitSupport).local_offset);
+}
+
+std::vector<LatticeReader::Ranked> LatticeReader::top_sequences(
+    uint32_t k, int32_t length) {
+  const LayoutRules& rules = client_.options().platform.rules;
+  std::vector<Ranked> all;
+  const auto* root_blk = segment_->heap().find_by_name("root");
+  if (root_blk == nullptr) return all;
+  const TypeDescriptor* root_type = root_blk->type;
+  uint32_t items = static_cast<uint32_t>(load_i32(
+      rules, root_blk->data() +
+                 root_type->locate_prim(kRootUnitItemCount).local_offset));
+
+  std::vector<const client::BlockHeader*> stack;
+  for (uint32_t i = 0; i < items; ++i) {
+    const uint8_t* slot =
+        root_blk->data() +
+        root_type->locate_prim(kRootUnitSlots + i).local_offset;
+    const void* node = client_.read_pointer_field(slot);
+    if (node == nullptr) continue;
+    const auto* nb = segment_->heap().find_by_address(node);
+    if (nb != nullptr) stack.push_back(nb);
+  }
+  while (!stack.empty()) {
+    const auto* nb = stack.back();
+    stack.pop_back();
+    const TypeDescriptor* nt = nb->type;
+    int32_t node_len =
+        load_i32(rules, nb->data() + nt->locate_prim(kUnitLength).local_offset);
+    if (node_len == length) {
+      Ranked r;
+      r.support = load_i32(
+          rules, nb->data() + nt->locate_prim(kUnitSupport).local_offset);
+      for (int32_t i = 0; i < node_len; ++i) {
+        r.items.push_back(load_i32(
+            rules, nb->data() + nt->locate_prim(kUnitItems + i).local_offset));
+      }
+      all.push_back(std::move(r));
+      continue;  // children are longer
+    }
+    int32_t nchildren = load_i32(
+        rules, nb->data() + nt->locate_prim(kUnitChildCount).local_offset);
+    for (int32_t c = 0; c < nchildren; ++c) {
+      const uint8_t* slot =
+          nb->data() + nt->locate_prim(kUnitChildren + c).local_offset;
+      const void* child = client_.read_pointer_field(slot);
+      if (child == nullptr) continue;
+      const auto* cb = segment_->heap().find_by_address(child);
+      if (cb != nullptr) stack.push_back(cb);
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Ranked& a, const Ranked& b) { return a.support > b.support; });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+uint32_t LatticeReader::node_count() {
+  const LayoutRules& rules = client_.options().platform.rules;
+  const uint8_t* root = root_block();
+  const auto* blk = segment_->heap().find_by_name("root");
+  return static_cast<uint32_t>(load_i32(
+      rules,
+      root + blk->type->locate_prim(kRootUnitNodeCount).local_offset));
+}
+
+uint32_t LatticeReader::customers_mined() {
+  const LayoutRules& rules = client_.options().platform.rules;
+  const uint8_t* root = root_block();
+  const auto* blk = segment_->heap().find_by_name("root");
+  return static_cast<uint32_t>(load_i32(
+      rules, root + blk->type->locate_prim(kRootUnitCustomers).local_offset));
+}
+
+}  // namespace iw::mining

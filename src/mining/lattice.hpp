@@ -1,0 +1,141 @@
+// Shared sequence-mining summary structure (paper §4.4).
+//
+// The database server performs incremental sequence mining over the Quest
+// database and maintains a *lattice of item sequences* in an InterWeave
+// segment: each node represents a potentially meaningful item sequence and
+// holds pointers to the sequences it is a prefix of. Roughly a third of the
+// structure is pointers, matching the paper's description. Mining clients
+// map the same segment (under a relaxed coherence model of their choosing)
+// and run queries against their cached copy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "client/client.hpp"
+#include "mining/quest.hpp"
+
+namespace iw::mining {
+
+inline constexpr uint32_t kMaxSeqLen = 8;
+inline constexpr uint32_t kMaxChildren = 14;
+
+/// Native-layout node of the shared lattice. The same shape is registered
+/// through the type system so non-native clients can map it too.
+struct SeqNode {
+  int32_t support;
+  int32_t length;
+  int32_t items[kMaxSeqLen];
+  int32_t child_count;
+  int32_t pad;  // keeps the pointer array 8-aligned on the native layout
+  SeqNode* children[kMaxChildren];
+};
+static_assert(sizeof(SeqNode) == 48 + kMaxChildren * sizeof(void*));
+
+/// Root directory block layout: { u32 item_count, node_count,
+/// customers_mined, pad; SeqNode* roots[item_count] }. Offsets shared by
+/// writer and reader.
+inline constexpr uint32_t kRootHeaderBytes = 16;
+
+/// The InterWeave types for the lattice, built in a client's registry.
+struct LatticeTypes {
+  const TypeDescriptor* node;
+  const TypeDescriptor* root;  // for a given item count
+};
+LatticeTypes make_lattice_types(TypeRegistry& registry, uint32_t items);
+
+/// Writer-side miner: owns the lattice segment contents. Must run on the
+/// native platform (it manipulates SeqNode directly). All methods take the
+/// write lock internally.
+class LatticeWriter {
+ public:
+  struct Options {
+    uint32_t min_support = 25;  ///< count before a sequence gets a node
+    uint32_t max_length = 4;    ///< longest tracked sequence
+  };
+
+  LatticeWriter(client::Client& client, const std::string& url,
+                uint32_t items, Options options);
+
+  /// Mines customers [from, to) of `db` and merges the results into the
+  /// shared lattice in one write critical section.
+  void mine_customers(const QuestGenerator& db, uint32_t from, uint32_t to);
+
+  uint32_t node_count() const noexcept { return node_count_; }
+  client::ClientSegment* segment() const noexcept { return segment_; }
+
+ private:
+  struct Key {
+    std::array<int32_t, kMaxSeqLen> items{};
+    int32_t length = 0;
+    bool operator==(const Key& other) const {
+      return length == other.length &&
+             std::equal(items.begin(), items.begin() + length,
+                        other.items.begin());
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      size_t h = static_cast<size_t>(k.length);
+      for (int32_t i = 0; i < k.length; ++i) {
+        h = h * 1315423911u + static_cast<size_t>(k.items[i]);
+      }
+      return h;
+    }
+  };
+
+  SeqNode** root_slots();
+  /// Creates the node for `key` if its accumulated count crossed the
+  /// support threshold; updates supports either way. Write lock held.
+  void flush_key(const Key& key, int64_t count);
+
+  client::Client& client_;
+  client::ClientSegment* segment_;
+  LatticeTypes types_;
+  uint8_t* root_block_ = nullptr;
+  Options options_;
+  uint32_t items_;
+  uint32_t node_count_ = 0;
+  uint32_t customers_mined_ = 0;
+  std::unordered_map<Key, SeqNode*, KeyHash> nodes_;
+  std::unordered_map<Key, int64_t, KeyHash> below_threshold_;
+};
+
+/// Reader-side interface over a cached copy of the lattice. Works on any
+/// platform via the client's pointer-field accessors (on the native
+/// platform those degenerate to plain loads).
+class LatticeReader {
+ public:
+  LatticeReader(client::Client& client, const std::string& url);
+
+  void refresh() {
+    client_.read_lock(segment_);
+    client_.read_unlock(segment_);
+  }
+
+  /// Support of an exact item sequence; nullopt when absent.
+  std::optional<int32_t> support_of(const std::vector<int32_t>& sequence);
+
+  /// The `k` highest-support sequences of exactly `length` items.
+  struct Ranked {
+    std::vector<int32_t> items;
+    int32_t support;
+  };
+  std::vector<Ranked> top_sequences(uint32_t k, int32_t length);
+
+  uint32_t node_count();
+  uint32_t customers_mined();
+  client::ClientSegment* segment() const noexcept { return segment_; }
+
+ private:
+  const uint8_t* root_block();
+
+  client::Client& client_;
+  client::ClientSegment* segment_;
+};
+
+}  // namespace iw::mining

@@ -1,0 +1,65 @@
+#include "mining/quest.hpp"
+
+namespace iw::mining {
+
+std::vector<uint32_t> CustomerSequence::flattened() const {
+  std::vector<uint32_t> out;
+  for (const auto& txn : transactions) {
+    out.insert(out.end(), txn.begin(), txn.end());
+  }
+  return out;
+}
+
+QuestGenerator::QuestGenerator(QuestConfig config) : config_(config) {
+  // Seed the pattern pool. Pattern popularity is skewed (low-indexed
+  // patterns are drawn more often), as in Quest.
+  SplitMix64 rng(config_.seed);
+  patterns_.reserve(config_.patterns);
+  for (uint32_t p = 0; p < config_.patterns; ++p) {
+    uint64_t len = rng.poissonish(config_.avg_pattern_length);
+    if (len < 2) len = 2;
+    std::vector<uint32_t> pattern;
+    pattern.reserve(len);
+    for (uint64_t i = 0; i < len; ++i) {
+      pattern.push_back(static_cast<uint32_t>(rng.below(config_.items)));
+    }
+    patterns_.push_back(std::move(pattern));
+  }
+}
+
+CustomerSequence QuestGenerator::customer(uint32_t index) const {
+  // Per-customer deterministic stream: mix the index into the seed.
+  SplitMix64 rng(config_.seed ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
+  CustomerSequence seq;
+  uint64_t n_txns = rng.poissonish(config_.avg_transactions_per_customer);
+  seq.transactions.reserve(n_txns);
+  for (uint64_t t = 0; t < n_txns; ++t) {
+    std::vector<uint32_t> txn;
+    uint64_t target = rng.poissonish(config_.avg_items_per_transaction);
+    // Weave in seeded patterns (skewed toward low pattern indices), then
+    // pad with noise items.
+    while (txn.size() < target) {
+      if (rng.below(100) < 70 && !patterns_.empty()) {
+        // Squared-uniform index skews popularity toward early patterns.
+        uint64_t r = rng.below(patterns_.size());
+        uint64_t idx = r * r / patterns_.size();
+        const auto& pattern = patterns_[idx];
+        txn.insert(txn.end(), pattern.begin(), pattern.end());
+      } else {
+        txn.push_back(static_cast<uint32_t>(rng.below(config_.items)));
+      }
+    }
+    if (txn.size() > target) txn.resize(target);
+    seq.transactions.push_back(std::move(txn));
+  }
+  return seq;
+}
+
+uint64_t QuestGenerator::approx_bytes() const {
+  double items_total = config_.customers *
+                       config_.avg_transactions_per_customer *
+                       config_.avg_items_per_transaction;
+  return static_cast<uint64_t>(items_total * 4.0);
+}
+
+}  // namespace iw::mining

@@ -1,0 +1,61 @@
+// Synthetic customer-transaction database in the style of the IBM Quest
+// generator [Srikant & Agrawal], which produced the paper's 20 MB sample
+// (100,000 customers, 1000 items, 1.25 transactions per customer on
+// average, 5000 seeded sequence patterns of average length 4).
+//
+// Generation is deterministic *per customer index*, so the database never
+// needs to be materialized: the incremental miner streams customers in
+// order, and repeated runs see identical data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rand.hpp"
+
+namespace iw::mining {
+
+struct QuestConfig {
+  uint32_t customers = 100'000;
+  uint32_t items = 1000;
+  double avg_transactions_per_customer = 1.25;
+  uint32_t patterns = 5000;
+  double avg_pattern_length = 4.0;
+  /// Items per transaction, sized so the full database is ~20 MB at the
+  /// paper's other parameters (5M items * 4 B).
+  double avg_items_per_transaction = 40.0;
+  uint64_t seed = 0x5EED;
+};
+
+/// One customer's purchase history: an ordered list of transactions, each
+/// an ordered list of item ids.
+struct CustomerSequence {
+  std::vector<std::vector<uint32_t>> transactions;
+
+  /// All items in purchase order (transaction boundaries flattened).
+  std::vector<uint32_t> flattened() const;
+};
+
+class QuestGenerator {
+ public:
+  explicit QuestGenerator(QuestConfig config);
+
+  const QuestConfig& config() const noexcept { return config_; }
+
+  /// The seeded frequent patterns woven into customers' histories.
+  const std::vector<std::vector<uint32_t>>& patterns() const noexcept {
+    return patterns_;
+  }
+
+  /// Deterministically generates customer `index`'s history.
+  CustomerSequence customer(uint32_t index) const;
+
+  /// Approximate size of the full database in bytes (4 B per item id).
+  uint64_t approx_bytes() const;
+
+ private:
+  QuestConfig config_;
+  std::vector<std::vector<uint32_t>> patterns_;
+};
+
+}  // namespace iw::mining

@@ -1,0 +1,44 @@
+#include "net/inproc.hpp"
+
+namespace iw {
+
+namespace {
+std::atomic<SessionId> g_next_session{1};
+}  // namespace
+
+InProcChannel::InProcChannel(ServerCore& core)
+    : core_(core), session_(g_next_session.fetch_add(1)) {
+  core_.on_connect(session_, [this](const Frame& frame) {
+    bytes_received_.fetch_add(frame_wire_size(frame),
+                              std::memory_order_relaxed);
+    std::function<void(const Frame&)> fn;
+    {
+      std::lock_guard lock(notify_mu_);
+      fn = notify_;
+    }
+    if (fn) fn(frame);
+  });
+}
+
+InProcChannel::~InProcChannel() { core_.on_disconnect(session_); }
+
+Frame InProcChannel::call(MsgType type, Buffer payload) {
+  Frame request;
+  request.type = type;
+  request.request_id = next_request_id_.fetch_add(1);
+  request.payload = payload.take();
+  bytes_sent_.fetch_add(frame_wire_size(request), std::memory_order_relaxed);
+
+  Frame response = core_.handle(session_, request);
+  response.request_id = request.request_id;
+  bytes_received_.fetch_add(frame_wire_size(response),
+                            std::memory_order_relaxed);
+  return check_response(std::move(response));
+}
+
+void InProcChannel::set_notify_handler(std::function<void(const Frame&)> fn) {
+  std::lock_guard lock(notify_mu_);
+  notify_ = std::move(fn);
+}
+
+}  // namespace iw

@@ -1,0 +1,44 @@
+// In-process transport: client and server in one address space.
+//
+// call() invokes the server core directly in the calling thread — no
+// sockets, no copies beyond the frames themselves — while still counting
+// the exact bytes each frame would occupy on a wire. This is the substrate
+// for the paper-shape benchmarks and most integration tests ("local
+// processes suffice" per the reproduction plan).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "net/transport.hpp"
+
+namespace iw {
+
+class InProcChannel final : public ClientChannel {
+ public:
+  /// Connects a new session to `core`. The returned channel must not
+  /// outlive the core. Disconnects in the destructor.
+  explicit InProcChannel(ServerCore& core);
+  ~InProcChannel() override;
+
+  InProcChannel(const InProcChannel&) = delete;
+  InProcChannel& operator=(const InProcChannel&) = delete;
+
+  Frame call(MsgType type, Buffer payload) override;
+  void set_notify_handler(std::function<void(const Frame&)> fn) override;
+  uint64_t bytes_sent() const override { return bytes_sent_.load(); }
+  uint64_t bytes_received() const override { return bytes_received_.load(); }
+
+ private:
+  ServerCore& core_;
+  SessionId session_;
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint32_t> next_request_id_{1};
+
+  std::mutex notify_mu_;
+  std::function<void(const Frame&)> notify_;
+};
+
+}  // namespace iw

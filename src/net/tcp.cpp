@@ -1,0 +1,273 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace iw {
+
+namespace {
+
+void write_all(int fd, const uint8_t* data, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+/// Reads exactly n bytes; returns false on clean EOF at a frame boundary.
+bool read_exact(int fd, uint8_t* data, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, data + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (r == 0) {
+      if (got == 0) return false;
+      throw Error(ErrorCode::kIo, "connection closed mid-frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+void send_frame(int fd, std::mutex& write_mu, const Frame& frame,
+                std::atomic<uint64_t>* bytes_counter) {
+  Buffer out(kFrameHeaderSize + frame.payload.size());
+  encode_frame(frame, out);
+  std::lock_guard lock(write_mu);
+  write_all(fd, out.data(), out.size());
+  if (bytes_counter) {
+    bytes_counter->fetch_add(out.size(), std::memory_order_relaxed);
+  }
+}
+
+/// Returns false on clean EOF.
+bool recv_frame(int fd, Frame* frame, std::atomic<uint64_t>* bytes_counter) {
+  uint8_t header[kFrameHeaderSize];
+  if (!read_exact(fd, header, sizeof header)) return false;
+  FrameHeader h = decode_frame_header(header);
+  frame->type = h.type;
+  frame->request_id = h.request_id;
+  frame->payload.resize(h.payload_size);
+  if (h.payload_size > 0 &&
+      !read_exact(fd, frame->payload.data(), h.payload_size)) {
+    throw Error(ErrorCode::kIo, "connection closed mid-frame");
+  }
+  if (bytes_counter) {
+    bytes_counter->fetch_add(kFrameHeaderSize + h.payload_size,
+                             std::memory_order_relaxed);
+  }
+  return true;
+}
+
+int make_listener(uint16_t port, uint16_t* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("bind");
+  }
+  if (::listen(fd, 64) < 0) {
+    int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("listen");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+std::atomic<SessionId> g_next_tcp_session{1u << 20};
+
+}  // namespace
+
+struct TcpServer::Connection {
+  int fd = -1;
+  SessionId session = 0;
+  std::mutex write_mu;
+  std::thread thread;
+};
+
+TcpServer::TcpServer(ServerCore& core, uint16_t port) : core_(core) {
+  listen_fd_ = make_listener(port, &port_);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpServer::~TcpServer() { shutdown(); }
+
+void TcpServer::accept_loop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed during shutdown
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->session = g_next_tcp_session.fetch_add(1);
+    {
+      std::lock_guard lock(mu_);
+      if (stopping_) {
+        ::close(fd);
+        return;
+      }
+      connections_.push_back(conn);
+    }
+    core_.on_connect(conn->session, [conn](const Frame& frame) {
+      try {
+        send_frame(conn->fd, conn->write_mu, frame, nullptr);
+      } catch (const Error&) {
+        // Connection is going away; the serve loop will clean up.
+      }
+    });
+    conn->thread = std::thread([this, conn] { serve(conn); });
+  }
+}
+
+void TcpServer::serve(std::shared_ptr<Connection> conn) {
+  try {
+    Frame request;
+    while (recv_frame(conn->fd, &request, nullptr)) {
+      Frame response;
+      try {
+        response = core_.handle(conn->session, request);
+      } catch (const Error& e) {
+        response = make_error_frame(e);
+      } catch (const std::exception& e) {
+        response = make_error_frame(Error(ErrorCode::kInternal, e.what()));
+      }
+      response.request_id = request.request_id;
+      send_frame(conn->fd, conn->write_mu, response, nullptr);
+    }
+  } catch (const Error& e) {
+    IW_LOG(kDebug) << "tcp connection error: " << e.what();
+  }
+  core_.on_disconnect(conn->session);
+  ::close(conn->fd);
+  conn->fd = -1;
+}
+
+void TcpServer::shutdown() {
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    conns = connections_;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& conn : conns) {
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+TcpClientChannel::TcpClientChannel(uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    int err = errno;
+    ::close(fd_);
+    errno = err;
+    throw_errno("connect");
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  receiver_ = std::thread([this] { receive_loop(); });
+}
+
+TcpClientChannel::~TcpClientChannel() {
+  ::shutdown(fd_, SHUT_RDWR);
+  if (receiver_.joinable()) receiver_.join();
+  ::close(fd_);
+}
+
+void TcpClientChannel::receive_loop() {
+  try {
+    Frame frame;
+    while (recv_frame(fd_, &frame, &bytes_received_)) {
+      if (frame.request_id == 0) {
+        std::function<void(const Frame&)> fn;
+        {
+          std::lock_guard lock(notify_mu_);
+          fn = notify_;
+        }
+        if (fn) fn(frame);
+        continue;
+      }
+      std::lock_guard lock(mu_);
+      responses_.emplace(frame.request_id, std::move(frame));
+      cv_.notify_all();
+      frame = Frame{};
+    }
+  } catch (const Error& e) {
+    IW_LOG(kDebug) << "tcp receive loop: " << e.what();
+  }
+  std::lock_guard lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+Frame TcpClientChannel::call(MsgType type, Buffer payload) {
+  Frame request;
+  request.type = type;
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) throw Error(ErrorCode::kIo, "channel closed");
+    request.request_id = next_request_id_++;
+  }
+  request.payload = payload.take();
+  send_frame(fd_, write_mu_, request, &bytes_sent_);
+
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] {
+    return closed_ || responses_.count(request.request_id) > 0;
+  });
+  auto it = responses_.find(request.request_id);
+  if (it == responses_.end()) {
+    throw Error(ErrorCode::kIo, "connection closed awaiting response");
+  }
+  Frame response = std::move(it->second);
+  responses_.erase(it);
+  lock.unlock();
+  return check_response(std::move(response));
+}
+
+void TcpClientChannel::set_notify_handler(std::function<void(const Frame&)> fn) {
+  std::lock_guard lock(notify_mu_);
+  notify_ = std::move(fn);
+}
+
+}  // namespace iw

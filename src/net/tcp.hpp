@@ -1,0 +1,83 @@
+// TCP transport: real sockets for running clients and servers as separate
+// processes (or separate threads with genuine network framing).
+//
+// TcpServer owns a listening socket plus one service thread per accepted
+// connection; each connection is one session of the ServerCore.
+// TcpClientChannel owns the client end: calls are multiplexed by request id
+// and a dedicated receiver thread demultiplexes responses from
+// notifications (request_id == 0).
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace iw {
+
+class TcpServer {
+ public:
+  /// Starts listening on 127.0.0.1:`port` (0 = ephemeral) and serving
+  /// `core`. Throws Error(kIo) when the socket cannot be bound.
+  TcpServer(ServerCore& core, uint16_t port);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Actual bound port (useful with port 0).
+  uint16_t port() const noexcept { return port_; }
+
+  /// Stops accepting, closes all connections, joins threads.
+  void shutdown();
+
+ private:
+  struct Connection;
+  void accept_loop();
+  void serve(std::shared_ptr<Connection> conn);
+
+  ServerCore& core_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  bool stopping_ = false;
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+class TcpClientChannel final : public ClientChannel {
+ public:
+  /// Connects to 127.0.0.1:`port`. Throws Error(kIo) on failure.
+  explicit TcpClientChannel(uint16_t port);
+  ~TcpClientChannel() override;
+
+  Frame call(MsgType type, Buffer payload) override;
+  void set_notify_handler(std::function<void(const Frame&)> fn) override;
+  uint64_t bytes_sent() const override { return bytes_sent_.load(); }
+  uint64_t bytes_received() const override { return bytes_received_.load(); }
+
+ private:
+  void receive_loop();
+
+  int fd_ = -1;
+  std::thread receiver_;
+  std::mutex write_mu_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+  uint32_t next_request_id_ = 1;
+  std::map<uint32_t, Frame> responses_;
+
+  std::mutex notify_mu_;
+  std::function<void(const Frame&)> notify_;
+
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+};
+
+}  // namespace iw

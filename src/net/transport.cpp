@@ -1,0 +1,43 @@
+#include "net/transport.hpp"
+
+namespace iw {
+
+void throw_error_frame(const Frame& frame) {
+  BufReader r = frame.reader();
+  std::string code_name = r.read_lp_string();
+  std::string message = r.read_lp_string();
+  for (int i = 0; i <= static_cast<int>(ErrorCode::kInternal); ++i) {
+    auto code = static_cast<ErrorCode>(i);
+    if (code_name == error_code_name(code)) {
+      throw Error(code, message);
+    }
+  }
+  throw Error(ErrorCode::kProtocol, "unknown error code: " + message);
+}
+
+Frame make_error_frame(const Error& error) {
+  Frame f;
+  f.type = MsgType::kError;
+  Buffer payload;
+  const char* name = error_code_name(error.code());
+  payload.append_lp_string(name);
+  // what() is "<Code>: <message>"; strip the prefix (the receiver rebuilds
+  // it) so errors do not accumulate "NotFound: NotFound:" chains.
+  std::string_view message = error.what();
+  size_t prefix = std::string_view(name).size() + 2;
+  if (message.size() > prefix && message.substr(0, prefix - 2) == name) {
+    message.remove_prefix(prefix);
+  }
+  payload.append_lp_string(message);
+  f.payload = payload.take();
+  return f;
+}
+
+Frame check_response(Frame response) {
+  if (response.type == MsgType::kError) {
+    throw_error_frame(response);
+  }
+  return response;
+}
+
+}  // namespace iw

@@ -1,0 +1,73 @@
+// Transport abstraction between InterWeave clients and servers.
+//
+// The protocol is synchronous request/response initiated by the client,
+// plus unsolicited server->client notifications (the "adaptive
+// polling/notification" channel). Two implementations exist:
+//
+//   * InProc — client calls run the server handler directly in the calling
+//     thread; notifications are direct callbacks. Zero I/O noise, which is
+//     what the paper-shape benchmarks measure, and still byte-accounted as
+//     if frames had crossed a wire.
+//   * Tcp — real sockets, one receiver thread per client channel and one
+//     service thread per server connection (net/tcp.hpp).
+//
+// Byte counters on every channel feed the bandwidth experiments (Fig. 7).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "wire/frame.hpp"
+
+namespace iw {
+
+/// Client endpoint of a connection to one server.
+class ClientChannel {
+ public:
+  virtual ~ClientChannel() = default;
+
+  /// Sends a request and blocks for its response. Throws Error on transport
+  /// failure; a server-side kError response is surfaced as a thrown Error.
+  virtual Frame call(MsgType type, Buffer payload) = 0;
+
+  /// Installs the handler invoked for unsolicited notifications. May be
+  /// invoked from another thread (TCP) or from within call() (in-proc);
+  /// handlers must be quick and must not call back into the channel.
+  virtual void set_notify_handler(std::function<void(const Frame&)> fn) = 0;
+
+  virtual uint64_t bytes_sent() const = 0;
+  virtual uint64_t bytes_received() const = 0;
+};
+
+/// Identifies one client connection within a server.
+using SessionId = uint64_t;
+
+/// Pushes a notification frame toward one client.
+using Notifier = std::function<void(const Frame&)>;
+
+/// Transport-independent server logic. SegmentServer implements this; the
+/// transports (in-proc, TCP) drive it.
+class ServerCore {
+ public:
+  virtual ~ServerCore() = default;
+
+  /// Registers a connection; `notify` delivers notifications to it.
+  virtual void on_connect(SessionId session, Notifier notify) = 0;
+  virtual void on_disconnect(SessionId session) = 0;
+
+  /// Handles one request, returning the response frame (request_id is
+  /// filled in by the transport). May block (e.g. waiting for a write lock).
+  virtual Frame handle(SessionId session, const Frame& request) = 0;
+};
+
+/// Decodes a kError response payload and throws it as iw::Error.
+[[noreturn]] void throw_error_frame(const Frame& frame);
+
+/// Builds a kError frame from an exception.
+Frame make_error_frame(const Error& error);
+
+/// Helper for implementations: performs a call-and-check, throwing when the
+/// response is kError.
+Frame check_response(Frame response);
+
+}  // namespace iw

@@ -1,0 +1,54 @@
+#include "rpcbase/rpc.hpp"
+
+namespace iw::rpc {
+
+namespace {
+// RPC frames reuse the generic frame format: the first 4 payload bytes are
+// the procedure number, the rest is the XDR-marshaled argument body.
+constexpr MsgType kRpcCall = MsgType::kPing;      // transport-level reuse
+constexpr MsgType kRpcReply = MsgType::kPingResp;
+}  // namespace
+
+void RpcServer::register_procedure(uint32_t proc_id, Procedure proc) {
+  std::lock_guard lock(mu_);
+  procedures_[proc_id] = std::move(proc);
+}
+
+Frame RpcServer::handle(SessionId, const Frame& request) {
+  Frame response;
+  try {
+    BufReader in = request.reader();
+    uint32_t proc_id = in.read_u32();
+    Procedure proc;
+    {
+      std::lock_guard lock(mu_);
+      auto it = procedures_.find(proc_id);
+      if (it == procedures_.end()) {
+        throw Error(ErrorCode::kNotFound,
+                    "procedure " + std::to_string(proc_id));
+      }
+      proc = it->second;
+    }
+    Buffer out;
+    proc(in, out);
+    response.type = kRpcReply;
+    response.payload = out.take();
+  } catch (const Error& e) {
+    response = make_error_frame(e);
+  } catch (const std::exception& e) {
+    response = make_error_frame(Error(ErrorCode::kInternal, e.what()));
+  }
+  response.request_id = request.request_id;
+  return response;
+}
+
+RpcClient::Result RpcClient::call(uint32_t proc_id, Buffer args) {
+  Buffer payload;
+  payload.append_u32(proc_id);
+  payload.append(args.data(), args.size());
+  Result result;
+  result.frame = channel_->call(kRpcCall, std::move(payload));
+  return result;
+}
+
+}  // namespace iw::rpc

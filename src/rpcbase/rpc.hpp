@@ -1,0 +1,59 @@
+// Minimal RPC layer over the shared transports.
+//
+// Procedures are registered by number on an RpcServer (a ServerCore, so it
+// runs over both the in-process and TCP transports); clients invoke them
+// with XDR-marshaled arguments and results via RpcClient. This is the
+// "straightforward use of RPC" the paper contrasts with InterWeave: every
+// call re-marshals its full arguments, deep-copying through pointers, with
+// no caching and no diffs.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "net/transport.hpp"
+#include "rpcbase/xdr.hpp"
+
+namespace iw::rpc {
+
+/// Server-side procedure: decode args from `in`, encode results to `out`.
+using Procedure = std::function<void(BufReader& in, Buffer& out)>;
+
+class RpcServer : public ServerCore {
+ public:
+  /// Registers `proc` under `proc_id`; replaces any previous registration.
+  void register_procedure(uint32_t proc_id, Procedure proc);
+
+  // ServerCore:
+  void on_connect(SessionId, Notifier) override {}
+  void on_disconnect(SessionId) override {}
+  Frame handle(SessionId session, const Frame& request) override;
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<uint32_t, Procedure> procedures_;
+};
+
+class RpcClient {
+ public:
+  explicit RpcClient(std::shared_ptr<ClientChannel> channel)
+      : channel_(std::move(channel)) {}
+
+  /// Calls `proc_id` with `args` as the marshaled argument payload and
+  /// returns a reader over the result payload (backed by the returned
+  /// frame, kept alive inside Result).
+  struct Result {
+    Frame frame;
+    BufReader reader() const { return frame.reader(); }
+  };
+  Result call(uint32_t proc_id, Buffer args);
+
+  uint64_t bytes_sent() const { return channel_->bytes_sent(); }
+  uint64_t bytes_received() const { return channel_->bytes_received(); }
+
+ private:
+  std::shared_ptr<ClientChannel> channel_;
+};
+
+}  // namespace iw::rpc

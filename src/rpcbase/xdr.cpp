@@ -1,0 +1,122 @@
+#include "rpcbase/xdr.hpp"
+
+#include <cstring>
+
+namespace iw::rpc {
+
+namespace {
+uint32_t pad4(uint32_t n) { return (n + 3u) & ~3u; }
+}  // namespace
+
+// The per-primitive routines are deliberately out-of-line (see header).
+
+bool Xdr::x_char(char* v) {
+  // XDR promotes chars to 4-byte ints on the wire.
+  int32_t wide = *v;
+  if (!x_int(&wide)) return false;
+  *v = static_cast<char>(wide);
+  return true;
+}
+
+bool Xdr::x_short(int16_t* v) {
+  int32_t wide = *v;
+  if (!x_int(&wide)) return false;
+  *v = static_cast<int16_t>(wide);
+  return true;
+}
+
+bool Xdr::x_int(int32_t* v) {
+  if (op_ == XdrOp::kEncode) {
+    out_->append_i32(*v);
+    return true;
+  }
+  if (in_->remaining() < 4) return false;
+  *v = in_->read_i32();
+  return true;
+}
+
+bool Xdr::x_hyper(int64_t* v) {
+  if (op_ == XdrOp::kEncode) {
+    out_->append_i64(*v);
+    return true;
+  }
+  if (in_->remaining() < 8) return false;
+  *v = in_->read_i64();
+  return true;
+}
+
+bool Xdr::x_float(float* v) {
+  if (op_ == XdrOp::kEncode) {
+    out_->append_f32(*v);
+    return true;
+  }
+  if (in_->remaining() < 4) return false;
+  *v = in_->read_f32();
+  return true;
+}
+
+bool Xdr::x_double(double* v) {
+  if (op_ == XdrOp::kEncode) {
+    out_->append_f64(*v);
+    return true;
+  }
+  if (in_->remaining() < 8) return false;
+  *v = in_->read_f64();
+  return true;
+}
+
+bool Xdr::x_string(char* buf, uint32_t capacity) {
+  if (op_ == XdrOp::kEncode) {
+    uint32_t len = static_cast<uint32_t>(strnlen(buf, capacity));
+    out_->append_u32(len);
+    out_->append(buf, len);
+    for (uint32_t i = len; i < pad4(len); ++i) out_->append_u8(0);
+    return true;
+  }
+  if (in_->remaining() < 4) return false;
+  uint32_t len = in_->read_u32();
+  if (in_->remaining() < pad4(len) || len >= capacity) return false;
+  auto bytes = in_->read_bytes(len);
+  std::memcpy(buf, bytes.data(), len);
+  buf[len] = '\0';
+  in_->skip(pad4(len) - len);
+  return true;
+}
+
+bool Xdr::x_opaque(void* data, uint32_t n) {
+  if (op_ == XdrOp::kEncode) {
+    out_->append(data, n);
+    for (uint32_t i = n; i < pad4(n); ++i) out_->append_u8(0);
+    return true;
+  }
+  if (in_->remaining() < pad4(n)) return false;
+  auto bytes = in_->read_bytes(n);
+  std::memcpy(data, bytes.data(), n);
+  in_->skip(pad4(n) - n);
+  return true;
+}
+
+bool xdr_vector(Xdr* xdr, void* base, uint32_t count, uint32_t elem_size,
+                xdrproc_t proc) {
+  auto* p = static_cast<uint8_t*>(base);
+  for (uint32_t i = 0; i < count; ++i, p += elem_size) {
+    if (!proc(xdr, p)) return false;
+  }
+  return true;
+}
+
+bool xdr_pointer(Xdr* xdr, void** ptr, uint32_t obj_size, xdrproc_t proc) {
+  int32_t present = (*ptr != nullptr) ? 1 : 0;
+  if (!xdr->x_int(&present)) return false;
+  if (!present) {
+    if (xdr->op() == XdrOp::kDecode) *ptr = nullptr;
+    return true;
+  }
+  if (xdr->op() == XdrOp::kDecode && *ptr == nullptr) {
+    *ptr = ::operator new(obj_size);
+    std::memset(*ptr, 0, obj_size);
+  }
+  return proc(xdr, *ptr);
+}
+
+}  // namespace iw::rpc

@@ -1,0 +1,79 @@
+// XDR-style marshaling — the paper's RPC baseline (Sun RPC / rpcgen).
+//
+// This reproduces the *cost structure* of rpcgen-generated code, which is
+// what Figure 4 compares InterWeave against:
+//
+//   * one out-of-line call per primitive item, dispatched through xdrproc_t
+//     function pointers (rpcgen does not inline the per-element routines —
+//     the paper calls this out for doubles specifically);
+//   * big-endian 4-byte alignment on the wire (XDR pads everything to 4);
+//   * deep-copy pointer semantics: xdr_pointer marshals a presence flag
+//     followed by the pointed-to data, recursively — no identity, no diffs;
+//   * strings as length + bytes + padding, with strlen on encode.
+//
+// A single Xdr object works in both directions, selected by XdrOp, exactly
+// like XDR_ENCODE/XDR_DECODE streams.
+#pragma once
+
+#include <cstdint>
+
+#include "util/buffer.hpp"
+
+namespace iw::rpc {
+
+enum class XdrOp { kEncode, kDecode };
+
+/// Bidirectional XDR stream over a Buffer (encode) or BufReader (decode).
+///
+/// The primitive operations are virtual on purpose: Sun XDR dispatches
+/// every item through the stream's x_ops function-pointer table, and that
+/// per-element indirection is a real part of the baseline's cost model.
+class Xdr {
+ public:
+  /// Encoding stream appending to `out`.
+  explicit Xdr(Buffer& out) : op_(XdrOp::kEncode), out_(&out) {}
+  /// Decoding stream consuming `in`.
+  explicit Xdr(BufReader& in) : op_(XdrOp::kDecode), in_(&in) {}
+  virtual ~Xdr() = default;
+
+  XdrOp op() const noexcept { return op_; }
+
+  // Primitive items. Each returns false on decode underrun (mirroring the
+  // xdr_* convention) rather than throwing, as rpcgen callers check bools.
+  bool x_char(char* v);
+  bool x_short(int16_t* v);
+  virtual bool x_int(int32_t* v);
+  virtual bool x_hyper(int64_t* v);
+  virtual bool x_float(float* v);
+  virtual bool x_double(double* v);
+
+  /// NUL-terminated string in a caller-owned buffer of `capacity` bytes.
+  /// Wire form: u32 length + bytes + pad to 4 (XDR string).
+  virtual bool x_string(char* buf, uint32_t capacity);
+
+  /// Raw bytes, padded to 4 on the wire (XDR opaque).
+  virtual bool x_opaque(void* data, uint32_t n);
+
+  Buffer* buffer() noexcept { return out_; }
+  BufReader* reader() noexcept { return in_; }
+
+ private:
+  XdrOp op_;
+  Buffer* out_ = nullptr;
+  BufReader* in_ = nullptr;
+};
+
+/// rpcgen-style element marshaler.
+using xdrproc_t = bool (*)(Xdr*, void*);
+
+/// Fixed-length array of `count` elements of `elem_size` bytes, each
+/// marshaled via `proc` (XDR xdr_vector).
+bool xdr_vector(Xdr* xdr, void* base, uint32_t count, uint32_t elem_size,
+                xdrproc_t proc);
+
+/// Deep-copy pointer (XDR xdr_pointer): presence flag, then the pointed-to
+/// object. On decode, absent objects become nullptr and present objects are
+/// heap-allocated via `alloc`/default new[]. The caller owns the result.
+bool xdr_pointer(Xdr* xdr, void** ptr, uint32_t obj_size, xdrproc_t proc);
+
+}  // namespace iw::rpc

@@ -1,0 +1,470 @@
+#include "server/segment_store.hpp"
+#include "util/stopwatch.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "wire/translate.hpp"
+
+namespace iw::server {
+
+namespace {
+uint32_t subblocks_for(uint64_t units, uint32_t subblock_units) {
+  return static_cast<uint32_t>((units + subblock_units - 1) / subblock_units);
+}
+}  // namespace
+
+/// Translation hooks over a block's packed-canonical storage: strings and
+/// MIPs live out-of-line in vardata, addressed by a per-type offset->slot
+/// map. The 4-byte field itself stores the slot id (deterministic bytes).
+class ServerHooks final : public TranslationHooks {
+ public:
+  ServerHooks(SvrBlock* block, const VarMap* vm) : block_(block), vm_(vm) {}
+
+  std::string swizzle_out(const void* field) override {
+    return block_->vardata[slot(field)];
+  }
+  void swizzle_in(std::string_view mip, void* field) override {
+    uint32_t s = slot(field);
+    block_->vardata[s].assign(mip);
+    store_be32(field, s);
+  }
+  std::string_view read_string(const void* field, uint32_t) override {
+    return block_->vardata[slot(field)];
+  }
+  void write_string(void* field, uint32_t, std::string_view content) override {
+    uint32_t s = slot(field);
+    block_->vardata[s].assign(content);
+    store_be32(field, s);
+  }
+
+ private:
+  uint32_t slot(const void* field) const {
+    auto offset = static_cast<uint32_t>(static_cast<const uint8_t*>(field) -
+                                        block_->data.data());
+    auto it = vm_->slot_by_offset.find(offset);
+    check_internal(it != vm_->slot_by_offset.end(), "no var slot at offset");
+    return it->second;
+  }
+
+  SvrBlock* block_;
+  const VarMap* vm_;
+};
+
+SegmentStore::SegmentStore(std::string name, Options options)
+    : name_(std::move(name)), options_(options) {}
+
+SegmentStore::~SegmentStore() {
+  // Intrusive structures reference owned_ storage; drop views first.
+  blocks_by_serial_.clear();
+  markers_.clear();
+  version_list_.clear();
+}
+
+const VarMap& SegmentStore::var_map(const TypeDescriptor* type) {
+  auto it = var_maps_.find(type);
+  if (it != var_maps_.end()) return it->second;
+  VarMap vm;
+  type->visit_runs(0, type->prim_units(), [&](const PrimRun& run) {
+    if (run.kind != PrimitiveKind::kPointer &&
+        run.kind != PrimitiveKind::kString) {
+      return;
+    }
+    uint32_t offset = run.local_offset;
+    for (uint64_t i = 0; i < run.unit_count; ++i, offset += run.local_stride) {
+      vm.slot_by_offset.emplace(offset, vm.slot_count++);
+    }
+  });
+  return var_maps_.emplace(type, std::move(vm)).first->second;
+}
+
+uint32_t SegmentStore::register_type(std::span<const uint8_t> graph) {
+  std::string key(reinterpret_cast<const char*>(graph.data()), graph.size());
+  auto it = type_serial_by_key_.find(key);
+  if (it != type_serial_by_key_.end()) return it->second;
+
+  BufReader r(graph.data(), graph.size());
+  const TypeDescriptor* type = TypeCodec::decode_graph(r, registry_);
+  types_.push_back(type);
+  type_graphs_.emplace_back(graph.begin(), graph.end());
+  uint32_t serial = static_cast<uint32_t>(types_.size());
+  type_serial_by_key_.emplace(std::move(key), serial);
+  return serial;
+}
+
+std::span<const uint8_t> SegmentStore::type_graph(uint32_t serial) const {
+  if (serial == 0 || serial > type_graphs_.size()) {
+    throw Error(ErrorCode::kNotFound,
+                "type serial " + std::to_string(serial));
+  }
+  return type_graphs_[serial - 1];
+}
+
+const SvrBlock* SegmentStore::find_block(uint32_t serial) const {
+  return blocks_by_serial_.find(serial);
+}
+
+const SvrBlock* SegmentStore::find_block_by_name(const std::string& name) const {
+  // Named blocks are rare (roots); a linear scan keeps the server free of a
+  // third per-block tree. Clients resolve names once at bootstrap.
+  const SvrBlock* found = nullptr;
+  for_each_block([&](const SvrBlock& b) {
+    if (b.name == name) found = &b;
+  });
+  return found;
+}
+
+uint64_t SegmentStore::block_bytes(const SvrBlock& block) const {
+  // Approximate wire size: fixed units exactly, variable units at a nominal
+  // 8 bytes per slot. Used only for Diff-coherence percentage tracking,
+  // which the paper computes conservatively anyway.
+  return block.type->fixed_wire_size() + 8ull * block.vardata.size();
+}
+
+SvrBlock* SegmentStore::create_block(uint32_t serial, uint32_t type_serial,
+                                     std::string name, uint32_t at_version) {
+  if (type_serial == 0 || type_serial > types_.size()) {
+    throw Error(ErrorCode::kProtocol, "new block references unknown type");
+  }
+  SvrBlock* block;
+  if (!free_pool_.empty()) {
+    block = free_pool_.back();
+    free_pool_.pop_back();
+  } else {
+    owned_blocks_.push_back(std::make_unique<SvrBlock>());
+    block = owned_blocks_.back().get();
+  }
+  block->serial = serial;
+  block->name = std::move(name);
+  block->type_serial = type_serial;
+  block->type = types_[type_serial - 1];
+  block->created_version = at_version;
+  block->version = at_version;
+  block->data.assign(block->type->local_size(), 0);
+  const VarMap& vm = var_map(block->type);
+  block->vardata.assign(vm.slot_count, std::string());
+  block->subblock_versions.assign(
+      subblocks_for(block->type->prim_units(), options_.subblock_units),
+      at_version);
+  if (!blocks_by_serial_.insert(*block)) {
+    free_pool_.push_back(block);
+    throw Error(ErrorCode::kProtocol, "duplicate block serial");
+  }
+  version_list_.push_back(*block);
+  next_block_serial_ = std::max(next_block_serial_, serial + 1);
+  total_data_bytes_ += block_bytes(*block);
+  return block;
+}
+
+void SegmentStore::destroy_block(SvrBlock* block, uint32_t at_version) {
+  total_data_bytes_ -= std::min(total_data_bytes_, block_bytes(*block));
+  free_history_.push_back(
+      {block->serial, block->created_version, at_version});
+  blocks_by_serial_.erase(*block);
+  version_list_.erase(*block);
+  block->data.clear();
+  block->vardata.clear();
+  block->subblock_versions.clear();
+  free_pool_.push_back(block);
+}
+
+uint32_t SegmentStore::apply_diff(std::span<const uint8_t> diff_bytes) {
+  Stopwatch timer;
+  BufReader in(diff_bytes.data(), diff_bytes.size());
+  DiffReader reader(in);
+  if (reader.entry_count() == 0) {
+    return version_;  // empty critical section: no new version
+  }
+  if (reader.from_version() != version_) {
+    throw Error(ErrorCode::kState,
+                "diff base version " + std::to_string(reader.from_version()) +
+                    " != current " + std::to_string(version_));
+  }
+  const uint32_t new_version = version_ + 1;
+
+  owned_markers_.push_back(std::make_unique<Marker>(new_version));
+  Marker* marker = owned_markers_.back().get();
+  version_list_.push_back(*marker);
+  check_internal(markers_.insert(*marker), "duplicate marker version");
+
+  // Last-block prediction: the block most likely named by the next diff
+  // entry is the one that followed the previous entry's block on the
+  // version list — captured *before* move_to_back rearranges the list.
+  SvrBlock* predicted = nullptr;
+  DiffEntry entry;
+  auto apply_runs = [&](SvrBlock* block) {
+    ServerHooks hooks(block, &var_map(block->type));
+    const uint64_t units = block->prim_units();
+    while (!entry.runs.at_end()) {
+      DiffRun run = DiffReader::read_run(entry.runs);
+      if (run.unit_count == 0 ||
+          run.start_unit + static_cast<uint64_t>(run.unit_count) > units) {
+        throw Error(ErrorCode::kProtocol, "diff run out of block bounds");
+      }
+      decode_units(*block->type, registry_.rules(), block->data.data(),
+                   run.start_unit, run.start_unit + run.unit_count, hooks,
+                   entry.runs);
+      uint32_t first_sb = run.start_unit / options_.subblock_units;
+      uint32_t last_sb =
+          (run.start_unit + run.unit_count - 1) / options_.subblock_units;
+      for (uint32_t sb = first_sb; sb <= last_sb; ++sb) {
+        block->subblock_versions[sb] = new_version;
+      }
+    }
+  };
+
+  while (reader.next(&entry)) {
+    if (entry.flags & diff_flags::kFree) {
+      SvrBlock* block = blocks_by_serial_.find(entry.serial);
+      if (block == nullptr) {
+        throw Error(ErrorCode::kProtocol, "free of unknown block");
+      }
+      if (predicted == block) predicted = nullptr;
+      destroy_block(block, new_version);
+      continue;
+    }
+    if (entry.flags & diff_flags::kNew) {
+      if (blocks_by_serial_.find(entry.serial) != nullptr) {
+        throw Error(ErrorCode::kProtocol, "new block serial already exists");
+      }
+      SvrBlock* block = create_block(entry.serial, entry.type_serial,
+                                     std::move(entry.name), new_version);
+      apply_runs(block);
+      predicted = nullptr;  // new blocks sit at the tail already
+      continue;
+    }
+    // Modified block: try the prediction before the serial tree (§3.3).
+    SvrBlock* block = nullptr;
+    if (options_.enable_last_block_prediction && predicted != nullptr &&
+        predicted->serial == entry.serial) {
+      block = predicted;
+      ++stats_.prediction_hits;
+    }
+    if (block == nullptr) {
+      ++stats_.prediction_misses;
+      block = blocks_by_serial_.find(entry.serial);
+    }
+    if (block == nullptr) {
+      throw Error(ErrorCode::kProtocol, "update of unknown block");
+    }
+    // Capture the follower before move_to_back rearranges the list.
+    VersionNode* node = version_list_.next(*block);
+    while (node != nullptr && node->is_marker) {
+      node = version_list_.next(*node);
+    }
+    predicted = static_cast<SvrBlock*>(node);
+    total_data_bytes_ -= std::min(total_data_bytes_, block_bytes(*block));
+    apply_runs(block);
+    total_data_bytes_ += block_bytes(*block);
+    version_list_.move_to_back(*block);
+    block->version = new_version;
+  }
+
+  version_ = new_version;
+  ++stats_.diffs_applied;
+  stats_.bytes_applied += diff_bytes.size();
+  stats_.apply_ns += timer.elapsed_ns();
+
+  if (options_.enable_diff_cache) {
+    cache_insert(new_version - 1, new_version,
+                 std::make_shared<const std::vector<uint8_t>>(
+                     diff_bytes.begin(), diff_bytes.end()));
+  }
+  return version_;
+}
+
+void SegmentStore::append_block_update(DiffWriter& writer, SvrBlock& block,
+                                       uint32_t from_version) {
+  ServerHooks hooks(&block, &var_map(block.type));
+  const uint64_t units = block.prim_units();
+  if (block.created_version > from_version) {
+    writer.begin_block(block.serial, diff_flags::kNew | diff_flags::kWhole,
+                       block.type_serial, block.name);
+    writer.begin_run(0, static_cast<uint32_t>(units));
+    encode_units(*block.type, registry_.rules(), block.data.data(), 0, units,
+                 hooks, writer.buffer());
+    writer.end_block();
+    return;
+  }
+  // Send full content of every subblock newer than from_version, merging
+  // adjacent stale runs (the client just sees runs of modified data).
+  writer.begin_block(block.serial, 0);
+  const uint32_t su = options_.subblock_units;
+  const uint32_t n_sb = block.subblock_count();
+  uint32_t sb = 0;
+  while (sb < n_sb) {
+    if (block.subblock_versions[sb] <= from_version) {
+      ++sb;
+      continue;
+    }
+    uint32_t first = sb;
+    while (sb < n_sb && block.subblock_versions[sb] > from_version) ++sb;
+    uint64_t unit_begin = static_cast<uint64_t>(first) * su;
+    uint64_t unit_end = std::min(units, static_cast<uint64_t>(sb) * su);
+    writer.begin_run(static_cast<uint32_t>(unit_begin),
+                     static_cast<uint32_t>(unit_end - unit_begin));
+    encode_units(*block.type, registry_.rules(), block.data.data(), unit_begin,
+                 unit_end, hooks, writer.buffer());
+  }
+  writer.end_block();
+}
+
+std::shared_ptr<const std::vector<uint8_t>> SegmentStore::collect_diff(
+    uint32_t from_version) {
+  if (options_.enable_diff_cache) {
+    for (const CachedDiff& c : diff_cache_) {
+      if (c.from_version == from_version && c.to_version == version_) {
+        ++stats_.diff_cache_hits;
+        return c.bytes;
+      }
+    }
+    ++stats_.diff_cache_misses;
+  }
+
+  Stopwatch timer;
+  Buffer out;
+  DiffWriter writer(out, from_version, version_);
+  for (const FreeRecord& fr : free_history_) {
+    if (fr.freed_version > from_version &&
+        fr.created_version <= from_version) {
+      writer.add_free(fr.serial);
+    }
+  }
+  // First marker newer than from_version; every block after it changed.
+  Marker* marker = markers_.lower_bound(from_version + 1);
+  VersionNode* node = (marker != nullptr)
+                          ? version_list_.next(*marker)
+                          : nullptr;
+  if (marker == nullptr && version_ > from_version) {
+    // No marker (e.g. store recovered from checkpoint): scan everything.
+    node = version_list_.front();
+  }
+  for (; node != nullptr; node = version_list_.next(*node)) {
+    if (node->is_marker) continue;
+    auto* block = static_cast<SvrBlock*>(node);
+    if (block->version <= from_version) continue;
+    append_block_update(writer, *block, from_version);
+  }
+  writer.finish();
+
+  auto bytes = std::make_shared<const std::vector<uint8_t>>(out.take());
+  ++stats_.diffs_collected;
+  stats_.bytes_collected += bytes->size();
+  stats_.collect_ns += timer.elapsed_ns();
+  if (options_.enable_diff_cache) {
+    cache_insert(from_version, version_, bytes);
+  }
+  return bytes;
+}
+
+void SegmentStore::cache_insert(
+    uint32_t from_version, uint32_t to_version,
+    std::shared_ptr<const std::vector<uint8_t>> bytes) {
+  diff_cache_.push_back({from_version, to_version, std::move(bytes)});
+  while (diff_cache_.size() > options_.diff_cache_entries) {
+    diff_cache_.pop_front();
+  }
+}
+
+// ------------------------------------------------------------- checkpoint
+
+void SegmentStore::serialize(Buffer& out) const {
+  out.append_u32(version_);
+  out.append_u32(next_block_serial_);
+  out.append_u32(static_cast<uint32_t>(type_graphs_.size()));
+  for (const auto& graph : type_graphs_) {
+    out.append_u32(static_cast<uint32_t>(graph.size()));
+    out.append(graph.data(), graph.size());
+  }
+  out.append_u32(static_cast<uint32_t>(free_history_.size()));
+  for (const FreeRecord& fr : free_history_) {
+    out.append_u32(fr.serial);
+    out.append_u32(fr.created_version);
+    out.append_u32(fr.freed_version);
+  }
+  // Preserve blk_version_list order (markers included) so collect_diff
+  // behaves identically after recovery.
+  out.append_u32(static_cast<uint32_t>(version_list_.size()));
+  for (VersionNode* node = version_list_.front(); node != nullptr;
+       node = version_list_.next(*node)) {
+    out.append_u8(node->is_marker ? 1 : 0);
+    if (node->is_marker) {
+      out.append_u32(static_cast<Marker*>(node)->version);
+      continue;
+    }
+    auto* b = static_cast<SvrBlock*>(node);
+    out.append_u32(b->serial);
+    out.append_lp_string(b->name);
+    out.append_u32(b->type_serial);
+    out.append_u32(b->created_version);
+    out.append_u32(b->version);
+    out.append_u32(static_cast<uint32_t>(b->data.size()));
+    out.append(b->data.data(), b->data.size());
+    out.append_u32(static_cast<uint32_t>(b->vardata.size()));
+    for (const std::string& v : b->vardata) out.append_lp_string(v);
+    out.append_u32(static_cast<uint32_t>(b->subblock_versions.size()));
+    for (uint32_t sv : b->subblock_versions) out.append_u32(sv);
+  }
+}
+
+std::unique_ptr<SegmentStore> SegmentStore::deserialize(std::string name,
+                                                        Options options,
+                                                        BufReader& in) {
+  auto store = std::make_unique<SegmentStore>(std::move(name), options);
+  store->version_ = in.read_u32();
+  store->next_block_serial_ = in.read_u32();
+  uint32_t n_types = in.read_u32();
+  for (uint32_t i = 0; i < n_types; ++i) {
+    uint32_t len = in.read_u32();
+    auto bytes = in.read_bytes(len);
+    store->register_type(bytes);
+  }
+  uint32_t n_free = in.read_u32();
+  for (uint32_t i = 0; i < n_free; ++i) {
+    FreeRecord fr;
+    fr.serial = in.read_u32();
+    fr.created_version = in.read_u32();
+    fr.freed_version = in.read_u32();
+    store->free_history_.push_back(fr);
+  }
+  uint32_t n_nodes = in.read_u32();
+  for (uint32_t i = 0; i < n_nodes; ++i) {
+    if (in.read_u8() != 0) {
+      uint32_t v = in.read_u32();
+      store->owned_markers_.push_back(std::make_unique<Marker>(v));
+      Marker* m = store->owned_markers_.back().get();
+      store->version_list_.push_back(*m);
+      if (!store->markers_.insert(*m)) {
+        throw Error(ErrorCode::kProtocol, "checkpoint: duplicate marker");
+      }
+      continue;
+    }
+    uint32_t serial = in.read_u32();
+    std::string bname = in.read_lp_string();
+    uint32_t type_serial = in.read_u32();
+    uint32_t created = in.read_u32();
+    uint32_t version = in.read_u32();
+    SvrBlock* b =
+        store->create_block(serial, type_serial, std::move(bname), created);
+    b->version = version;
+    uint32_t data_len = in.read_u32();
+    auto data = in.read_bytes(data_len);
+    if (data_len != b->data.size()) {
+      throw Error(ErrorCode::kProtocol, "checkpoint: block size mismatch");
+    }
+    std::copy(data.begin(), data.end(), b->data.begin());
+    uint32_t n_var = in.read_u32();
+    if (n_var != b->vardata.size()) {
+      throw Error(ErrorCode::kProtocol, "checkpoint: vardata size mismatch");
+    }
+    for (uint32_t v = 0; v < n_var; ++v) b->vardata[v] = in.read_lp_string();
+    uint32_t n_sb = in.read_u32();
+    if (n_sb != b->subblock_versions.size()) {
+      throw Error(ErrorCode::kProtocol, "checkpoint: subblock count mismatch");
+    }
+    for (uint32_t s = 0; s < n_sb; ++s) b->subblock_versions[s] = in.read_u32();
+  }
+  return store;
+}
+
+}  // namespace iw::server

@@ -1,0 +1,220 @@
+// Server-side segment storage — the paper's §3.2 data structures.
+//
+// The server keeps every segment's master copy *in wire format* (packed
+// canonical layout): numeric units as canonical big-endian bytes, strings
+// and MIPs out-of-line in per-block slot tables (they are variable-length,
+// and keeping them separate avoids data relocation — and is exactly why
+// server-side pointer/small-string handling is the costly case in §4.1).
+//
+// Change tracking is subblock-granular: every block carries one version
+// number per 16 primitive data units. A client at version c receives, for
+// each block newer than c, the full content of the subblocks newer than c.
+//
+// Blocks live in a serial-number AVL tree and on a version-ordered
+// intrusive list (blk_version_list) segmented by Markers; markers also form
+// a version AVL tree so "first change after version c" is O(log n).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "types/registry.hpp"
+#include "util/avl_tree.hpp"
+#include "util/intrusive_list.hpp"
+#include "wire/diff.hpp"
+
+namespace iw::server {
+
+/// Primitive data units per subblock (paper's value; gives the flat region
+/// for change ratios 1–16 in Fig. 5).
+inline constexpr uint32_t kSubblockUnits = 16;
+
+/// Node in a segment's blk_version_list: either a block or a marker.
+struct VersionNode {
+  explicit VersionNode(bool marker) : is_marker(marker) {}
+  bool is_marker;
+  ListHook version_hook;
+};
+
+/// Version boundary in the blk_version_list: every block *after* a marker
+/// with version v was (partially) modified at or after version v.
+struct Marker : VersionNode {
+  explicit Marker(uint32_t v) : VersionNode(true), version(v) {}
+  uint32_t version;
+  AvlHook tree_hook;
+};
+
+/// One block of a segment, stored in wire format.
+struct SvrBlock : VersionNode {
+  SvrBlock() : VersionNode(false) {}
+
+  uint32_t serial = 0;
+  std::string name;                      // optional symbolic name
+  uint32_t type_serial = 0;              // segment-scoped type id
+  const TypeDescriptor* type = nullptr;  // packed-canonical instantiation
+  uint32_t created_version = 0;
+  uint32_t version = 0;                  // last-modified segment version
+
+  std::vector<uint8_t> data;             // fixed units, packed canonical
+  std::vector<std::string> vardata;      // out-of-line strings and MIPs
+  std::vector<uint32_t> subblock_versions;
+
+  AvlHook serial_hook;
+
+  uint64_t prim_units() const noexcept { return type->prim_units(); }
+  uint32_t subblock_count() const noexcept {
+    return static_cast<uint32_t>(subblock_versions.size());
+  }
+};
+
+/// Maps packed-canonical field offsets of variable units (strings/pointers)
+/// to slot indices in SvrBlock::vardata. One per type, cached.
+struct VarMap {
+  std::unordered_map<uint32_t, uint32_t> slot_by_offset;
+  uint32_t slot_count = 0;
+};
+
+/// A block freed at some version; stale clients must be told.
+struct FreeRecord {
+  uint32_t serial;
+  uint32_t created_version;
+  uint32_t freed_version;
+};
+
+/// Cached wire diff between two segment versions (paper §3.3 diff caching).
+struct CachedDiff {
+  uint32_t from_version;
+  uint32_t to_version;
+  std::shared_ptr<const std::vector<uint8_t>> bytes;
+};
+
+/// Statistics a SegmentStore accumulates (consumed by tests/benches).
+struct StoreStats {
+  uint64_t diffs_applied = 0;
+  uint64_t diffs_collected = 0;
+  uint64_t diff_cache_hits = 0;
+  uint64_t diff_cache_misses = 0;
+  uint64_t prediction_hits = 0;
+  uint64_t prediction_misses = 0;
+  uint64_t bytes_applied = 0;
+  uint64_t bytes_collected = 0;
+  uint64_t apply_ns = 0;    ///< time spent in apply_diff
+  uint64_t collect_ns = 0;  ///< time spent building diffs (cache hits free)
+};
+
+/// One segment's master copy plus all its metadata.
+class SegmentStore {
+ public:
+  struct Options {
+    bool enable_diff_cache = true;
+    size_t diff_cache_entries = 16;
+    bool enable_last_block_prediction = true;
+    uint32_t subblock_units = kSubblockUnits;
+  };
+
+  SegmentStore(std::string name, Options options);
+  ~SegmentStore();
+
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  uint32_t version() const noexcept { return version_; }
+  uint32_t next_block_serial() const noexcept { return next_block_serial_; }
+  uint64_t block_count() const noexcept { return blocks_by_serial_.size(); }
+  /// Approximate current wire size of the segment's data (for Diff
+  /// coherence percentage tracking).
+  uint64_t total_data_bytes() const noexcept { return total_data_bytes_; }
+  const StoreStats& stats() const noexcept { return stats_; }
+
+  /// Registers a type graph (encoded by TypeCodec) and returns its
+  /// segment-scoped serial; identical graphs dedup to one serial.
+  uint32_t register_type(std::span<const uint8_t> graph);
+
+  uint32_t type_count() const noexcept {
+    return static_cast<uint32_t>(types_.size());
+  }
+  /// Encoded graph for a type serial (1-based), for forwarding to clients.
+  std::span<const uint8_t> type_graph(uint32_t serial) const;
+
+  /// Applies a client diff, advancing the segment one version. Returns the
+  /// new version. Throws Error(kProtocol) on malformed input and
+  /// Error(kState) when the diff's base version is not current.
+  uint32_t apply_diff(std::span<const uint8_t> diff_bytes);
+
+  /// Builds (or reuses from cache) a diff bringing a client at
+  /// `from_version` to the current version. Returns the bytes.
+  std::shared_ptr<const std::vector<uint8_t>> collect_diff(
+      uint32_t from_version);
+
+  /// Looks up a block; nullptr when absent.
+  const SvrBlock* find_block(uint32_t serial) const;
+  const SvrBlock* find_block_by_name(const std::string& name) const;
+
+  /// Iterates blocks in serial order (directory for space reservation).
+  template <typename F>
+  void for_each_block(F&& fn) const {
+    for (const SvrBlock* b = blocks_by_serial_.first(); b != nullptr;
+         b = blocks_by_serial_.next(*b)) {
+      fn(*b);
+    }
+  }
+
+  // --- checkpoint support (server/checkpoint.cpp) ---
+  /// Serializes the full store state (not a diff) into `out`.
+  void serialize(Buffer& out) const;
+  /// Reconstructs a store from serialize() output.
+  static std::unique_ptr<SegmentStore> deserialize(std::string name,
+                                                   Options options,
+                                                   BufReader& in);
+
+ private:
+  friend class ServerHooks;
+
+  struct SerialOf {
+    uint32_t operator()(const SvrBlock& b) const { return b.serial; }
+  };
+  struct MarkerVersionOf {
+    uint32_t operator()(const Marker& m) const { return m.version; }
+  };
+
+  const VarMap& var_map(const TypeDescriptor* type);
+  SvrBlock* create_block(uint32_t serial, uint32_t type_serial,
+                         std::string name, uint32_t at_version);
+  void destroy_block(SvrBlock* block, uint32_t at_version);
+  uint64_t block_bytes(const SvrBlock& block) const;
+  void append_block_update(DiffWriter& writer, SvrBlock& block,
+                           uint32_t from_version);
+  void cache_insert(uint32_t from_version, uint32_t to_version,
+                    std::shared_ptr<const std::vector<uint8_t>> bytes);
+
+  std::string name_;
+  Options options_;
+  uint32_t version_ = 1;
+  uint32_t next_block_serial_ = 1;
+  uint64_t total_data_bytes_ = 0;
+
+  TypeRegistry registry_{LayoutRules::packed_canonical()};
+  std::vector<const TypeDescriptor*> types_;          // serial-1 -> type
+  std::vector<std::vector<uint8_t>> type_graphs_;     // serial-1 -> encoding
+  std::map<std::string, uint32_t> type_serial_by_key_;
+  std::unordered_map<const TypeDescriptor*, VarMap> var_maps_;
+
+  AvlTree<SvrBlock, &SvrBlock::serial_hook, SerialOf> blocks_by_serial_;
+  IntrusiveList<VersionNode, &VersionNode::version_hook> version_list_;
+  AvlTree<Marker, &Marker::tree_hook, MarkerVersionOf> markers_;
+  std::deque<std::unique_ptr<Marker>> owned_markers_;
+  std::deque<std::unique_ptr<SvrBlock>> owned_blocks_;
+  std::vector<SvrBlock*> free_pool_;  // reusable destroyed blocks
+
+  std::vector<FreeRecord> free_history_;
+  std::deque<CachedDiff> diff_cache_;
+
+  StoreStats stats_;
+};
+
+}  // namespace iw::server

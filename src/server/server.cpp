@@ -1,0 +1,431 @@
+#include "server/server.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/logging.hpp"
+
+namespace iw::server {
+
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x49575345;  // "IWSE"
+
+/// Segment names become file names; escape path separators.
+std::string encode_file_name(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (c == '/' || c == '%' || c == '\\') {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%%%02X", static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out + ".iwseg";
+}
+
+}  // namespace
+
+SegmentServer::SegmentServer() : SegmentServer(Options{}) {}
+
+SegmentServer::SegmentServer(Options options) : options_(std::move(options)) {
+  if (!options_.checkpoint_dir.empty()) {
+    std::filesystem::create_directories(options_.checkpoint_dir);
+  }
+}
+
+SegmentServer::~SegmentServer() = default;
+
+void SegmentServer::on_connect(SessionId session, Notifier notify) {
+  std::lock_guard lock(mu_);
+  sessions_[session].notify = std::move(notify);
+}
+
+void SegmentServer::on_disconnect(SessionId session) {
+  std::lock_guard lock(mu_);
+  // Release any writer locks the departing client held.
+  for (auto& [name, entry] : segments_) {
+    if (entry.writer == session) {
+      IW_LOG(kWarn) << "session " << session
+                    << " disconnected holding write lock on " << name;
+      entry.writer = 0;
+    }
+  }
+  sessions_.erase(session);
+  writer_cv_.notify_all();
+}
+
+SegmentServer::SegmentEntry& SegmentServer::segment(const std::string& name,
+                                                    bool create) {
+  auto it = segments_.find(name);
+  if (it == segments_.end()) {
+    if (!create) {
+      throw Error(ErrorCode::kNotFound, "segment '" + name + "'");
+    }
+    SegmentEntry entry;
+    entry.store = std::make_unique<SegmentStore>(name, options_.store);
+    it = segments_.emplace(name, std::move(entry)).first;
+  }
+  return it->second;
+}
+
+SegmentServer::Session& SegmentServer::session_ref(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw Error(ErrorCode::kState, "unknown session");
+  }
+  return it->second;
+}
+
+bool SegmentServer::is_stale(SegmentEntry& entry, const SegmentSession& ss,
+                             uint32_t client_version,
+                             CoherencePolicy policy) const {
+  const uint32_t current = entry.store->version();
+  if (client_version >= current) return false;
+  // Version 0 means the client has no data at all (fresh open or address
+  // reservation); every model must fetch.
+  if (client_version == 0) return true;
+  switch (policy.model) {
+    case CoherenceModel::kFull:
+      return true;
+    case CoherenceModel::kDelta:
+      return current - client_version > policy.param;
+    case CoherenceModel::kTemporal:
+      // The client enforces the time bound locally and only asks when it
+      // has expired; an expired bound means it wants the current version.
+      return true;
+    case CoherenceModel::kDiff: {
+      uint64_t total = entry.store->total_data_bytes();
+      if (total == 0) return true;
+      return ss.modified_since_update * 100 > policy.param * total;
+    }
+  }
+  return true;
+}
+
+bool SegmentServer::append_update(SegmentEntry& entry, SegmentSession& ss,
+                                  uint32_t client_version,
+                                  CoherencePolicy policy, Buffer& payload) {
+  if (client_version > entry.store->version()) {
+    // The client is ahead of us — we recovered from an older checkpoint.
+    // Force a full resync: the from-0 diff enumerates every live block and
+    // the client sweeps the rest.
+    IW_LOG(kWarn) << "client ahead of segment " << entry.store->name()
+                  << " (v" << client_version << " > v"
+                  << entry.store->version() << "); full resync";
+    client_version = 0;
+    ss.types_sent = 0;
+  }
+  if (!is_stale(entry, ss, client_version, policy)) {
+    payload.append_u8(0);  // up to date
+    return false;
+  }
+  payload.append_u8(1);
+  // Ship type definitions the client has not seen yet.
+  SegmentStore& store = *entry.store;
+  uint32_t count = store.type_count();
+  payload.append_u32(count - ss.types_sent);
+  for (uint32_t serial = ss.types_sent + 1; serial <= count; ++serial) {
+    payload.append_u32(serial);
+    auto graph = store.type_graph(serial);
+    payload.append_u32(static_cast<uint32_t>(graph.size()));
+    payload.append(graph.data(), graph.size());
+  }
+  ss.types_sent = count;
+  auto diff = store.collect_diff(client_version);
+  payload.append(diff->data(), diff->size());
+  ss.modified_since_update = 0;
+  return true;
+}
+
+Frame SegmentServer::handle(SessionId session, const Frame& request) {
+  std::vector<PendingNotify> notifies;
+  Frame response;
+  {
+    std::unique_lock lock(mu_);
+    ++stats_.requests;
+    try {
+      response = dispatch(session, request, &notifies, lock);
+    } catch (const Error& e) {
+      response = make_error_frame(e);
+    } catch (const std::exception& e) {
+      response = make_error_frame(Error(ErrorCode::kInternal, e.what()));
+    }
+  }
+  // Notifications go out after the server lock is dropped so a notification
+  // handler that grabs client-side locks cannot deadlock against us.
+  for (PendingNotify& pn : notifies) {
+    pn.notify(pn.frame);
+  }
+  response.request_id = request.request_id;
+  return response;
+}
+
+Frame SegmentServer::dispatch(SessionId session, const Frame& request,
+                              std::vector<PendingNotify>* notifies,
+                              std::unique_lock<std::mutex>& lock) {
+  Frame resp;
+  Buffer payload;
+  BufReader in = request.reader();
+
+  switch (request.type) {
+    case MsgType::kPing: {
+      resp.type = MsgType::kPingResp;
+      break;
+    }
+
+    case MsgType::kOpenSegment: {
+      std::string name = in.read_lp_string();
+      bool create = in.read_u8() != 0;
+      SegmentEntry& entry = segment(name, create);
+      resp.type = MsgType::kOpenSegmentResp;
+      payload.append_u32(entry.store->version());
+      payload.append_u32(entry.store->next_block_serial());
+      break;
+    }
+
+    case MsgType::kRegisterType: {
+      std::string name = in.read_lp_string();
+      SegmentEntry& entry = segment(name, false);
+      auto graph = in.read_bytes(in.remaining());
+      uint32_t serial = entry.store->register_type(graph);
+      // The registering client now knows this serial; extend its known
+      // prefix when contiguous.
+      SegmentSession& ss = session_ref(session).segments[name];
+      if (serial == ss.types_sent + 1) ss.types_sent = serial;
+      resp.type = MsgType::kRegisterTypeResp;
+      payload.append_u32(serial);
+      break;
+    }
+
+    case MsgType::kAcquireRead: {
+      std::string name = in.read_lp_string();
+      uint32_t client_version = in.read_u32();
+      CoherencePolicy policy;
+      policy.model = static_cast<CoherenceModel>(in.read_u8());
+      policy.param = in.read_u64();
+      SegmentEntry& entry = segment(name, false);
+      SegmentSession& ss = session_ref(session).segments[name];
+      resp.type = MsgType::kAcquireReadResp;
+      if (append_update(entry, ss, client_version, policy, payload)) {
+        ++stats_.updates_sent;
+      } else {
+        ++stats_.uptodate_responses;
+      }
+      break;
+    }
+
+    case MsgType::kReleaseRead: {
+      in.read_lp_string();
+      resp.type = MsgType::kAck;
+      break;
+    }
+
+    case MsgType::kAcquireWrite: {
+      std::string name = in.read_lp_string();
+      uint32_t client_version = in.read_u32();
+      SegmentEntry* entry = &segment(name, false);
+      if (entry->writer == session) {
+        throw Error(ErrorCode::kState, "write lock already held");
+      }
+      writer_cv_.wait(lock, [&] {
+        // The entry reference stays valid: segments are never removed.
+        return entry->writer == 0;
+      });
+      entry->writer = session;
+      SegmentSession& ss = session_ref(session).segments[name];
+      resp.type = MsgType::kAcquireWriteResp;
+      payload.append_u32(entry->store->next_block_serial());
+      // A writer must start from the current version.
+      if (append_update(*entry, ss, client_version, CoherencePolicy::full(),
+                        payload)) {
+        ++stats_.updates_sent;
+      } else {
+        ++stats_.uptodate_responses;
+      }
+      break;
+    }
+
+    case MsgType::kReleaseWrite: {
+      std::string name = in.read_lp_string();
+      SegmentEntry& entry = segment(name, false);
+      if (entry.writer != session) {
+        throw Error(ErrorCode::kState, "releasing write lock not held");
+      }
+      auto diff_bytes = in.read_bytes(in.remaining());
+      uint32_t new_version;
+      try {
+        new_version = entry.store->apply_diff(diff_bytes);
+      } catch (...) {
+        // A malformed diff must not wedge the segment: drop the lock.
+        entry.writer = 0;
+        writer_cv_.notify_all();
+        throw;
+      }
+      entry.writer = 0;
+      writer_cv_.notify_all();
+
+      // Conservative Diff-coherence accounting and notifications.
+      for (auto& [sid, sess] : sessions_) {
+        auto it = sess.segments.find(name);
+        if (it == sess.segments.end()) continue;
+        if (sid == session) {
+          it->second.modified_since_update = 0;
+          continue;
+        }
+        it->second.modified_since_update += diff_bytes.size();
+        if (it->second.subscribed && sess.notify) {
+          Frame note;
+          note.type = MsgType::kNotifyVersion;
+          Buffer np;
+          np.append_lp_string(name);
+          np.append_u32(new_version);
+          note.payload = np.take();
+          notifies->push_back({sess.notify, std::move(note)});
+          ++stats_.notifications_sent;
+        }
+      }
+      // The writer itself is now current.
+      session_ref(session).segments[name].types_sent =
+          entry.store->type_count();
+
+      if (options_.checkpoint_every > 0 &&
+          ++entry.versions_since_checkpoint >= options_.checkpoint_every) {
+        checkpoint_segment_locked(entry);
+      }
+      resp.type = MsgType::kReleaseWriteResp;
+      payload.append_u32(new_version);
+      break;
+    }
+
+    case MsgType::kSegmentInfo: {
+      std::string name = in.read_lp_string();
+      SegmentEntry& entry = segment(name, false);
+      SegmentStore& store = *entry.store;
+      resp.type = MsgType::kSegmentInfoResp;
+      payload.append_u32(store.version());
+      uint32_t count = store.type_count();
+      payload.append_u32(count);
+      for (uint32_t serial = 1; serial <= count; ++serial) {
+        auto graph = store.type_graph(serial);
+        payload.append_u32(static_cast<uint32_t>(graph.size()));
+        payload.append(graph.data(), graph.size());
+      }
+      payload.append_u32(static_cast<uint32_t>(store.block_count()));
+      store.for_each_block([&](const SvrBlock& b) {
+        payload.append_u32(b.serial);
+        payload.append_u32(b.type_serial);
+        payload.append_lp_string(b.name);
+      });
+      // The directory lets a client reserve address space; it still fetches
+      // data with a from-version of 0, so mark the session as having seen
+      // all current types.
+      session_ref(session).segments[name].types_sent = count;
+      break;
+    }
+
+    case MsgType::kCloseSegment: {
+      std::string name = in.read_lp_string();
+      // The client dropped its cache: forget what we sent it (type-table
+      // prefix, subscription, coherence counters).
+      session_ref(session).segments.erase(name);
+      resp.type = MsgType::kAck;
+      break;
+    }
+
+    case MsgType::kSubscribe: {
+      std::string name = in.read_lp_string();
+      segment(name, false);  // validate
+      session_ref(session).segments[name].subscribed = true;
+      resp.type = MsgType::kAck;
+      break;
+    }
+
+    default:
+      throw Error(ErrorCode::kProtocol, "unexpected message type");
+  }
+
+  resp.payload = payload.take();
+  return resp;
+}
+
+void SegmentServer::checkpoint_segment_locked(SegmentEntry& entry) {
+  if (options_.checkpoint_dir.empty()) return;
+  Buffer out;
+  out.append_u32(kCheckpointMagic);
+  out.append_lp_string(entry.store->name());
+  entry.store->serialize(out);
+
+  namespace fs = std::filesystem;
+  fs::path dir(options_.checkpoint_dir);
+  fs::path final_path = dir / encode_file_name(entry.store->name());
+  fs::path tmp_path = final_path;
+  tmp_path += ".tmp";
+  {
+    std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!f) throw Error(ErrorCode::kIo, "cannot write " + tmp_path.string());
+    f.write(reinterpret_cast<const char*>(out.data()),
+            static_cast<std::streamsize>(out.size()));
+    if (!f) throw Error(ErrorCode::kIo, "short write " + tmp_path.string());
+  }
+  fs::rename(tmp_path, final_path);
+  entry.versions_since_checkpoint = 0;
+  ++stats_.checkpoints_written;
+}
+
+void SegmentServer::checkpoint() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, entry] : segments_) {
+    checkpoint_segment_locked(entry);
+  }
+}
+
+void SegmentServer::recover() {
+  if (options_.checkpoint_dir.empty()) return;
+  namespace fs = std::filesystem;
+  std::lock_guard lock(mu_);
+  for (const auto& dirent : fs::directory_iterator(options_.checkpoint_dir)) {
+    if (dirent.path().extension() != ".iwseg") continue;
+    std::ifstream f(dirent.path(), std::ios::binary);
+    if (!f) continue;
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                               std::istreambuf_iterator<char>());
+    BufReader in(bytes.data(), bytes.size());
+    if (in.read_u32() != kCheckpointMagic) {
+      IW_LOG(kWarn) << "skipping bad checkpoint " << dirent.path();
+      continue;
+    }
+    std::string name = in.read_lp_string();
+    SegmentEntry entry;
+    entry.store = SegmentStore::deserialize(name, options_.store, in);
+    segments_[name] = std::move(entry);
+    IW_LOG(kInfo) << "recovered segment " << name;
+  }
+}
+
+SegmentServer::Stats SegmentServer::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+StoreStats SegmentServer::segment_stats(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = segments_.find(name);
+  if (it == segments_.end()) {
+    throw Error(ErrorCode::kNotFound, "segment '" + name + "'");
+  }
+  return it->second.store->stats();
+}
+
+uint32_t SegmentServer::segment_version(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = segments_.find(name);
+  if (it == segments_.end()) {
+    throw Error(ErrorCode::kNotFound, "segment '" + name + "'");
+  }
+  return it->second.store->version();
+}
+
+}  // namespace iw::server

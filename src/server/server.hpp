@@ -1,0 +1,106 @@
+// SegmentServer: the transport-independent InterWeave server.
+//
+// One server manages an arbitrary number of segments (§3.2): it stores the
+// master copy of each in wire format (SegmentStore), mediates exclusive
+// writer locks, decides per-client whether a cached copy is "recent enough"
+// under the client's coherence model, ships type definitions and diffs,
+// pushes version notifications to subscribed clients, and periodically
+// checkpoints segments to disk as partial protection against failure.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "net/transport.hpp"
+#include "server/segment_store.hpp"
+#include "wire/coherence.hpp"
+
+namespace iw::server {
+
+class SegmentServer : public ServerCore {
+ public:
+  struct Options {
+    /// Directory for checkpoints; empty disables persistence.
+    std::string checkpoint_dir;
+    /// Checkpoint a segment every N versions (0 = only on demand).
+    uint32_t checkpoint_every = 0;
+    /// Store tuning (diff cache, prediction, subblock size).
+    SegmentStore::Options store;
+  };
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t updates_sent = 0;
+    uint64_t uptodate_responses = 0;
+    uint64_t notifications_sent = 0;
+    uint64_t checkpoints_written = 0;
+  };
+
+  SegmentServer();
+  explicit SegmentServer(Options options);
+  ~SegmentServer() override;
+
+  // --- ServerCore ---
+  void on_connect(SessionId session, Notifier notify) override;
+  void on_disconnect(SessionId session) override;
+  Frame handle(SessionId session, const Frame& request) override;
+
+  // --- administration ---
+  /// Writes every segment to the checkpoint directory (atomic per segment).
+  void checkpoint();
+  /// Loads all segments found in the checkpoint directory. Call before
+  /// serving; existing in-memory segments with the same name are replaced.
+  void recover();
+
+  Stats stats() const;
+  /// Store-level stats for one segment (throws kNotFound).
+  StoreStats segment_stats(const std::string& name) const;
+  /// Current version of a segment (throws kNotFound).
+  uint32_t segment_version(const std::string& name) const;
+
+ private:
+  struct SegmentSession {
+    uint32_t types_sent = 0;           // prefix of type serials known
+    uint64_t modified_since_update = 0;  // for Diff coherence
+    bool subscribed = false;
+  };
+  struct Session {
+    Notifier notify;
+    std::unordered_map<std::string, SegmentSession> segments;
+  };
+  struct SegmentEntry {
+    std::unique_ptr<SegmentStore> store;
+    SessionId writer = 0;  // 0 = unlocked
+    uint32_t versions_since_checkpoint = 0;
+  };
+  struct PendingNotify {
+    Notifier notify;
+    Frame frame;
+  };
+
+  Frame dispatch(SessionId session, const Frame& request,
+                 std::vector<PendingNotify>* notifies,
+                 std::unique_lock<std::mutex>& lock);
+  SegmentEntry& segment(const std::string& name, bool create);
+  Session& session_ref(SessionId id);
+  /// Appends status/type-table/diff to `payload` for a client at
+  /// `client_version` under `policy`; returns true when an update was sent.
+  bool append_update(SegmentEntry& entry, SegmentSession& ss,
+                     uint32_t client_version, CoherencePolicy policy,
+                     Buffer& payload);
+  bool is_stale(SegmentEntry& entry, const SegmentSession& ss,
+                uint32_t client_version, CoherencePolicy policy) const;
+  void checkpoint_segment_locked(SegmentEntry& entry);
+
+  mutable std::mutex mu_;
+  std::condition_variable writer_cv_;
+  Options options_;
+  std::unordered_map<std::string, SegmentEntry> segments_;
+  std::unordered_map<SessionId, Session> sessions_;
+  Stats stats_;
+};
+
+}  // namespace iw::server

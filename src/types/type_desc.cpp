@@ -1,0 +1,104 @@
+#include "types/type_desc.hpp"
+
+#include <algorithm>
+
+namespace iw {
+
+size_t TypeDescriptor::field_index_for_unit(uint64_t unit) const noexcept {
+  // Last field whose prim_offset <= unit.
+  auto it = std::upper_bound(
+      fields_.begin(), fields_.end(), unit,
+      [](uint64_t u, const Field& f) { return u < f.prim_offset; });
+  return static_cast<size_t>(it - fields_.begin()) - 1;
+}
+
+size_t TypeDescriptor::field_index_for_local(uint32_t offset) const noexcept {
+  auto it = std::upper_bound(
+      fields_.begin(), fields_.end(), offset,
+      [](uint32_t o, const Field& f) { return o < f.local_offset; });
+  size_t i = static_cast<size_t>(it - fields_.begin());
+  if (i == 0) return 0;
+  --i;
+  // `offset` may land in padding after field i; treat as the next field.
+  const Field& f = fields_[i];
+  if (offset >= f.local_offset + f.type->local_size() &&
+      i + 1 < fields_.size()) {
+    return i + 1;
+  }
+  return i;
+}
+
+PrimLocation TypeDescriptor::locate_prim(uint64_t unit) const {
+  if (unit >= prim_units_) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "primitive offset out of range for type");
+  }
+  const TypeDescriptor* t = this;
+  uint32_t local = 0;
+  for (;;) {
+    switch (t->kind_) {
+      case TypeKind::kPrimitive:
+      case TypeKind::kString:
+      case TypeKind::kPointer:
+        return {t->prim_, local, t->string_capacity_};
+      case TypeKind::kArray: {
+        uint64_t eu = t->element_->prim_units();
+        uint64_t e = unit / eu;
+        local += static_cast<uint32_t>(e * t->element_stride_);
+        unit -= e * eu;
+        t = t->element_;
+        break;
+      }
+      case TypeKind::kStruct: {
+        size_t i = t->field_index_for_unit(unit);
+        const Field& f = t->fields_[i];
+        local += f.local_offset;
+        unit -= f.prim_offset;
+        t = f.type;
+        break;
+      }
+    }
+  }
+}
+
+UnitAtOffset TypeDescriptor::unit_at_local_offset(uint32_t offset) const {
+  const TypeDescriptor* t = this;
+  uint64_t unit = 0;
+  uint32_t base = 0;
+  if (offset >= local_size_) offset = local_size_ ? local_size_ - 1 : 0;
+  for (;;) {
+    uint32_t rel = offset - base;
+    switch (t->kind_) {
+      case TypeKind::kPrimitive:
+      case TypeKind::kString:
+      case TypeKind::kPointer:
+        return {unit, base};
+      case TypeKind::kArray: {
+        uint64_t e = rel / t->element_stride_;
+        if (e >= t->count_) e = t->count_ - 1;
+        base += static_cast<uint32_t>(e * t->element_stride_);
+        unit += e * t->element_->prim_units();
+        // Tail padding of an element maps to its last unit; clamp below.
+        if (offset - base >= t->element_->local_size()) {
+          offset = base + t->element_->local_size() - 1;
+        }
+        t = t->element_;
+        break;
+      }
+      case TypeKind::kStruct: {
+        size_t i = t->field_index_for_local(rel);
+        const Field& f = t->fields_[i];
+        base += f.local_offset;
+        unit += f.prim_offset;
+        if (offset < base) offset = base;  // landed in inter-field padding
+        if (offset - base >= f.type->local_size()) {
+          offset = base + f.type->local_size() - 1;  // tail padding
+        }
+        t = f.type;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace iw

@@ -1,0 +1,452 @@
+// Intrusive AVL tree — the "balanced search trees" of the paper's metadata.
+//
+// InterWeave keeps each block in several trees at once (by serial number, by
+// name, by address) and each subsegment in a global address tree. An
+// intrusive design lets one heap object participate in all of them with zero
+// per-insert allocation: the object embeds one AvlHook per tree it belongs
+// to, and AvlTree is parameterized by which hook and which key to use.
+//
+// The tree supports find / lower_bound / insert(unique) / erase / in-order
+// iteration, all O(log n), with parent pointers so iteration needs no stack.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace iw {
+
+/// Embedded per-tree linkage. A struct participating in k trees embeds k
+/// hooks. Hooks are POD and must be zero-initialized (or left untouched)
+/// before insertion; after erase they may be reused.
+struct AvlHook {
+  AvlHook* parent = nullptr;
+  AvlHook* left = nullptr;
+  AvlHook* right = nullptr;
+  int8_t balance = 0;  // height(right) - height(left), in {-1, 0, +1}
+};
+
+/// Intrusive AVL tree of T ordered by KeyOf(T&) under Compare.
+///
+/// Template parameters:
+///   T       — element type
+///   HookPtr — pointer-to-member of the AvlHook inside T used by *this* tree
+///   KeyOf   — functor mapping const T& to the ordering key (by value or ref)
+///   Compare — strict weak order over keys (default: operator<)
+template <typename T, AvlHook T::* HookPtr, typename KeyOf,
+          typename Compare = void>
+class AvlTree {
+ public:
+  using Key = std::decay_t<decltype(KeyOf{}(std::declval<const T&>()))>;
+
+  AvlTree() = default;
+  AvlTree(const AvlTree&) = delete;
+  AvlTree& operator=(const AvlTree&) = delete;
+
+  bool empty() const noexcept { return root_ == nullptr; }
+  size_t size() const noexcept { return size_; }
+
+  /// Inserts `item` (by reference; the tree does not own it). Returns false
+  /// and leaves the tree unchanged if an equal key is already present.
+  bool insert(T& item) {
+    AvlHook* h = &(item.*HookPtr);
+    h->left = h->right = nullptr;
+    h->balance = 0;
+    if (root_ == nullptr) {
+      h->parent = nullptr;
+      root_ = h;
+      size_ = 1;
+      return true;
+    }
+    AvlHook* cur = root_;
+    const Key key = KeyOf{}(item);
+    for (;;) {
+      const Key cur_key = KeyOf{}(node_value(cur));
+      if (less(key, cur_key)) {
+        if (cur->left == nullptr) {
+          cur->left = h;
+          break;
+        }
+        cur = cur->left;
+      } else if (less(cur_key, key)) {
+        if (cur->right == nullptr) {
+          cur->right = h;
+          break;
+        }
+        cur = cur->right;
+      } else {
+        return false;  // duplicate key
+      }
+    }
+    h->parent = cur;
+    ++size_;
+    rebalance_after_insert(h);
+    return true;
+  }
+
+  /// Removes `item`, which must currently be in this tree.
+  void erase(T& item) noexcept {
+    AvlHook* h = &(item.*HookPtr);
+    remove_node(h);
+    --size_;
+    h->parent = h->left = h->right = nullptr;
+    h->balance = 0;
+  }
+
+  /// Exact-match lookup; nullptr when absent.
+  T* find(const Key& key) const noexcept {
+    AvlHook* cur = root_;
+    while (cur != nullptr) {
+      const Key cur_key = KeyOf{}(node_value(cur));
+      if (less(key, cur_key)) {
+        cur = cur->left;
+      } else if (less(cur_key, key)) {
+        cur = cur->right;
+      } else {
+        return &node_value(cur);
+      }
+    }
+    return nullptr;
+  }
+
+  /// First element whose key is >= `key`; nullptr when none.
+  T* lower_bound(const Key& key) const noexcept {
+    AvlHook* cur = root_;
+    AvlHook* best = nullptr;
+    while (cur != nullptr) {
+      if (less(KeyOf{}(node_value(cur)), key)) {
+        cur = cur->right;
+      } else {
+        best = cur;
+        cur = cur->left;
+      }
+    }
+    return best ? &node_value(best) : nullptr;
+  }
+
+  /// Last element whose key is <= `key`; nullptr when none. This is the
+  /// lookup used to map an address to the block/subsegment spanning it.
+  T* floor(const Key& key) const noexcept {
+    AvlHook* cur = root_;
+    AvlHook* best = nullptr;
+    while (cur != nullptr) {
+      if (less(key, KeyOf{}(node_value(cur)))) {
+        cur = cur->left;
+      } else {
+        best = cur;
+        cur = cur->right;
+      }
+    }
+    return best ? &node_value(best) : nullptr;
+  }
+
+  /// Smallest element; nullptr when empty.
+  T* first() const noexcept {
+    if (root_ == nullptr) return nullptr;
+    return &node_value(leftmost(root_));
+  }
+
+  /// Largest element; nullptr when empty.
+  T* last() const noexcept {
+    if (root_ == nullptr) return nullptr;
+    AvlHook* cur = root_;
+    while (cur->right != nullptr) cur = cur->right;
+    return &node_value(cur);
+  }
+
+  /// In-order successor of `item` (which must be in the tree); nullptr at end.
+  T* next(const T& item) const noexcept {
+    const AvlHook* h = &(const_cast<T&>(item).*HookPtr);
+    if (h->right != nullptr) return &node_value(leftmost(h->right));
+    const AvlHook* p = h->parent;
+    while (p != nullptr && p->right == h) {
+      h = p;
+      p = p->parent;
+    }
+    return p ? &node_value(const_cast<AvlHook*>(p)) : nullptr;
+  }
+
+  /// Detaches every node without visiting them (hooks left stale; callers
+  /// that reuse nodes must reinsert, which resets hooks).
+  void clear() noexcept {
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  /// Validates AVL invariants (ordering, balance factors, parent links).
+  /// Used by tests; throws Error(kInternal) on violation.
+  void check_invariants() const {
+    size_t count = 0;
+    check_subtree(root_, nullptr, &count);
+    check_internal(count == size_, "avl size mismatch");
+  }
+
+ private:
+  static bool less(const Key& a, const Key& b) noexcept {
+    if constexpr (std::is_void_v<Compare>) {
+      return a < b;
+    } else {
+      return Compare{}(a, b);
+    }
+  }
+
+  static T& node_value(const AvlHook* h) noexcept {
+    // Recover the enclosing T from the embedded hook address.
+    const T* probe = nullptr;
+    auto offset = reinterpret_cast<uintptr_t>(&(probe->*HookPtr));
+    return *reinterpret_cast<T*>(
+        reinterpret_cast<uintptr_t>(const_cast<AvlHook*>(h)) - offset);
+  }
+
+  static AvlHook* leftmost(const AvlHook* h) noexcept {
+    while (h->left != nullptr) h = h->left;
+    return const_cast<AvlHook*>(h);
+  }
+
+  void replace_child(AvlHook* parent, AvlHook* old_child,
+                     AvlHook* new_child) noexcept {
+    if (parent == nullptr) {
+      root_ = new_child;
+    } else if (parent->left == old_child) {
+      parent->left = new_child;
+    } else {
+      parent->right = new_child;
+    }
+    if (new_child != nullptr) new_child->parent = parent;
+  }
+
+  // Rotations return the new subtree root; balance factors updated per the
+  // standard AVL cases.
+  AvlHook* rotate_left(AvlHook* x) noexcept {
+    AvlHook* z = x->right;
+    replace_child(x->parent, x, z);
+    x->right = z->left;
+    if (z->left != nullptr) z->left->parent = x;
+    z->left = x;
+    x->parent = z;
+    if (z->balance == 0) {  // only during deletion
+      x->balance = 1;
+      z->balance = -1;
+    } else {
+      x->balance = 0;
+      z->balance = 0;
+    }
+    return z;
+  }
+
+  AvlHook* rotate_right(AvlHook* x) noexcept {
+    AvlHook* z = x->left;
+    replace_child(x->parent, x, z);
+    x->left = z->right;
+    if (z->right != nullptr) z->right->parent = x;
+    z->right = x;
+    x->parent = z;
+    if (z->balance == 0) {  // only during deletion
+      x->balance = -1;
+      z->balance = 1;
+    } else {
+      x->balance = 0;
+      z->balance = 0;
+    }
+    return z;
+  }
+
+  AvlHook* rotate_right_left(AvlHook* x) noexcept {
+    AvlHook* z = x->right;
+    AvlHook* y = z->left;
+    int8_t yb = y->balance;
+    // First rotate z right, then x left.
+    z->left = y->right;
+    if (y->right != nullptr) y->right->parent = z;
+    y->right = z;
+    z->parent = y;
+    replace_child(x->parent, x, y);
+    x->right = y->left;
+    if (y->left != nullptr) y->left->parent = x;
+    y->left = x;
+    x->parent = y;
+    x->balance = (yb > 0) ? -1 : 0;
+    z->balance = (yb < 0) ? 1 : 0;
+    y->balance = 0;
+    return y;
+  }
+
+  AvlHook* rotate_left_right(AvlHook* x) noexcept {
+    AvlHook* z = x->left;
+    AvlHook* y = z->right;
+    int8_t yb = y->balance;
+    z->right = y->left;
+    if (y->left != nullptr) y->left->parent = z;
+    y->left = z;
+    z->parent = y;
+    replace_child(x->parent, x, y);
+    x->left = y->right;
+    if (y->right != nullptr) y->right->parent = x;
+    y->right = x;
+    x->parent = y;
+    x->balance = (yb < 0) ? 1 : 0;
+    z->balance = (yb > 0) ? -1 : 0;
+    y->balance = 0;
+    return y;
+  }
+
+  void rebalance_after_insert(AvlHook* child) noexcept {
+    AvlHook* node = child->parent;
+    for (; node != nullptr; node = child->parent) {
+      if (node->right == child) {
+        if (node->balance > 0) {
+          if (child->balance < 0) {
+            rotate_right_left(node);
+          } else {
+            rotate_left(node);
+          }
+          return;
+        }
+        if (node->balance < 0) {
+          node->balance = 0;
+          return;
+        }
+        node->balance = 1;
+      } else {
+        if (node->balance < 0) {
+          if (child->balance > 0) {
+            rotate_left_right(node);
+          } else {
+            rotate_right(node);
+          }
+          return;
+        }
+        if (node->balance > 0) {
+          node->balance = 0;
+          return;
+        }
+        node->balance = -1;
+      }
+      child = node;
+    }
+  }
+
+  void remove_node(AvlHook* h) noexcept {
+    if (h->left != nullptr && h->right != nullptr) {
+      // Swap h with its in-order successor so h has <= 1 child, preserving
+      // intrusive identity (we move links, not payloads).
+      AvlHook* succ = leftmost(h->right);
+      swap_nodes(h, succ);
+    }
+    AvlHook* child = (h->left != nullptr) ? h->left : h->right;
+    AvlHook* parent = h->parent;
+    bool was_left = (parent != nullptr && parent->left == h);
+    replace_child(parent, h, child);
+    if (parent != nullptr) {
+      rebalance_after_erase(parent, was_left);
+    }
+  }
+
+  // Exchanges the tree positions of `a` and its successor `b` (b is in a's
+  // right subtree and has no left child).
+  void swap_nodes(AvlHook* a, AvlHook* b) noexcept {
+    std::swap(a->balance, b->balance);
+    AvlHook* a_left = a->left;
+    AvlHook* a_parent = a->parent;
+    if (b->parent == a) {
+      // b is a's direct right child.
+      replace_child(a_parent, a, b);
+      b->left = a_left;
+      if (a_left) a_left->parent = b;
+      a->right = b->right;
+      if (a->right) a->right->parent = a;
+      b->right = a;
+      a->parent = b;
+      a->left = nullptr;
+    } else {
+      AvlHook* b_parent = b->parent;
+      AvlHook* b_right = b->right;
+      AvlHook* a_right = a->right;
+      replace_child(a_parent, a, b);
+      b->left = a_left;
+      if (a_left) a_left->parent = b;
+      b->right = a_right;
+      if (a_right) a_right->parent = b;
+      b_parent->left = a;
+      a->parent = b_parent;
+      a->right = b_right;
+      if (b_right) b_right->parent = a;
+      a->left = nullptr;
+    }
+  }
+
+  void rebalance_after_erase(AvlHook* node, bool removed_left) noexcept {
+    for (;;) {
+      AvlHook* parent = node->parent;
+      bool node_was_left = (parent != nullptr && parent->left == node);
+      int8_t b;
+      if (removed_left) {
+        if (node->balance > 0) {
+          AvlHook* sibling = node->right;
+          int8_t sb = sibling->balance;
+          if (sb < 0) {
+            node = rotate_right_left(node);
+          } else {
+            node = rotate_left(node);
+          }
+          if (sb == 0) return;  // height unchanged
+        } else if (node->balance == 0) {
+          node->balance = 1;
+          return;
+        } else {
+          node->balance = 0;
+          // height shrank; continue up
+        }
+      } else {
+        if (node->balance < 0) {
+          AvlHook* sibling = node->left;
+          int8_t sb = sibling->balance;
+          if (sb > 0) {
+            node = rotate_left_right(node);
+          } else {
+            node = rotate_right(node);
+          }
+          if (sb == 0) return;
+        } else if (node->balance == 0) {
+          node->balance = -1;
+          return;
+        } else {
+          node->balance = 0;
+        }
+      }
+      b = node->balance;
+      (void)b;
+      if (parent == nullptr) return;
+      node = parent;
+      removed_left = node_was_left;
+    }
+  }
+
+  int check_subtree(const AvlHook* h, const AvlHook* parent,
+                    size_t* count) const {
+    if (h == nullptr) return 0;
+    check_internal(h->parent == parent, "avl parent link broken");
+    ++*count;
+    int lh = check_subtree(h->left, h, count);
+    int rh = check_subtree(h->right, h, count);
+    check_internal(h->balance == rh - lh, "avl balance factor wrong");
+    check_internal(h->balance >= -1 && h->balance <= 1, "avl unbalanced");
+    if (h->left != nullptr) {
+      check_internal(
+          less(KeyOf{}(node_value(h->left)), KeyOf{}(node_value(h))),
+          "avl order violated (left)");
+    }
+    if (h->right != nullptr) {
+      check_internal(
+          less(KeyOf{}(node_value(h)), KeyOf{}(node_value(h->right))),
+          "avl order violated (right)");
+    }
+    return 1 + std::max(lh, rh);
+  }
+
+  AvlHook* root_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace iw

@@ -1,0 +1,83 @@
+// Byte-order primitives for the canonical (big-endian) wire format.
+//
+// All wire encoding in InterWeave goes through these helpers, so the rest of
+// the code can be written in terms of "canonical bytes" without caring about
+// the host architecture. The helpers are branch-free on little-endian hosts
+// (the common case) via __builtin_bswap.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace iw {
+
+inline constexpr bool kHostLittleEndian =
+    std::endian::native == std::endian::little;
+
+inline uint16_t byteswap16(uint16_t v) noexcept { return __builtin_bswap16(v); }
+inline uint32_t byteswap32(uint32_t v) noexcept { return __builtin_bswap32(v); }
+inline uint64_t byteswap64(uint64_t v) noexcept { return __builtin_bswap64(v); }
+
+/// Converts a host-order integer to big-endian (wire) order.
+inline uint16_t host_to_be16(uint16_t v) noexcept {
+  return kHostLittleEndian ? byteswap16(v) : v;
+}
+inline uint32_t host_to_be32(uint32_t v) noexcept {
+  return kHostLittleEndian ? byteswap32(v) : v;
+}
+inline uint64_t host_to_be64(uint64_t v) noexcept {
+  return kHostLittleEndian ? byteswap64(v) : v;
+}
+
+/// Converts a big-endian (wire) integer to host order.
+inline uint16_t be16_to_host(uint16_t v) noexcept { return host_to_be16(v); }
+inline uint32_t be32_to_host(uint32_t v) noexcept { return host_to_be32(v); }
+inline uint64_t be64_to_host(uint64_t v) noexcept { return host_to_be64(v); }
+
+/// Stores `v` at `p` in big-endian order. `p` need not be aligned.
+inline void store_be16(void* p, uint16_t v) noexcept {
+  v = host_to_be16(v);
+  std::memcpy(p, &v, sizeof v);
+}
+inline void store_be32(void* p, uint32_t v) noexcept {
+  v = host_to_be32(v);
+  std::memcpy(p, &v, sizeof v);
+}
+inline void store_be64(void* p, uint64_t v) noexcept {
+  v = host_to_be64(v);
+  std::memcpy(p, &v, sizeof v);
+}
+
+/// Loads a big-endian value from `p`. `p` need not be aligned.
+inline uint16_t load_be16(const void* p) noexcept {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof v);
+  return be16_to_host(v);
+}
+inline uint32_t load_be32(const void* p) noexcept {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return be32_to_host(v);
+}
+inline uint64_t load_be64(const void* p) noexcept {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return be64_to_host(v);
+}
+
+/// Floating-point values travel as their IEEE-754 bit patterns.
+inline void store_be_float(void* p, float v) noexcept {
+  store_be32(p, std::bit_cast<uint32_t>(v));
+}
+inline void store_be_double(void* p, double v) noexcept {
+  store_be64(p, std::bit_cast<uint64_t>(v));
+}
+inline float load_be_float(const void* p) noexcept {
+  return std::bit_cast<float>(load_be32(p));
+}
+inline double load_be_double(const void* p) noexcept {
+  return std::bit_cast<double>(load_be64(p));
+}
+
+}  // namespace iw

@@ -1,0 +1,26 @@
+#include "util/error.hpp"
+
+#include <cerrno>
+
+namespace iw {
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kAlreadyExists: return "AlreadyExists";
+    case ErrorCode::kProtocol: return "Protocol";
+    case ErrorCode::kIo: return "Io";
+    case ErrorCode::kState: return "State";
+    case ErrorCode::kUnimplemented: return "Unimplemented";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+void throw_errno(const std::string& context) {
+  int err = errno;
+  throw Error(ErrorCode::kIo, context + ": " + std::strerror(err));
+}
+
+}  // namespace iw

@@ -1,0 +1,51 @@
+// Error model for the InterWeave library.
+//
+// Exceptional conditions (protocol violations, I/O failures, type errors)
+// throw iw::Error, which carries a category so callers can dispatch without
+// string matching. Lookup-style APIs that can legitimately miss return
+// optional/pointer instead of throwing.
+#pragma once
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace iw {
+
+/// Broad classification of an error, used programmatically by callers.
+enum class ErrorCode {
+  kInvalidArgument,  ///< caller passed something malformed
+  kNotFound,         ///< named entity (segment, block, type) does not exist
+  kAlreadyExists,    ///< creation collided with an existing entity
+  kProtocol,         ///< malformed or unexpected wire message
+  kIo,               ///< OS-level I/O failure (errno preserved in message)
+  kState,            ///< operation invalid in the current state (e.g. no lock)
+  kUnimplemented,    ///< feature intentionally absent
+  kInternal,         ///< invariant violation inside the library
+};
+
+/// Human-readable name of an ErrorCode ("NotFound", "Io", ...).
+const char* error_code_name(ErrorCode code) noexcept;
+
+/// Exception thrown by InterWeave components on failure.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(error_code_name(code)) + ": " + message),
+        code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Throws Error(kIo) carrying the current errno and a context string.
+[[noreturn]] void throw_errno(const std::string& context);
+
+/// Internal invariant check; throws Error(kInternal) when `cond` is false.
+inline void check_internal(bool cond, const char* what) {
+  if (!cond) throw Error(ErrorCode::kInternal, what);
+}
+
+}  // namespace iw

@@ -1,0 +1,123 @@
+// Intrusive doubly-linked list with O(1) splice/unlink.
+//
+// The server keeps every block of a segment on a version-ordered list
+// (blk_version_list) and moves blocks to the tail whenever they are
+// modified; markers segment the list by version. Both blocks and markers
+// embed a ListHook, so moving a node is pointer surgery with no allocation.
+#pragma once
+
+#include <cstddef>
+
+#include "util/error.hpp"
+
+namespace iw {
+
+struct ListHook {
+  ListHook* prev = nullptr;
+  ListHook* next = nullptr;
+  bool linked() const noexcept { return prev != nullptr; }
+};
+
+/// Intrusive list of T via an embedded ListHook member.
+template <typename T, ListHook T::* HookPtr>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    head_.prev = &head_;
+    head_.next = &head_;
+  }
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const noexcept { return head_.next == &head_; }
+  size_t size() const noexcept { return size_; }
+
+  void push_back(T& item) noexcept {
+    ListHook* h = hook(item);
+    check_link(h);
+    h->prev = head_.prev;
+    h->next = &head_;
+    head_.prev->next = h;
+    head_.prev = h;
+    ++size_;
+  }
+
+  void push_front(T& item) noexcept {
+    ListHook* h = hook(item);
+    check_link(h);
+    h->next = head_.next;
+    h->prev = &head_;
+    head_.next->prev = h;
+    head_.next = h;
+    ++size_;
+  }
+
+  /// Inserts `item` immediately after `pos` (pos must be linked here).
+  void insert_after(T& pos, T& item) noexcept {
+    ListHook* p = hook(pos);
+    ListHook* h = hook(item);
+    check_link(h);
+    h->prev = p;
+    h->next = p->next;
+    p->next->prev = h;
+    p->next = h;
+    ++size_;
+  }
+
+  void erase(T& item) noexcept {
+    ListHook* h = hook(item);
+    h->prev->next = h->next;
+    h->next->prev = h->prev;
+    h->prev = h->next = nullptr;
+    --size_;
+  }
+
+  /// Unlinks `item` and re-appends it at the tail (the server's
+  /// "block was modified, move to end of version list" operation).
+  void move_to_back(T& item) noexcept {
+    erase(item);
+    push_back(item);
+  }
+
+  T* front() const noexcept {
+    return empty() ? nullptr : &value(head_.next);
+  }
+  T* back() const noexcept {
+    return empty() ? nullptr : &value(head_.prev);
+  }
+  T* next(const T& item) const noexcept {
+    ListHook* h = hook(const_cast<T&>(item));
+    return h->next == &head_ ? nullptr : &value(h->next);
+  }
+  T* prev(const T& item) const noexcept {
+    ListHook* h = hook(const_cast<T&>(item));
+    return h->prev == &head_ ? nullptr : &value(h->prev);
+  }
+
+  void clear() noexcept {
+    ListHook* h = head_.next;
+    while (h != &head_) {
+      ListHook* n = h->next;
+      h->prev = h->next = nullptr;
+      h = n;
+    }
+    head_.prev = head_.next = &head_;
+    size_ = 0;
+  }
+
+ private:
+  static ListHook* hook(T& item) noexcept { return &(item.*HookPtr); }
+  static T& value(ListHook* h) noexcept {
+    const T* probe = nullptr;
+    auto offset = reinterpret_cast<uintptr_t>(&(probe->*HookPtr));
+    return *reinterpret_cast<T*>(reinterpret_cast<uintptr_t>(h) - offset);
+  }
+  static void check_link(ListHook* h) noexcept {
+    check_internal(!h->linked(), "node already linked");
+  }
+
+  ListHook head_;
+  size_t size_ = 0;
+};
+
+}  // namespace iw

@@ -1,0 +1,41 @@
+// Minimal leveled logger.
+//
+// InterWeave components log protocol and coherence events at kDebug and
+// unusual-but-handled conditions at kWarn. The level is a process-wide
+// atomic so benchmarks can silence logging without synchronization cost on
+// the fast path (a single relaxed load).
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace iw {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that is emitted. Default: kWarn.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one formatted line to stderr (thread-safe, single write call).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+struct LogStream {
+  LogLevel level;
+  std::ostringstream os;
+  ~LogStream() { log_line(level, os.str()); }
+};
+inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+}  // namespace detail
+
+}  // namespace iw
+
+#define IW_LOG(level)                                     \
+  if (!::iw::detail::log_enabled(::iw::LogLevel::level)) \
+    ;                                                     \
+  else                                                    \
+    ::iw::detail::LogStream{::iw::LogLevel::level, {}}.os

@@ -1,0 +1,54 @@
+// Deterministic pseudo-random generator for workload synthesis.
+//
+// The benchmark harness and the Quest-like database generator must produce
+// identical workloads across runs so that paper-shape comparisons are
+// stable; SplitMix64 is tiny, fast, and fully reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace iw {
+
+/// SplitMix64 PRNG. Satisfies UniformRandomBitGenerator.
+class SplitMix64 {
+ public:
+  using result_type = uint64_t;
+  explicit SplitMix64(uint64_t seed) noexcept : state_(seed) {}
+
+  static constexpr uint64_t min() noexcept { return 0; }
+  static constexpr uint64_t max() noexcept { return ~0ULL; }
+
+  uint64_t operator()() noexcept {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t below(uint64_t bound) noexcept { return (*this)() % bound; }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Geometric-ish positive integer with the given mean (>= 1).
+  uint64_t poissonish(double mean) noexcept {
+    // Simple inverse-CDF geometric approximation; adequate for workload
+    // shaping (the paper only reports averages).
+    double u = uniform();
+    uint64_t v = 1;
+    double p = 1.0 / mean;
+    while (u > p && v < 64) {
+      u -= p * (1.0 - p);
+      ++v;
+    }
+    return v;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace iw

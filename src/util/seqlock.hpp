@@ -1,0 +1,45 @@
+// Seqlock protecting data read from a signal handler.
+//
+// The SIGSEGV handler that implements twin creation must map a fault address
+// to its subsegment without taking a mutex (a handler that blocks on a lock
+// held by the interrupted thread deadlocks). Writers — who run in normal
+// context — bump the sequence to odd, mutate, bump to even; the handler
+// retries its read until it observes a stable even sequence.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace iw {
+
+class SeqLock {
+ public:
+  /// Begins a read-side critical section; returns the sequence observed.
+  uint32_t read_begin() const noexcept {
+    for (;;) {
+      uint32_t s = seq_.load(std::memory_order_acquire);
+      if ((s & 1u) == 0) return s;
+      // writer in progress; spin
+    }
+  }
+
+  /// Returns true when the section that started at `seq` saw a stable view.
+  bool read_retry(uint32_t seq) const noexcept {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return seq_.load(std::memory_order_relaxed) != seq;
+  }
+
+  void write_begin() noexcept {
+    seq_.fetch_add(1, std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+
+  void write_end() noexcept {
+    seq_.fetch_add(1, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<uint32_t> seq_{0};
+};
+
+}  // namespace iw

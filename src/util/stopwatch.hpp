@@ -1,0 +1,31 @@
+// Monotonic timing helper used by the coherence layer (Temporal coherence
+// needs a real-time stamp per cached segment) and by the benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace iw {
+
+/// Monotonic nanosecond clock reading.
+inline int64_t monotonic_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Simple restartable stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(monotonic_ns()) {}
+  void restart() noexcept { start_ = monotonic_ns(); }
+  int64_t elapsed_ns() const noexcept { return monotonic_ns() - start_; }
+  double elapsed_seconds() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace iw

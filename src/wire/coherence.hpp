@@ -1,0 +1,45 @@
+// Relaxed coherence models (paper §3.2), shared by client and server.
+//
+// A reader chooses how stale its cached copy of a segment may be:
+//   Full        — must match the server's current version.
+//   Delta(x)    — at most x versions out of date.
+//   Temporal(x) — at most x milliseconds out of date (enforced client-side
+//                 with a per-segment real-time stamp; when the bound
+//                 expires the client asks for the current version).
+//   Diff(x)     — at most x percent of the segment's data out of date. The
+//                 server tracks, per client, a conservative counter of
+//                 bytes modified since the last update it sent (it assumes
+//                 all updates touch independent data, per the paper).
+#pragma once
+
+#include <cstdint>
+
+namespace iw {
+
+enum class CoherenceModel : uint8_t {
+  kFull = 0,
+  kDelta = 1,
+  kTemporal = 2,
+  kDiff = 3,
+};
+
+/// Coherence policy a client attaches to a segment: the model plus its
+/// parameter x (versions for Delta, milliseconds for Temporal, percent for
+/// Diff; ignored for Full).
+struct CoherencePolicy {
+  CoherenceModel model = CoherenceModel::kFull;
+  uint64_t param = 0;
+
+  static CoherencePolicy full() { return {CoherenceModel::kFull, 0}; }
+  static CoherencePolicy delta(uint64_t versions) {
+    return {CoherenceModel::kDelta, versions};
+  }
+  static CoherencePolicy temporal(uint64_t ms) {
+    return {CoherenceModel::kTemporal, ms};
+  }
+  static CoherencePolicy diff(uint64_t percent) {
+    return {CoherenceModel::kDiff, percent};
+  }
+};
+
+}  // namespace iw

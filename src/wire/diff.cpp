@@ -1,0 +1,89 @@
+#include "wire/diff.hpp"
+
+namespace iw {
+
+DiffWriter::DiffWriter(Buffer& out, uint32_t from_version, uint32_t to_version)
+    : out_(out), start_offset_(out.size()) {
+  out_.append_u32(from_version);
+  out_.append_u32(to_version);
+  count_offset_ = out_.append_placeholder_u32();
+}
+
+void DiffWriter::add_free(uint32_t serial) {
+  check_internal(!in_block_ && !finished_, "add_free inside block");
+  out_.append_u32(serial);
+  out_.append_u8(diff_flags::kFree);
+  ++entries_;
+}
+
+void DiffWriter::begin_block(uint32_t serial, uint8_t flags,
+                             uint32_t type_serial, std::string_view name) {
+  check_internal(!in_block_ && !finished_, "begin_block while block open");
+  check_internal((flags & diff_flags::kFree) == 0, "use add_free for frees");
+  out_.append_u32(serial);
+  out_.append_u8(flags);
+  if (flags & diff_flags::kNew) {
+    out_.append_u32(type_serial);
+    out_.append_lp_string(name);
+  }
+  block_len_offset_ = out_.append_placeholder_u32();
+  block_data_start_ = out_.size();
+  in_block_ = true;
+  ++entries_;
+}
+
+void DiffWriter::begin_run(uint32_t start_unit, uint32_t unit_count) {
+  check_internal(in_block_, "begin_run outside block");
+  out_.append_u32(start_unit);
+  out_.append_u32(unit_count);
+}
+
+void DiffWriter::end_block() {
+  check_internal(in_block_, "end_block without begin_block");
+  out_.patch_u32(block_len_offset_,
+                 static_cast<uint32_t>(out_.size() - block_data_start_));
+  in_block_ = false;
+}
+
+uint64_t DiffWriter::finish() {
+  check_internal(!in_block_ && !finished_, "finish with open block");
+  out_.patch_u32(count_offset_, entries_);
+  finished_ = true;
+  return out_.size() - start_offset_;
+}
+
+DiffReader::DiffReader(BufReader& in) : in_(in) {
+  from_version_ = in_.read_u32();
+  to_version_ = in_.read_u32();
+  entry_count_ = in_.read_u32();
+}
+
+bool DiffReader::next(DiffEntry* entry) {
+  if (consumed_ == entry_count_) return false;
+  ++consumed_;
+  entry->serial = in_.read_u32();
+  entry->flags = in_.read_u8();
+  entry->type_serial = 0;
+  entry->name.clear();
+  if (entry->flags & diff_flags::kFree) {
+    entry->runs = BufReader(nullptr, 0);
+    return true;
+  }
+  if (entry->flags & diff_flags::kNew) {
+    entry->type_serial = in_.read_u32();
+    entry->name = in_.read_lp_string();
+  }
+  uint32_t diff_bytes = in_.read_u32();
+  auto section = in_.read_bytes(diff_bytes);
+  entry->runs = BufReader(section.data(), section.size());
+  return true;
+}
+
+DiffRun DiffReader::read_run(BufReader& runs) {
+  DiffRun run;
+  run.start_unit = runs.read_u32();
+  run.unit_count = runs.read_u32();
+  return run;
+}
+
+}  // namespace iw

@@ -1,0 +1,113 @@
+// Machine-independent segment diffs — the paper's central wire artifact.
+//
+// A segment diff describes how a segment changed between two versions as a
+// sequence of block entries. Each entry is either a freed block, a newly
+// created block (carrying its type serial and optional symbolic name,
+// followed by its full contents as one run), or a modified block carrying
+// run-length-encoded changes. Runs address *primitive data units*, never
+// bytes, so a diff collected on one architecture applies on any other.
+//
+// Entry layout (all integers big-endian):
+//   u32 serial
+//   u8  flags (kNew | kFree | kWhole)
+//   [kNew]  u32 type_serial, lp name
+//   [!kFree] u32 diff_bytes            -- paper's "block diff length"
+//            runs, diff_bytes long:
+//              u32 start_unit, u32 unit_count, unit data (wire format)
+//
+// DiffWriter streams entries into a Buffer (patching lengths); DiffReader
+// re-walks them. Translation of unit data is done by the caller via
+// encode_units/decode_units so the same format serves client and server.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/buffer.hpp"
+
+namespace iw {
+
+namespace diff_flags {
+inline constexpr uint8_t kNew = 1;    ///< block created in this diff
+inline constexpr uint8_t kFree = 2;   ///< block deleted in this diff
+inline constexpr uint8_t kWhole = 4;  ///< runs cover the entire block
+}  // namespace diff_flags
+
+/// Streaming writer for one segment diff.
+class DiffWriter {
+ public:
+  /// Writes the diff header. The diff describes (from_version, to_version].
+  DiffWriter(Buffer& out, uint32_t from_version, uint32_t to_version);
+
+  /// Appends a freed-block entry.
+  void add_free(uint32_t serial);
+
+  /// Opens a block entry; runs follow until end_block().
+  void begin_block(uint32_t serial, uint8_t flags, uint32_t type_serial = 0,
+                   std::string_view name = {});
+
+  /// Opens one run; the caller must then append exactly the wire encoding of
+  /// `unit_count` units (via encode_units) to buffer().
+  void begin_run(uint32_t start_unit, uint32_t unit_count);
+
+  /// Buffer run data is appended to.
+  Buffer& buffer() noexcept { return out_; }
+
+  /// Closes the current block entry, patching its diff_bytes.
+  void end_block();
+
+  /// Closes the diff, patching the entry count. Returns total encoded bytes
+  /// of the diff (for bandwidth accounting).
+  uint64_t finish();
+
+ private:
+  Buffer& out_;
+  size_t start_offset_;
+  size_t count_offset_;
+  size_t block_len_offset_ = 0;
+  size_t block_data_start_ = 0;
+  uint32_t entries_ = 0;
+  bool in_block_ = false;
+  bool finished_ = false;
+};
+
+/// One parsed diff entry header. For data-carrying entries, `runs` is
+/// positioned at the first run and spans exactly the entry's run section.
+struct DiffEntry {
+  uint32_t serial = 0;
+  uint8_t flags = 0;
+  uint32_t type_serial = 0;  ///< valid when kNew
+  std::string name;          ///< valid when kNew
+  BufReader runs{nullptr, 0};
+};
+
+/// One run header inside an entry's run section.
+struct DiffRun {
+  uint32_t start_unit;
+  uint32_t unit_count;
+};
+
+/// Sequential reader over a segment diff.
+class DiffReader {
+ public:
+  explicit DiffReader(BufReader& in);
+
+  uint32_t from_version() const noexcept { return from_version_; }
+  uint32_t to_version() const noexcept { return to_version_; }
+  uint32_t entry_count() const noexcept { return entry_count_; }
+
+  /// Reads the next entry; returns false when the diff is exhausted.
+  bool next(DiffEntry* entry);
+
+  /// Reads one run header from an entry's run section.
+  static DiffRun read_run(BufReader& runs);
+
+ private:
+  BufReader& in_;
+  uint32_t from_version_;
+  uint32_t to_version_;
+  uint32_t entry_count_;
+  uint32_t consumed_ = 0;
+};
+
+}  // namespace iw

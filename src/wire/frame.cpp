@@ -1,0 +1,23 @@
+#include "wire/frame.hpp"
+
+namespace iw {
+
+void encode_frame(const Frame& frame, Buffer& out) {
+  out.append_u8(static_cast<uint8_t>(frame.type));
+  out.append_u32(frame.request_id);
+  out.append_u32(static_cast<uint32_t>(frame.payload.size()));
+  out.append(frame.payload.data(), frame.payload.size());
+}
+
+FrameHeader decode_frame_header(const uint8_t* header_bytes) {
+  FrameHeader h;
+  h.type = static_cast<MsgType>(header_bytes[0]);
+  h.request_id = load_be32(header_bytes + 1);
+  h.payload_size = load_be32(header_bytes + 5);
+  if (h.payload_size > kMaxFramePayload) {
+    throw Error(ErrorCode::kProtocol, "frame payload too large");
+  }
+  return h;
+}
+
+}  // namespace iw

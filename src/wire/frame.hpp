@@ -1,0 +1,73 @@
+// Protocol frames exchanged between InterWeave clients and servers.
+//
+// Every message is one frame: a fixed header (type, request id, payload
+// length) followed by an opaque payload whose layout depends on the type.
+// Request/response pairs share a request id; notifications pushed by the
+// server use request id 0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/buffer.hpp"
+
+namespace iw {
+
+enum class MsgType : uint8_t {
+  kError = 0,            ///< response: lp error-code name, lp message
+  kOpenSegment = 1,      ///< lp segment name, u8 create_if_missing
+  kOpenSegmentResp = 2,  ///< u32 version, u32 next_block_serial
+  kRegisterType = 3,     ///< lp segment name, type graph
+  kRegisterTypeResp = 4, ///< u32 type serial (segment-scoped)
+  kAcquireRead = 5,      ///< lp segment, u32 cached version, u8 model, u64 param
+  kAcquireReadResp = 6,  ///< u8 uptodate, [type table, diff]
+  kReleaseRead = 7,      ///< lp segment
+  kAcquireWrite = 8,     ///< lp segment, u32 cached version
+  kAcquireWriteResp = 9, ///< u32 next_block_serial, u8 uptodate, [types, diff]
+  kReleaseWrite = 10,    ///< lp segment, diff payload
+  kReleaseWriteResp = 11,///< u32 new version
+  kSegmentInfo = 12,     ///< lp segment name (metadata for space reservation)
+  kSegmentInfoResp = 13, ///< block directory: serials, types, names
+  kSubscribe = 14,       ///< lp segment
+  kNotifyVersion = 15,   ///< notification: lp segment, u32 new version
+  kPing = 16,            ///< liveness probe
+  kPingResp = 17,
+  kAck = 18,             ///< generic empty success response
+  kCloseSegment = 19,    ///< lp segment: drop this session's segment state
+};
+
+/// One framed protocol message.
+struct Frame {
+  MsgType type = MsgType::kError;
+  uint32_t request_id = 0;
+  std::vector<uint8_t> payload;
+
+  BufReader reader() const { return BufReader(payload.data(), payload.size()); }
+};
+
+/// Serialized frame header size in bytes (u8 type + u32 id + u32 length).
+inline constexpr size_t kFrameHeaderSize = 9;
+
+/// Maximum accepted payload size; guards against corrupt length fields.
+inline constexpr uint32_t kMaxFramePayload = 256u << 20;
+
+/// Appends the wire encoding of `frame` to `out`.
+void encode_frame(const Frame& frame, Buffer& out);
+
+/// Parses one frame from exactly kFrameHeaderSize header bytes; returns the
+/// payload length the caller must then read. Throws Error(kProtocol) on a
+/// malformed header.
+struct FrameHeader {
+  MsgType type;
+  uint32_t request_id;
+  uint32_t payload_size;
+};
+FrameHeader decode_frame_header(const uint8_t* header_bytes);
+
+/// Total encoded size of a frame (header + payload) — used by the transport
+/// byte accounting that backs the bandwidth experiments.
+inline uint64_t frame_wire_size(const Frame& frame) {
+  return kFrameHeaderSize + frame.payload.size();
+}
+
+}  // namespace iw

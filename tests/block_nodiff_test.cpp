@@ -1,0 +1,159 @@
+// Per-block no-diff mode tests: a block repeatedly rewritten almost
+// entirely switches to whole-block transmission (skipping faults and twins
+// for its pages) while other blocks in the same segment keep fine-grained
+// diffing; the probe countdown returns it to diffing mode.
+#include <gtest/gtest.h>
+
+#include "interweave/interweave.hpp"
+
+namespace iw {
+namespace {
+
+using client::TrackingMode;
+
+class BlockNoDiff : public ::testing::Test {
+ protected:
+  BlockNoDiff() {
+    factory_ = [this](const std::string&) {
+      return std::make_shared<InProcChannel>(server_);
+    };
+  }
+
+  std::unique_ptr<Client> make_client(bool per_block, uint32_t probe = 8) {
+    Client::Options options;
+    options.tracking = TrackingMode::kVmDiff;
+    options.per_block_no_diff = per_block;
+    options.no_diff_probe_period = probe;
+    return std::make_unique<Client>(factory_, options);
+  }
+
+  server::SegmentServer server_;
+  Client::ChannelFactory factory_;
+};
+
+TEST_F(BlockNoDiff, HotBlockSwitchesColdBlockKeepsDiffing) {
+  auto c = make_client(true);
+  const TypeDescriptor* arr =
+      c->types().array_of(c->types().primitive(PrimitiveKind::kInt32), 16384);
+  ClientSegment* seg = c->open_segment("host/bnd1");
+  c->write_lock(seg);
+  auto* hot = static_cast<int32_t*>(c->malloc_block(seg, arr, "hot"));
+  auto* cold = static_cast<int32_t*>(c->malloc_block(seg, arr, "cold"));
+  c->write_unlock(seg);
+
+  // Two critical sections rewriting all of `hot` and a sliver of `cold`.
+  for (int round = 1; round <= 2; ++round) {
+    c->write_lock(seg);
+    for (int i = 0; i < 16384; ++i) hot[i] = i + round;
+    cold[0] = round;
+    c->write_unlock(seg);
+  }
+  auto* hot_blk = seg->heap().find_by_name("hot");
+  auto* cold_blk = seg->heap().find_by_name("cold");
+  EXPECT_TRUE(hot_blk->block_no_diff);
+  EXPECT_FALSE(cold_blk->block_no_diff);
+  EXPECT_FALSE(seg->no_diff_active()) << "segment-level mode not triggered";
+
+  // Next section: hot goes whole (and unprotected — fewer faults), cold
+  // still produces a fine diff.
+  uint64_t faults_before = client::fault_count();
+  uint64_t emissions_before = c->stats().block_no_diff_emissions;
+  c->write_lock(seg);
+  for (int i = 0; i < 16384; ++i) hot[i] = i + 77;
+  cold[5] = 5;
+  c->write_unlock(seg);
+  EXPECT_GT(c->stats().block_no_diff_emissions, emissions_before);
+  // hot spans 16 pages; only cold's page (plus boundary pages) may fault.
+  EXPECT_LT(client::fault_count() - faults_before, 6u);
+}
+
+TEST_F(BlockNoDiff, ContentStaysCorrectForReaders) {
+  auto c = make_client(true);
+  auto r = make_client(true);
+  const TypeDescriptor* arr =
+      c->types().array_of(c->types().primitive(PrimitiveKind::kInt32), 8192);
+  ClientSegment* seg = c->open_segment("host/bnd2");
+  c->write_lock(seg);
+  auto* hot = static_cast<int32_t*>(c->malloc_block(seg, arr, "hot"));
+  c->write_unlock(seg);
+
+  for (int round = 1; round <= 4; ++round) {
+    c->write_lock(seg);
+    for (int i = 0; i < 8192; ++i) hot[i] = i * round;
+    c->write_unlock(seg);
+  }
+  ClientSegment* rs = r->open_segment("host/bnd2");
+  r->read_lock(rs);
+  const auto* d = reinterpret_cast<const int32_t*>(
+      rs->heap().find_by_name("hot")->data());
+  for (int i = 0; i < 8192; ++i) ASSERT_EQ(d[i], i * 4);
+  r->read_unlock(rs);
+}
+
+TEST_F(BlockNoDiff, ProbeReturnsBlockToDiffing) {
+  auto c = make_client(true, /*probe=*/2);
+  const TypeDescriptor* arr =
+      c->types().array_of(c->types().primitive(PrimitiveKind::kInt32), 4096);
+  ClientSegment* seg = c->open_segment("host/bnd3");
+  c->write_lock(seg);
+  auto* hot = static_cast<int32_t*>(c->malloc_block(seg, arr, "hot"));
+  c->write_unlock(seg);
+
+  for (int round = 1; round <= 2; ++round) {
+    c->write_lock(seg);
+    for (int i = 0; i < 4096; ++i) hot[i] = i + round;
+    c->write_unlock(seg);
+  }
+  auto* blk = seg->heap().find_by_name("hot");
+  ASSERT_TRUE(blk->block_no_diff);
+
+  // Two whole-block sections burn the probe countdown.
+  for (int round = 0; round < 2; ++round) {
+    c->write_lock(seg);
+    hot[0] = round;
+    c->write_unlock(seg);
+  }
+  EXPECT_FALSE(blk->block_no_diff);
+}
+
+TEST_F(BlockNoDiff, DisabledOptionNeverSwitches) {
+  auto c = make_client(false);
+  const TypeDescriptor* arr =
+      c->types().array_of(c->types().primitive(PrimitiveKind::kInt32), 4096);
+  ClientSegment* seg = c->open_segment("host/bnd4");
+  c->write_lock(seg);
+  auto* hot = static_cast<int32_t*>(c->malloc_block(seg, arr, "hot"));
+  c->write_unlock(seg);
+  for (int round = 1; round <= 4; ++round) {
+    c->write_lock(seg);
+    for (int i = 0; i < 4096; ++i) hot[i] = i + round;
+    c->write_unlock(seg);
+  }
+  EXPECT_FALSE(seg->heap().find_by_name("hot")->block_no_diff);
+  EXPECT_EQ(c->stats().block_no_diff_emissions, 0u);
+}
+
+TEST_F(BlockNoDiff, SparseWritesResetTheStreak) {
+  auto c = make_client(true);
+  const TypeDescriptor* arr =
+      c->types().array_of(c->types().primitive(PrimitiveKind::kInt32), 4096);
+  ClientSegment* seg = c->open_segment("host/bnd5");
+  c->write_lock(seg);
+  auto* data = static_cast<int32_t*>(c->malloc_block(seg, arr, "a"));
+  c->write_unlock(seg);
+
+  // Alternate full and sparse modifications: the streak never reaches 2.
+  for (int round = 1; round <= 6; ++round) {
+    c->write_lock(seg);
+    if (round % 2 == 1) {
+      for (int i = 0; i < 4096; ++i) data[i] = i + round;
+    } else {
+      data[0] = round;
+    }
+    c->write_unlock(seg);
+  }
+  EXPECT_FALSE(seg->heap().find_by_name("a")->block_no_diff);
+}
+
+}  // namespace
+}  // namespace iw

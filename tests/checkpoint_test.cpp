@@ -1,0 +1,228 @@
+// Server persistence tests: checkpoint to disk, recovery, periodic
+// checkpointing, and clients resuming against a recovered server.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "interweave/interweave.hpp"
+
+namespace iw {
+namespace {
+
+namespace fs = std::filesystem;
+
+class Checkpoint : public ::testing::Test {
+ protected:
+  Checkpoint() {
+    dir_ = fs::temp_directory_path() /
+           ("iw-ckpt-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  ~Checkpoint() override { fs::remove_all(dir_); }
+
+  server::SegmentServer::Options server_options() {
+    server::SegmentServer::Options options;
+    options.checkpoint_dir = dir_.string();
+    return options;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(Checkpoint, WriteAndRecover) {
+  auto options = server_options();
+  {
+    server::SegmentServer server(options);
+    Client c([&](const std::string&) {
+      return std::make_shared<InProcChannel>(server);
+    });
+    const TypeDescriptor* arr =
+        c.types().array_of(c.types().primitive(PrimitiveKind::kInt32), 100);
+    ClientSegment* seg = c.open_segment("host/persist");
+    c.write_lock(seg);
+    auto* data = static_cast<int32_t*>(c.malloc_block(seg, arr, "nums"));
+    for (int i = 0; i < 100; ++i) data[i] = i * 3;
+    c.write_unlock(seg);
+    server.checkpoint();
+    EXPECT_GE(server.stats().checkpoints_written, 1u);
+  }
+  ASSERT_FALSE(fs::is_empty(dir_));
+
+  // A new server process recovers the segment and serves it.
+  server::SegmentServer revived(server_options());
+  revived.recover();
+  EXPECT_EQ(revived.segment_version("host/persist"), 2u);
+
+  Client c([&](const std::string&) {
+    return std::make_shared<InProcChannel>(revived);
+  });
+  ClientSegment* seg = c.open_segment("host/persist", false);
+  c.read_lock(seg);
+  auto* blk = seg->heap().find_by_name("nums");
+  ASSERT_NE(blk, nullptr);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(reinterpret_cast<const int32_t*>(blk->data())[i], i * 3);
+  }
+  c.read_unlock(seg);
+}
+
+TEST_F(Checkpoint, PeriodicCheckpointing) {
+  auto options = server_options();
+  options.checkpoint_every = 2;
+  server::SegmentServer server(options);
+  Client c([&](const std::string&) {
+    return std::make_shared<InProcChannel>(server);
+  });
+  const TypeDescriptor* arr =
+      c.types().array_of(c.types().primitive(PrimitiveKind::kInt32), 16);
+  ClientSegment* seg = c.open_segment("host/auto");
+  c.write_lock(seg);
+  auto* data = static_cast<int32_t*>(c.malloc_block(seg, arr));
+  c.write_unlock(seg);
+  for (int round = 1; round <= 5; ++round) {
+    c.write_lock(seg);
+    data[0] = round;
+    c.write_unlock(seg);
+  }
+  // 6 versions at every-2 -> 3 checkpoints.
+  EXPECT_GE(server.stats().checkpoints_written, 2u);
+  ASSERT_FALSE(fs::is_empty(dir_));
+}
+
+TEST_F(Checkpoint, RecoveredServerContinuesVersioning) {
+  auto options = server_options();
+  {
+    server::SegmentServer server(options);
+    Client c([&](const std::string&) {
+      return std::make_shared<InProcChannel>(server);
+    });
+    const TypeDescriptor* arr =
+        c.types().array_of(c.types().primitive(PrimitiveKind::kInt64), 8);
+    ClientSegment* seg = c.open_segment("host/continue");
+    c.write_lock(seg);
+    c.malloc_block(seg, arr, "x");
+    c.write_unlock(seg);
+    server.checkpoint();
+  }
+
+  server::SegmentServer revived(server_options());
+  revived.recover();
+  Client c([&](const std::string&) {
+    return std::make_shared<InProcChannel>(revived);
+  });
+  ClientSegment* seg = c.open_segment("host/continue", false);
+  c.write_lock(seg);
+  auto* blk = seg->heap().find_by_name("x");
+  ASSERT_NE(blk, nullptr);
+  reinterpret_cast<int64_t*>(const_cast<uint8_t*>(blk->data()))[0] = 99;
+  // New blocks keep getting fresh serials after recovery.
+  const TypeDescriptor* arr =
+      c.types().array_of(c.types().primitive(PrimitiveKind::kInt64), 8);
+  void* nb = c.malloc_block(seg, arr, "y");
+  ASSERT_NE(nb, nullptr);
+  c.write_unlock(seg);
+  EXPECT_EQ(revived.segment_version("host/continue"), 3u);
+  EXPECT_NE(client::BlockHeader::from_data(nb)->serial, blk->serial);
+}
+
+TEST_F(Checkpoint, ClientAheadOfRecoveredServerResyncs) {
+  // Server checkpoints at v2, then advances to v4; after a crash+recovery
+  // it is back at v2 while a client cached v4. The client must converge to
+  // the recovered state, including blocks that only existed after v2.
+  auto options = server_options();
+  auto server = std::make_unique<server::SegmentServer>(options);
+  auto factory = [&](const std::string&) {
+    return std::make_shared<InProcChannel>(*server);
+  };
+  auto c = std::make_unique<Client>(factory);
+  const TypeDescriptor* arr =
+      c->types().array_of(c->types().primitive(PrimitiveKind::kInt32), 32);
+  ClientSegment* seg = c->open_segment("host/ahead");
+  c->write_lock(seg);
+  auto* data = static_cast<int32_t*>(c->malloc_block(seg, arr, "base"));
+  data[0] = 1;
+  c->write_unlock(seg);      // v2
+  server->checkpoint();
+  c->write_lock(seg);
+  data[0] = 2;
+  c->malloc_block(seg, arr, "extra");  // exists only at v3+
+  c->write_unlock(seg);      // v3
+  ASSERT_EQ(seg->version(), 3u);
+
+  // Crash: new server from the v2 checkpoint. (The old client's channel
+  // references the old server; drop it before the server goes away.)
+  c.reset();
+  server = std::make_unique<server::SegmentServer>(options);
+  server->recover();
+  ASSERT_EQ(server->segment_version("host/ahead"), 2u);
+
+  // The client's channel factory binds to the (destroyed) old server; make
+  // a fresh client with the same cached-state situation via its old copy:
+  // simplest honest check — reconnect a new client and verify it converges,
+  // then verify an ahead-version read against the new server resyncs.
+  Client fresh(
+      [&](const std::string&) { return std::make_shared<InProcChannel>(*server); });
+  ClientSegment* fseg = fresh.open_segment("host/ahead", false);
+  fresh.read_lock(fseg);
+  auto* blk = fseg->heap().find_by_name("base");
+  ASSERT_NE(blk, nullptr);
+  EXPECT_EQ(reinterpret_cast<const int32_t*>(blk->data())[0], 1);
+  EXPECT_EQ(fseg->heap().find_by_name("extra"), nullptr);
+  fresh.read_unlock(fseg);
+
+  // Simulate the surviving cache: hand-craft an AcquireRead with a version
+  // ahead of the server and check we get a full resync rather than an error.
+  auto channel = std::make_shared<InProcChannel>(*server);
+  Buffer payload;
+  payload.append_lp_string("host/ahead");
+  payload.append_u32(99);  // far ahead
+  payload.append_u8(static_cast<uint8_t>(CoherenceModel::kFull));
+  payload.append_u64(0);
+  Frame resp = channel->call(MsgType::kAcquireRead, std::move(payload));
+  BufReader r = resp.reader();
+  EXPECT_EQ(r.read_u8(), 1) << "must be an update, not 'recent enough'";
+  r.read_u32();  // type count
+}
+
+TEST_F(Checkpoint, CorruptCheckpointSkipped) {
+  auto options = server_options();
+  fs::create_directories(dir_);
+  {
+    std::ofstream bad(dir_ / "garbage.iwseg", std::ios::binary);
+    bad << "not a checkpoint";
+  }
+  server::SegmentServer server(options);
+  server.recover();  // must not throw
+  EXPECT_THROW(server.segment_version("host/anything"), Error);
+}
+
+TEST_F(Checkpoint, SegmentNamesAreEscapedInFileNames) {
+  auto options = server_options();
+  server::SegmentServer server(options);
+  Client c([&](const std::string&) {
+    return std::make_shared<InProcChannel>(server);
+  });
+  const TypeDescriptor* t = c.types().primitive(PrimitiveKind::kInt32);
+  ClientSegment* seg = c.open_segment("some.host/deep/path/segment");
+  c.write_lock(seg);
+  c.malloc_block(seg, t);
+  c.write_unlock(seg);
+  server.checkpoint();
+
+  int files = 0;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(e.path().extension(), ".iwseg");
+    EXPECT_EQ(e.path().string().find('%') != std::string::npos, true);
+    ++files;
+  }
+  EXPECT_EQ(files, 1);
+
+  server::SegmentServer revived(server_options());
+  revived.recover();
+  EXPECT_EQ(revived.segment_version("some.host/deep/path/segment"), 2u);
+}
+
+}  // namespace
+}  // namespace iw

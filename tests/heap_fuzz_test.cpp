@@ -1,0 +1,163 @@
+// Randomized heap churn with full boundary-tag validation after every
+// operation batch, plus random type-tree fuzzing of the descriptor engine
+// (locate/unit_at/visit_runs/codec agreement on arbitrary nested types).
+#include <gtest/gtest.h>
+
+#include "interweave/interweave.hpp"
+#include "util/rand.hpp"
+#include "wire/translate.hpp"
+
+namespace iw {
+namespace {
+
+// ----------------------------------------------------------- heap churn
+
+class HeapFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HeapFuzz, ChurnKeepsBoundaryTagsConsistent) {
+  server::SegmentServer server;
+  Client c([&](const std::string&) {
+    return std::make_shared<InProcChannel>(server);
+  });
+  ClientSegment* seg =
+      c.open_segment("fuzz/heap" + std::to_string(GetParam()));
+  SplitMix64 rng(GetParam());
+
+  c.write_lock(seg);
+  std::vector<void*> live;
+  for (int step = 0; step < 400; ++step) {
+    if (live.empty() || rng.below(10) < 6) {
+      uint64_t units = 1 + rng.below(2000);
+      const TypeDescriptor* t = c.types().array_of(
+          c.types().primitive(PrimitiveKind::kInt32), units);
+      live.push_back(c.malloc_block(seg, t));
+    } else {
+      size_t i = rng.below(live.size());
+      c.free_block(seg, live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    }
+    if (step % 16 == 0) seg->heap().check_heap();
+  }
+  seg->heap().check_heap();
+  // Free everything: all space must coalesce back to one chunk per
+  // subsegment.
+  for (void* p : live) c.free_block(seg, p);
+  seg->heap().check_heap();
+  size_t subsegs = 0;
+  for (const client::Subsegment* s = seg->heap().first_subsegment();
+       s != nullptr; s = s->next) {
+    ++subsegs;
+  }
+  EXPECT_EQ(seg->heap().free_chunk_count(), subsegs);
+  c.write_unlock(seg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapFuzz,
+                         ::testing::Values(11ull, 222ull, 3333ull, 44444ull));
+
+// ------------------------------------------------------ type-tree fuzzing
+
+/// Builds a random nested type of bounded size in `reg`.
+const TypeDescriptor* random_type(TypeRegistry& reg, SplitMix64& rng,
+                                  int depth, int& name_counter) {
+  uint64_t pick = rng.below(depth <= 0 ? 3u : 10u);
+  switch (pick) {
+    case 0:
+    case 1: {
+      static const PrimitiveKind kinds[] = {
+          PrimitiveKind::kChar, PrimitiveKind::kInt16, PrimitiveKind::kInt32,
+          PrimitiveKind::kInt64, PrimitiveKind::kFloat32,
+          PrimitiveKind::kFloat64};
+      return reg.primitive(kinds[rng.below(6)]);
+    }
+    case 2:
+      return reg.string_type(1 + static_cast<uint32_t>(rng.below(16)));
+    case 3:
+    case 4:
+    case 5: {  // array
+      const TypeDescriptor* elem =
+          random_type(reg, rng, depth - 1, name_counter);
+      return reg.array_of(elem, 1 + rng.below(6));
+    }
+    case 6:
+      return reg.pointer_to(random_type(reg, rng, depth - 1, name_counter));
+    default: {  // struct
+      StructBuilder b =
+          reg.struct_builder("fz" + std::to_string(name_counter++));
+      uint64_t fields = 1 + rng.below(5);
+      for (uint64_t f = 0; f < fields; ++f) {
+        if (rng.below(8) == 0) {
+          b.self_pointer_field("self" + std::to_string(f));
+        } else {
+          b.field("f" + std::to_string(f),
+                  random_type(reg, rng, depth - 1, name_counter));
+        }
+      }
+      return b.finish();
+    }
+  }
+}
+
+class TypeFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TypeFuzz, RandomTypesSatisfyDescriptorInvariants) {
+  SplitMix64 rng(GetParam());
+  int names = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    TypeRegistry reg(Platform::native().rules);
+    const TypeDescriptor* t = random_type(reg, rng, 3, names);
+    const uint64_t units = t->prim_units();
+    ASSERT_GT(units, 0u);
+    ASSERT_GT(t->local_size(), 0u);
+
+    // locate <-> unit_at agreement for every unit.
+    for (uint64_t u = 0; u < units; ++u) {
+      PrimLocation loc = t->locate_prim(u);
+      UnitAtOffset back = t->unit_at_local_offset(loc.local_offset);
+      ASSERT_EQ(back.unit_index, u);
+      ASSERT_EQ(back.local_offset, loc.local_offset);
+    }
+
+    // visit_runs covers any range exactly once, in order, with locations
+    // agreeing with locate_prim.
+    uint64_t a = rng.below(units);
+    uint64_t b = a + 1 + rng.below(units - a);
+    uint64_t expect = a;
+    t->visit_runs(a, b, [&](const PrimRun& run) {
+      ASSERT_EQ(run.first_unit, expect);
+      PrimLocation loc = t->locate_prim(run.first_unit);
+      ASSERT_EQ(loc.local_offset, run.local_offset);
+      ASSERT_EQ(loc.kind, run.kind);
+      if (run.unit_count > 1) {
+        PrimLocation last = t->locate_prim(run.first_unit + run.unit_count - 1);
+        ASSERT_EQ(last.local_offset,
+                  run.local_offset + (run.unit_count - 1) * run.local_stride);
+      }
+      expect += run.unit_count;
+    });
+    ASSERT_EQ(expect, b);
+
+    // Codec round trip preserves the machine-independent structure.
+    Buffer graph;
+    TypeCodec::encode_graph(t, graph);
+    TypeRegistry reg2(Platform::sparc32().rules);
+    BufReader r(graph.span());
+    const TypeDescriptor* t2 = TypeCodec::decode_graph(r, reg2);
+    ASSERT_EQ(t2->prim_units(), t->prim_units());
+    for (uint64_t u = 0; u < units; ++u) {
+      ASSERT_EQ(t2->locate_prim(u).kind, t->locate_prim(u).kind) << u;
+    }
+    // And re-encoding the decoded graph is byte-identical (canonical form).
+    Buffer graph2;
+    TypeCodec::encode_graph(t2, graph2);
+    ASSERT_EQ(graph.size(), graph2.size());
+    ASSERT_EQ(0, memcmp(graph.data(), graph2.data(), graph.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TypeFuzz,
+                         ::testing::Values(5ull, 55ull, 555ull));
+
+}  // namespace
+}  // namespace iw

@@ -1,0 +1,217 @@
+// IDL compiler tests: lexing, parsing, descriptor building, code generation
+// and error diagnostics.
+#include "idl/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "idl/codegen.hpp"
+
+namespace iw::idl {
+namespace {
+
+TEST(Lexer, TokenizesAllKinds) {
+  auto tokens = tokenize("struct s { int a[3]; string<8> b; } ; * < >");
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "struct");
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEof);
+}
+
+TEST(Lexer, CommentsAndLinesTracked) {
+  auto tokens = tokenize("// line comment\n/* block\ncomment */ foo");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "foo");
+  EXPECT_EQ(tokens[0].line, 3);
+}
+
+TEST(Lexer, BadCharacterReportsLine) {
+  try {
+    tokenize("int a;\n@");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Lexer, UnterminatedCommentThrows) {
+  EXPECT_THROW(tokenize("/* never closed"), Error);
+}
+
+TEST(Parser, SimpleStruct) {
+  IdlFile file = parse("struct point { double x; double y; };");
+  ASSERT_EQ(file.decls.size(), 1u);
+  ASSERT_TRUE(file.decls[0].is_struct);
+  const StructDef& sd = file.decls[0].struct_def;
+  EXPECT_EQ(sd.name, "point");
+  ASSERT_EQ(sd.fields.size(), 2u);
+  EXPECT_EQ(sd.fields[0].name, "x");
+  EXPECT_EQ(sd.fields[0].type.kind, TypeExpr::Kind::kPrimitive);
+  EXPECT_EQ(sd.fields[0].type.prim, PrimitiveKind::kFloat64);
+}
+
+TEST(Parser, LinkedListNode) {
+  IdlFile file = parse("struct node_t { int key; node_t *next; };");
+  const StructDef& sd = file.decls[0].struct_def;
+  ASSERT_EQ(sd.fields.size(), 2u);
+  EXPECT_EQ(sd.fields[1].type.kind, TypeExpr::Kind::kPointer);
+  EXPECT_EQ(sd.fields[1].type.inner->kind, TypeExpr::Kind::kNamed);
+  EXPECT_EQ(sd.fields[1].type.inner->name, "node_t");
+}
+
+TEST(Parser, ArraysAndMultiDim) {
+  IdlFile file = parse("struct m { int grid[4][8]; };");
+  const TypeExpr& t = file.decls[0].struct_def.fields[0].type;
+  ASSERT_EQ(t.kind, TypeExpr::Kind::kArray);
+  EXPECT_EQ(t.array_count, 4u);
+  ASSERT_EQ(t.inner->kind, TypeExpr::Kind::kArray);
+  EXPECT_EQ(t.inner->array_count, 8u);
+  EXPECT_EQ(t.inner->inner->kind, TypeExpr::Kind::kPrimitive);
+}
+
+TEST(Parser, ArrayOfPointers) {
+  IdlFile file = parse("struct s { int a; }; struct t { s *links[4]; };");
+  const TypeExpr& t = file.decls[1].struct_def.fields[0].type;
+  ASSERT_EQ(t.kind, TypeExpr::Kind::kArray);
+  EXPECT_EQ(t.inner->kind, TypeExpr::Kind::kPointer);
+}
+
+TEST(Parser, Typedef) {
+  IdlFile file = parse("typedef string<256> name_t;");
+  ASSERT_FALSE(file.decls[0].is_struct);
+  EXPECT_EQ(file.decls[0].typedef_def.name, "name_t");
+  EXPECT_EQ(file.decls[0].typedef_def.type.kind, TypeExpr::Kind::kString);
+}
+
+TEST(Parser, SyntaxErrorsReportLine) {
+  EXPECT_THROW(parse("struct s { int; };"), Error);
+  EXPECT_THROW(parse("struct s { };"), Error);
+  EXPECT_THROW(parse("struct s { int a }"), Error);
+  EXPECT_THROW(parse("banana"), Error);
+  EXPECT_THROW(parse("struct s { string<0> x; };"), Error);
+}
+
+TEST(BuildDescriptors, LinkedListLayout) {
+  TypeRegistry reg(Platform::native().rules);
+  auto types = build_descriptors(
+      parse("struct node_t { int key; node_t *next; };"), reg);
+  const TypeDescriptor* node = types.at("node_t");
+  ASSERT_EQ(node->fields().size(), 2u);
+  EXPECT_EQ(node->fields()[1].type->pointee(), node);
+  EXPECT_EQ(node->local_size(), 16u);
+}
+
+TEST(BuildDescriptors, UsesDeclaredTypes) {
+  TypeRegistry reg(Platform::native().rules);
+  auto types = build_descriptors(parse(R"(
+      struct inner { double d; };
+      typedef inner pair[2];
+      struct outer { pair items; inner *one; };
+  )"), reg);
+  const TypeDescriptor* outer = types.at("outer");
+  EXPECT_EQ(outer->fields()[0].type->kind(), TypeKind::kArray);
+  EXPECT_EQ(outer->fields()[0].type->count(), 2u);
+  EXPECT_EQ(outer->fields()[1].type->pointee(), types.at("inner"));
+}
+
+TEST(BuildDescriptors, SemanticErrors) {
+  TypeRegistry reg(Platform::native().rules);
+  // Undeclared type.
+  EXPECT_THROW(build_descriptors(parse("struct s { nope x; };"), reg), Error);
+  // By-value self reference.
+  EXPECT_THROW(build_descriptors(parse("struct s { s x; };"), reg), Error);
+  // Duplicate declaration.
+  EXPECT_THROW(build_descriptors(
+      parse("struct s { int a; }; struct s { int b; };"), reg), Error);
+}
+
+TEST(BuildDescriptors, StringFieldBecomesStringType) {
+  TypeRegistry reg(Platform::native().rules);
+  auto types = build_descriptors(
+      parse("struct person { string<64> name; int age; };"), reg);
+  const TypeDescriptor* person = types.at("person");
+  EXPECT_EQ(person->fields()[0].type->kind(), TypeKind::kString);
+  EXPECT_EQ(person->fields()[0].type->string_capacity(), 64u);
+}
+
+TEST(Codegen, EmitsCompilableLookingHeader) {
+  std::string src = R"(
+      struct node_t { int key; node_t *next; };
+      struct rec { string<16> name; double vals[4]; node_t *head; };
+  )";
+  IdlFile file = parse(src);
+  std::string header = generate_cpp_header(file, src);
+  EXPECT_NE(header.find("struct node_t {"), std::string::npos);
+  EXPECT_NE(header.find("int32_t key;"), std::string::npos);
+  EXPECT_NE(header.find("node_t *next;"), std::string::npos);
+  EXPECT_NE(header.find("char name[16];"), std::string::npos);
+  EXPECT_NE(header.find("double vals[4];"), std::string::npos);
+  EXPECT_NE(header.find("static_assert(sizeof(node_t) == 16"), std::string::npos);
+  EXPECT_NE(header.find("kIdlSource"), std::string::npos);
+  EXPECT_NE(header.find("namespace iwgen"), std::string::npos);
+}
+
+TEST(Parser, EnumDeclaration) {
+  IdlFile file = parse("enum color_t { RED, GREEN = 5, BLUE, };");
+  ASSERT_EQ(file.decls.size(), 1u);
+  ASSERT_EQ(file.decls[0].kind, Declaration::Kind::kEnum);
+  const EnumDef& ed = file.decls[0].enum_def;
+  EXPECT_EQ(ed.name, "color_t");
+  ASSERT_EQ(ed.values.size(), 3u);
+  EXPECT_EQ(ed.values[0], (std::pair<std::string, int64_t>{"RED", 0}));
+  EXPECT_EQ(ed.values[1], (std::pair<std::string, int64_t>{"GREEN", 5}));
+  EXPECT_EQ(ed.values[2], (std::pair<std::string, int64_t>{"BLUE", 6}));
+}
+
+TEST(Parser, EnumErrors) {
+  EXPECT_THROW(parse("enum e { };"), Error);
+  EXPECT_THROW(parse("enum e { A = };"), Error);
+  EXPECT_THROW(parse("enum e { A B };"), Error);
+}
+
+TEST(Parser, UnsignedTypes) {
+  IdlFile file = parse(R"(
+      struct u { unsigned int a; unsigned short b; unsigned c;
+                 unsigned long d; unsigned char e; };
+  )");
+  const StructDef& sd = file.decls[0].struct_def;
+  EXPECT_EQ(sd.fields[0].type.prim, PrimitiveKind::kInt32);
+  EXPECT_EQ(sd.fields[1].type.prim, PrimitiveKind::kInt16);
+  EXPECT_EQ(sd.fields[2].type.prim, PrimitiveKind::kInt32);
+  EXPECT_EQ(sd.fields[3].type.prim, PrimitiveKind::kInt64);
+  EXPECT_EQ(sd.fields[4].type.prim, PrimitiveKind::kChar);
+  EXPECT_THROW(parse("struct f { unsigned double x; };"), Error);
+}
+
+TEST(BuildDescriptors, EnumIsInt32Field) {
+  TypeRegistry reg(Platform::native().rules);
+  auto types = build_descriptors(parse(R"(
+      enum color_t { RED, GREEN, BLUE };
+      struct pixel { color_t c; unsigned int alpha; };
+  )"), reg);
+  const TypeDescriptor* pixel = types.at("pixel");
+  // Isomorphic transform merges the two consecutive int32 fields.
+  EXPECT_EQ(pixel->prim_units(), 2u);
+  EXPECT_EQ(pixel->local_size(), 8u);
+  EXPECT_EQ(types.at("color_t")->primitive(), PrimitiveKind::kInt32);
+}
+
+TEST(Codegen, EmitsEnums) {
+  std::string src = "enum color_t { RED, GREEN = 5 };\n"
+                    "struct pixel { color_t c; };";
+  std::string header = generate_cpp_header(parse(src), src);
+  EXPECT_NE(header.find("enum color_t : int32_t {"), std::string::npos);
+  EXPECT_NE(header.find("RED = 0,"), std::string::npos);
+  EXPECT_NE(header.find("GREEN = 5,"), std::string::npos);
+  EXPECT_NE(header.find("color_t c;"), std::string::npos);
+}
+
+TEST(Codegen, CustomNamespace) {
+  IdlFile file = parse("struct s { int a; };");
+  CodegenOptions options;
+  options.cpp_namespace = "myns";
+  std::string header = generate_cpp_header(file, "struct s { int a; };", options);
+  EXPECT_NE(header.find("namespace myns {"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iw::idl

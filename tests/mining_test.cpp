@@ -1,0 +1,193 @@
+// Tests for the datamining substrate: Quest generator determinism and
+// statistics, lattice construction, incremental updates, reader queries,
+// and cross-client sharing under relaxed coherence.
+#include <gtest/gtest.h>
+
+#include "interweave/interweave.hpp"
+#include "mining/lattice.hpp"
+#include "mining/quest.hpp"
+
+namespace iw::mining {
+namespace {
+
+QuestConfig small_config() {
+  QuestConfig config;
+  config.customers = 2000;
+  config.items = 100;
+  config.patterns = 50;
+  config.avg_items_per_transaction = 20;
+  return config;
+}
+
+TEST(Quest, DeterministicPerCustomer) {
+  QuestGenerator g1(small_config());
+  QuestGenerator g2(small_config());
+  for (uint32_t c : {0u, 1u, 999u}) {
+    auto a = g1.customer(c).flattened();
+    auto b = g2.customer(c).flattened();
+    EXPECT_EQ(a, b);
+  }
+  // Different customers differ.
+  EXPECT_NE(g1.customer(1).flattened(), g1.customer(2).flattened());
+}
+
+TEST(Quest, ItemsInRange) {
+  QuestGenerator gen(small_config());
+  for (uint32_t c = 0; c < 50; ++c) {
+    for (uint32_t item : gen.customer(c).flattened()) {
+      EXPECT_LT(item, small_config().items);
+    }
+  }
+}
+
+TEST(Quest, PaperScaleConfigIsRoughly20MB) {
+  QuestGenerator gen{QuestConfig{}};
+  EXPECT_NEAR(static_cast<double>(gen.approx_bytes()), 20e6, 5e6);
+  EXPECT_EQ(gen.patterns().size(), 5000u);
+  double avg_len = 0;
+  for (const auto& p : gen.patterns()) avg_len += p.size();
+  avg_len /= gen.patterns().size();
+  EXPECT_NEAR(avg_len, 4.0, 1.0);
+}
+
+TEST(Quest, PatternsActuallyAppearInData) {
+  QuestGenerator gen(small_config());
+  const auto& pattern = gen.patterns()[0];
+  int hits = 0;
+  for (uint32_t c = 0; c < 200; ++c) {
+    auto stream = gen.customer(c).flattened();
+    for (size_t i = 0; i + pattern.size() <= stream.size(); ++i) {
+      if (std::equal(pattern.begin(), pattern.end(), stream.begin() + i)) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(hits, 0) << "seeded patterns should occur in customer data";
+}
+
+class Lattice : public ::testing::Test {
+ protected:
+  Lattice() {
+    factory_ = [this](const std::string&) {
+      return std::make_shared<InProcChannel>(server_);
+    };
+  }
+  std::unique_ptr<Client> make_client() {
+    return std::make_unique<Client>(factory_);
+  }
+  server::SegmentServer server_;
+  Client::ChannelFactory factory_;
+};
+
+TEST_F(Lattice, BuildAndQuerySameProcess) {
+  auto writer_client = make_client();
+  QuestGenerator db(small_config());
+  LatticeWriter::Options options;
+  options.min_support = 20;
+  LatticeWriter writer(*writer_client, "host/lat1", db.config().items, options);
+  writer.mine_customers(db, 0, 500);
+  EXPECT_GT(writer.node_count(), 0u);
+
+  auto reader_client = make_client();
+  LatticeReader reader(*reader_client, "host/lat1");
+  reader.refresh();
+  EXPECT_EQ(reader.node_count(), writer.node_count());
+  EXPECT_EQ(reader.customers_mined(), 500u);
+
+  auto top = reader.top_sequences(10, 1);
+  ASSERT_FALSE(top.empty());
+  // Ranked descending.
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].support, top[i].support);
+  }
+  // The top single item's support must match a direct query.
+  auto direct = reader.support_of({top[0].items[0]});
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(*direct, top[0].support);
+}
+
+TEST_F(Lattice, SupportsAreConsistentWithPrefixMonotonicity) {
+  auto writer_client = make_client();
+  QuestGenerator db(small_config());
+  LatticeWriter::Options options;
+  options.min_support = 15;
+  LatticeWriter writer(*writer_client, "host/lat2", db.config().items, options);
+  writer.mine_customers(db, 0, 800);
+
+  auto reader_client = make_client();
+  LatticeReader reader(*reader_client, "host/lat2");
+  reader.refresh();
+  auto pairs = reader.top_sequences(20, 2);
+  for (const auto& p : pairs) {
+    auto prefix = reader.support_of({p.items[0]});
+    ASSERT_TRUE(prefix.has_value());
+    EXPECT_GE(*prefix, p.support)
+        << "a prefix can never be rarer than its extension";
+  }
+}
+
+TEST_F(Lattice, IncrementalUpdatesGrowSupports) {
+  auto writer_client = make_client();
+  QuestGenerator db(small_config());
+  LatticeWriter::Options options;
+  options.min_support = 20;
+  LatticeWriter writer(*writer_client, "host/lat3", db.config().items, options);
+  writer.mine_customers(db, 0, 500);
+
+  auto reader_client = make_client();
+  LatticeReader reader(*reader_client, "host/lat3");
+  reader.refresh();
+  auto before = reader.top_sequences(5, 1);
+  ASSERT_FALSE(before.empty());
+
+  writer.mine_customers(db, 500, 1000);
+  reader.refresh();
+  auto after = reader.support_of(before[0].items);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_GT(*after, before[0].support);
+  EXPECT_EQ(reader.customers_mined(), 1000u);
+}
+
+TEST_F(Lattice, IncrementalUpdatesAreCheapOnTheWire) {
+  auto writer_client = make_client();
+  QuestGenerator db(small_config());
+  LatticeWriter writer(*writer_client, "host/lat4", db.config().items, {});
+  writer.mine_customers(db, 0, 1000);
+
+  auto reader_client = make_client();
+  LatticeReader reader(*reader_client, "host/lat4");
+  reader.refresh();
+  uint64_t full_fetch = reader_client->bytes_received();
+
+  writer.mine_customers(db, 1000, 1020);  // 1% more customers
+  reader.refresh();
+  uint64_t incremental = reader_client->bytes_received() - full_fetch;
+  EXPECT_LT(incremental, full_fetch / 3)
+      << "incremental diff must be far below the initial full transfer";
+}
+
+TEST_F(Lattice, StaleReaderUnderDeltaCoherence) {
+  auto writer_client = make_client();
+  QuestGenerator db(small_config());
+  LatticeWriter writer(*writer_client, "host/lat5", db.config().items, {});
+  writer.mine_customers(db, 0, 400);
+
+  auto reader_client = make_client();
+  LatticeReader reader(*reader_client, "host/lat5");
+  reader_client->set_coherence(reader.segment(), CoherencePolicy::delta(2));
+  reader.refresh();
+  uint32_t seen = reader.customers_mined();
+
+  writer.mine_customers(db, 400, 420);  // one version ahead
+  reader.refresh();                     // within delta-2: stays cached
+  EXPECT_EQ(reader.customers_mined(), seen);
+
+  writer.mine_customers(db, 420, 440);
+  writer.mine_customers(db, 440, 460);  // now 3 ahead
+  reader.refresh();
+  EXPECT_EQ(reader.customers_mined(), 460u);
+}
+
+}  // namespace
+}  // namespace iw::mining

@@ -1,0 +1,160 @@
+// Randomized multi-client convergence test: several clients (on mixed
+// simulated platforms) apply random operations — block allocation, frees,
+// range writes — to one shared segment, interleaved with reader syncs. A
+// reference model tracks the expected canonical contents; at every
+// verification point each client's cached copy must match the model
+// exactly, and at the end all clients converge bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "interweave/interweave.hpp"
+#include "util/rand.hpp"
+
+namespace iw {
+namespace {
+
+/// Canonical model of one block: int32 values by unit index.
+using BlockModel = std::vector<int32_t>;
+
+class MultiClientFuzz : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  MultiClientFuzz() {
+    factory_ = [this](const std::string&) {
+      return std::make_shared<InProcChannel>(server_);
+    };
+  }
+
+  std::unique_ptr<Client> make_client(const Platform& platform) {
+    Client::Options options;
+    options.platform = platform;
+    return std::make_unique<Client>(factory_, options);
+  }
+
+  /// Reads unit `u` of a block as int32 under any platform layout.
+  static int32_t read_unit(Client& c, const client::BlockHeader* blk,
+                           uint64_t u) {
+    const LayoutRules& rules = c.options().platform.rules;
+    const uint8_t* p = blk->data() + blk->type->locate_prim(u).local_offset;
+    uint32_t v = 0;
+    if (rules.byte_order == ByteOrder::kBig) {
+      for (int i = 0; i < 4; ++i) v = (v << 8) | p[i];
+    } else {
+      for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+    }
+    return static_cast<int32_t>(v);
+  }
+
+  static void write_unit(Client& c, client::BlockHeader* blk, uint64_t u,
+                         int32_t value) {
+    const LayoutRules& rules = c.options().platform.rules;
+    uint8_t* p = const_cast<uint8_t*>(blk->data()) +
+                 blk->type->locate_prim(u).local_offset;
+    auto v = static_cast<uint32_t>(value);
+    if (rules.byte_order == ByteOrder::kBig) {
+      for (int i = 3; i >= 0; --i) {
+        p[i] = static_cast<uint8_t>(v);
+        v >>= 8;
+      }
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        p[i] = static_cast<uint8_t>(v);
+        v >>= 8;
+      }
+    }
+  }
+
+  server::SegmentServer server_;
+  Client::ChannelFactory factory_;
+};
+
+TEST_P(MultiClientFuzz, RandomOpsConverge) {
+  SplitMix64 rng(GetParam());
+  const std::string url = "host/fuzz" + std::to_string(GetParam());
+
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.push_back(make_client(Platform::native()));
+  clients.push_back(make_client(Platform::sparc32()));
+  clients.push_back(make_client(Platform::native()));
+  clients.push_back(make_client(Platform::packed_le32()));
+  std::vector<ClientSegment*> segs;
+  for (auto& c : clients) segs.push_back(c->open_segment(url));
+
+  std::map<uint32_t, BlockModel> model;  // serial -> canonical units
+
+  auto verify_client = [&](size_t i) {
+    Client& c = *clients[i];
+    ClientSegment* seg = segs[i];
+    c.read_lock(seg);
+    size_t counted = 0;
+    seg->heap().for_each_block([&](client::BlockHeader* blk) {
+      auto it = model.find(blk->serial);
+      ASSERT_NE(it, model.end()) << "client has unexpected block";
+      ASSERT_EQ(blk->type->prim_units(), it->second.size());
+      for (uint64_t u = 0; u < it->second.size(); ++u) {
+        ASSERT_EQ(read_unit(c, blk, u), it->second[u])
+            << "client " << i << " block " << blk->serial << " unit " << u;
+      }
+      ++counted;
+    });
+    ASSERT_EQ(counted, model.size());
+    c.read_unlock(seg);
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    size_t who = rng.below(clients.size());
+    Client& c = *clients[who];
+    ClientSegment* seg = segs[who];
+    uint64_t op = rng.below(10);
+
+    if (op < 2 || model.empty()) {
+      // Allocate a block of random size.
+      uint64_t units = 1 + rng.below(300);
+      c.write_lock(seg);
+      const TypeDescriptor* arr =
+          c.types().array_of(c.types().primitive(PrimitiveKind::kInt32), units);
+      void* data = c.malloc_block(seg, arr);
+      auto* blk = seg->heap().find_by_address(data);
+      model.emplace(blk->serial, BlockModel(units, 0));
+      c.write_unlock(seg);
+    } else if (op < 3) {
+      // Free a random block.
+      auto it = model.begin();
+      std::advance(it, rng.below(model.size()));
+      c.write_lock(seg);
+      auto* blk = seg->heap().find_by_serial(it->first);
+      ASSERT_NE(blk, nullptr);
+      c.free_block(seg, const_cast<uint8_t*>(blk->data()));
+      model.erase(it);
+      c.write_unlock(seg);
+    } else if (op < 8) {
+      // Write a random run into a random block.
+      auto it = model.begin();
+      std::advance(it, rng.below(model.size()));
+      BlockModel& bm = it->second;
+      uint64_t begin = rng.below(bm.size());
+      uint64_t len = 1 + rng.below(bm.size() - begin);
+      c.write_lock(seg);
+      auto* blk = seg->heap().find_by_serial(it->first);
+      ASSERT_NE(blk, nullptr);
+      for (uint64_t u = begin; u < begin + len; ++u) {
+        auto value = static_cast<int32_t>(rng());
+        write_unit(c, blk, u, value);
+        bm[u] = value;
+      }
+      c.write_unlock(seg);
+    } else {
+      verify_client(rng.below(clients.size()));
+    }
+  }
+
+  // Final convergence: every client matches the model bit for bit.
+  for (size_t i = 0; i < clients.size(); ++i) verify_client(i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiClientFuzz,
+                         ::testing::Values(1ull, 42ull, 1337ull, 777777ull,
+                                           0xDEADBEEFull));
+
+}  // namespace
+}  // namespace iw

@@ -1,0 +1,159 @@
+// TCP transport tests: framing over real sockets, concurrent clients,
+// notifications via the receiver thread, and full client/server operation
+// over TCP (the "separate processes" deployment shape).
+#include "net/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "interweave/interweave.hpp"
+
+namespace iw {
+namespace {
+
+TEST(Tcp, PingPong) {
+  server::SegmentServer core;
+  TcpServer server(core, 0);
+  TcpClientChannel channel(server.port());
+  Buffer empty;
+  Frame resp = channel.call(MsgType::kPing, std::move(empty));
+  EXPECT_EQ(resp.type, MsgType::kPingResp);
+  EXPECT_GT(channel.bytes_sent(), 0u);
+  EXPECT_GT(channel.bytes_received(), 0u);
+}
+
+TEST(Tcp, ErrorResponsesSurfaceAsExceptions) {
+  server::SegmentServer core;
+  TcpServer server(core, 0);
+  TcpClientChannel channel(server.port());
+  Buffer payload;
+  payload.append_lp_string("host/missing");
+  payload.append_u8(0);  // no create
+  try {
+    channel.call(MsgType::kOpenSegment, std::move(payload));
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNotFound);
+  }
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+  EXPECT_THROW(TcpClientChannel(1), Error);  // port 1: nothing listening
+}
+
+TEST(Tcp, ConcurrentCallsFromMultipleThreads) {
+  server::SegmentServer core;
+  TcpServer server(core, 0);
+  TcpClientChannel channel(server.port());
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        Buffer empty;
+        Frame resp = channel.call(MsgType::kPing, std::move(empty));
+        if (resp.type == MsgType::kPingResp) ++ok;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), 200);
+}
+
+TEST(Tcp, FullClientServerOverSockets) {
+  server::SegmentServer core;
+  TcpServer server(core, 0);
+  uint16_t port = server.port();
+
+  auto factory = [port](const std::string&) {
+    return std::make_shared<TcpClientChannel>(port);
+  };
+  Client writer(factory);
+  Client reader(factory);
+
+  const TypeDescriptor* node = writer.types().struct_builder("node")
+      .field("key", writer.types().primitive(PrimitiveKind::kInt32))
+      .self_pointer_field("next")
+      .finish();
+
+  ClientSegment* ws = writer.open_segment("host/tcp-list");
+  writer.write_lock(ws);
+  struct Node { int32_t key; Node* next; };
+  auto* head = static_cast<Node*>(writer.malloc_block(ws, node, "head"));
+  head->key = -1;
+  head->next = nullptr;
+  for (int k = 1; k <= 3; ++k) {
+    auto* n = static_cast<Node*>(writer.malloc_block(ws, node));
+    n->key = k;
+    n->next = head->next;
+    head->next = n;
+  }
+  writer.write_unlock(ws);
+
+  ClientSegment* rs = reader.open_segment("host/tcp-list");
+  reader.read_lock(rs);
+  auto* rhead = static_cast<Node*>(reader.mip_to_ptr("host/tcp-list#head#0"));
+  ASSERT_NE(rhead, nullptr);
+  std::vector<int> keys;
+  for (Node* p = rhead->next; p != nullptr; p = p->next) keys.push_back(p->key);
+  EXPECT_EQ(keys, (std::vector<int>{3, 2, 1}));
+  reader.read_unlock(rs);
+}
+
+TEST(Tcp, NotificationsFlowOverSockets) {
+  server::SegmentServer core;
+  TcpServer server(core, 0);
+  uint16_t port = server.port();
+  auto factory = [port](const std::string&) {
+    return std::make_shared<TcpClientChannel>(port);
+  };
+  Client writer(factory);
+  Client reader(factory);
+
+  const TypeDescriptor* arr = writer.types().array_of(
+      writer.types().primitive(PrimitiveKind::kInt32), 16);
+  ClientSegment* ws = writer.open_segment("host/tcp-notify");
+  writer.write_lock(ws);
+  auto* data = static_cast<int32_t*>(writer.malloc_block(ws, arr));
+  writer.write_unlock(ws);
+
+  ClientSegment* rs = reader.open_segment("host/tcp-notify");
+  reader.set_coherence(rs, CoherencePolicy::delta(10));
+  reader.read_lock(rs);
+  reader.read_unlock(rs);
+
+  writer.write_lock(ws);
+  data[0] = 1;
+  writer.write_unlock(ws);
+
+  // Give the async notification a moment to land, then verify the reader
+  // can satisfy a delta-bounded lock without a server round trip.
+  for (int spin = 0; spin < 100; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    uint64_t calls = reader.stats().read_lock_server_calls;
+    reader.read_lock(rs);
+    reader.read_unlock(rs);
+    if (reader.stats().read_lock_server_calls == calls) {
+      SUCCEED();
+      return;
+    }
+  }
+  // Even if every acquire contacted the server, correctness held; flag the
+  // missing optimization only.
+  ADD_FAILURE() << "delta read never satisfied locally via notification";
+}
+
+TEST(Tcp, ServerShutdownUnblocksClients) {
+  server::SegmentServer core;
+  auto server = std::make_unique<TcpServer>(core, 0);
+  auto channel = std::make_unique<TcpClientChannel>(server->port());
+  Buffer empty;
+  channel->call(MsgType::kPing, std::move(empty));
+  server->shutdown();
+  Buffer empty2;
+  EXPECT_THROW(channel->call(MsgType::kPing, std::move(empty2)), Error);
+}
+
+}  // namespace
+}  // namespace iw

@@ -1,0 +1,249 @@
+// Tests for the XDR/RPC baseline: marshaling semantics (padding, deep-copy
+// pointers, strings), round trips, and the call layer over both transports.
+#include "rpcbase/rpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "net/inproc.hpp"
+#include "net/tcp.hpp"
+#include "rpcbase/xdr.hpp"
+
+namespace iw::rpc {
+namespace {
+
+TEST(Xdr, PrimitiveRoundTrips) {
+  Buffer buf;
+  Xdr enc(buf);
+  char c = 'z';
+  int16_t s = -12345;
+  int32_t i = 0x7FFFFFFF;
+  int64_t h = -99;
+  float f = 1.25f;
+  double d = -2.5;
+  EXPECT_TRUE(enc.x_char(&c));
+  EXPECT_TRUE(enc.x_short(&s));
+  EXPECT_TRUE(enc.x_int(&i));
+  EXPECT_TRUE(enc.x_hyper(&h));
+  EXPECT_TRUE(enc.x_float(&f));
+  EXPECT_TRUE(enc.x_double(&d));
+  // chars and shorts widen to 4 bytes each on the wire, XDR-style.
+  EXPECT_EQ(buf.size(), 4u + 4u + 4u + 8u + 4u + 8u);
+
+  BufReader r(buf.span());
+  Xdr dec(r);
+  char c2;
+  int16_t s2;
+  int32_t i2;
+  int64_t h2;
+  float f2;
+  double d2;
+  EXPECT_TRUE(dec.x_char(&c2));
+  EXPECT_TRUE(dec.x_short(&s2));
+  EXPECT_TRUE(dec.x_int(&i2));
+  EXPECT_TRUE(dec.x_hyper(&h2));
+  EXPECT_TRUE(dec.x_float(&f2));
+  EXPECT_TRUE(dec.x_double(&d2));
+  EXPECT_EQ(c2, 'z');
+  EXPECT_EQ(s2, -12345);
+  EXPECT_EQ(i2, 0x7FFFFFFF);
+  EXPECT_EQ(h2, -99);
+  EXPECT_EQ(f2, 1.25f);
+  EXPECT_EQ(d2, -2.5);
+}
+
+TEST(Xdr, StringPadsToFour) {
+  Buffer buf;
+  Xdr enc(buf);
+  char s[16] = "abcde";
+  EXPECT_TRUE(enc.x_string(s, sizeof s));
+  EXPECT_EQ(buf.size(), 4u + 8u);  // length + 5 bytes padded to 8
+
+  BufReader r(buf.span());
+  Xdr dec(r);
+  char out[16];
+  EXPECT_TRUE(dec.x_string(out, sizeof out));
+  EXPECT_STREQ(out, "abcde");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Xdr, StringTooLongForBufferFails) {
+  Buffer buf;
+  Xdr enc(buf);
+  char s[8] = "1234567";
+  EXPECT_TRUE(enc.x_string(s, sizeof s));
+  BufReader r(buf.span());
+  Xdr dec(r);
+  char tiny[4];
+  EXPECT_FALSE(dec.x_string(tiny, sizeof tiny));
+}
+
+TEST(Xdr, DecodeUnderrunReturnsFalse) {
+  Buffer buf;
+  buf.append_u16(0);
+  BufReader r(buf.span());
+  Xdr dec(r);
+  int32_t v;
+  EXPECT_FALSE(dec.x_int(&v));
+  double d;
+  EXPECT_FALSE(dec.x_double(&d));
+}
+
+TEST(Xdr, VectorMarshalsPerElement) {
+  std::vector<int32_t> data(100);
+  for (int i = 0; i < 100; ++i) data[i] = i - 50;
+  Buffer buf;
+  Xdr enc(buf);
+  auto proc = +[](Xdr* xdr, void* p) {
+    return xdr->x_int(static_cast<int32_t*>(p));
+  };
+  EXPECT_TRUE(xdr_vector(&enc, data.data(), 100, 4, proc));
+  EXPECT_EQ(buf.size(), 400u);
+
+  std::vector<int32_t> out(100);
+  BufReader r(buf.span());
+  Xdr dec(r);
+  EXPECT_TRUE(xdr_vector(&dec, out.data(), 100, 4, proc));
+  EXPECT_EQ(out, data);
+}
+
+TEST(Xdr, PointerDeepCopies) {
+  auto proc = +[](Xdr* xdr, void* p) {
+    return xdr->x_int(static_cast<int32_t*>(p));
+  };
+  int32_t value = 1234;
+  int32_t* ptr = &value;
+  Buffer buf;
+  Xdr enc(buf);
+  EXPECT_TRUE(xdr_pointer(&enc, reinterpret_cast<void**>(&ptr), 4, proc));
+  EXPECT_EQ(buf.size(), 8u);  // presence flag + the int itself (deep copy)
+
+  int32_t* out = nullptr;
+  BufReader r(buf.span());
+  Xdr dec(r);
+  EXPECT_TRUE(xdr_pointer(&dec, reinterpret_cast<void**>(&out), 4, proc));
+  ASSERT_NE(out, nullptr);
+  EXPECT_NE(out, &value) << "deep copy allocates";
+  EXPECT_EQ(*out, 1234);
+  ::operator delete(out);
+}
+
+TEST(Xdr, NullPointerIsJustAFlag) {
+  auto proc = +[](Xdr* xdr, void* p) {
+    return xdr->x_int(static_cast<int32_t*>(p));
+  };
+  int32_t* ptr = nullptr;
+  Buffer buf;
+  Xdr enc(buf);
+  EXPECT_TRUE(xdr_pointer(&enc, reinterpret_cast<void**>(&ptr), 4, proc));
+  EXPECT_EQ(buf.size(), 4u);
+
+  int32_t* out = reinterpret_cast<int32_t*>(0x1);
+  BufReader r(buf.span());
+  Xdr dec(r);
+  EXPECT_TRUE(xdr_pointer(&dec, reinterpret_cast<void**>(&out), 4, proc));
+  EXPECT_EQ(out, nullptr);
+}
+
+TEST(Xdr, NestedStructMarshaling) {
+  struct Inner { int32_t a; double b; };
+  struct Outer { Inner inner; char name[8]; Inner* link; };
+  auto inner_proc = +[](Xdr* xdr, void* p) {
+    auto* v = static_cast<Inner*>(p);
+    return xdr->x_int(&v->a) && xdr->x_double(&v->b);
+  };
+  Inner linked{7, 8.5};
+  Outer o{{1, 2.5}, "hey", &linked};
+
+  Buffer buf;
+  Xdr enc(buf);
+  ASSERT_TRUE(inner_proc(&enc, &o.inner));
+  ASSERT_TRUE(enc.x_string(o.name, sizeof o.name));
+  ASSERT_TRUE(xdr_pointer(&enc, reinterpret_cast<void**>(&o.link),
+                          sizeof(Inner), inner_proc));
+
+  Outer out{};
+  BufReader r(buf.span());
+  Xdr dec(r);
+  ASSERT_TRUE(inner_proc(&dec, &out.inner));
+  ASSERT_TRUE(dec.x_string(out.name, sizeof out.name));
+  ASSERT_TRUE(xdr_pointer(&dec, reinterpret_cast<void**>(&out.link),
+                          sizeof(Inner), inner_proc));
+  EXPECT_EQ(out.inner.a, 1);
+  EXPECT_EQ(out.inner.b, 2.5);
+  EXPECT_STREQ(out.name, "hey");
+  ASSERT_NE(out.link, nullptr);
+  EXPECT_EQ(out.link->a, 7);
+  EXPECT_EQ(out.link->b, 8.5);
+  ::operator delete(out.link);
+}
+
+TEST(Rpc, CallOverInProc) {
+  RpcServer server;
+  server.register_procedure(1, [](BufReader& in, Buffer& out) {
+    Xdr dec(in);
+    int32_t a, b;
+    if (!dec.x_int(&a) || !dec.x_int(&b)) {
+      throw Error(ErrorCode::kProtocol, "bad args");
+    }
+    Xdr enc(out);
+    int32_t sum = a + b;
+    enc.x_int(&sum);
+  });
+  RpcClient client(std::make_shared<InProcChannel>(server));
+  Buffer args;
+  Xdr enc(args);
+  int32_t a = 30, b = 12;
+  enc.x_int(&a);
+  enc.x_int(&b);
+  auto result = client.call(1, std::move(args));
+  BufReader r = result.reader();
+  Xdr dec(r);
+  int32_t sum;
+  ASSERT_TRUE(dec.x_int(&sum));
+  EXPECT_EQ(sum, 42);
+}
+
+TEST(Rpc, UnknownProcedureFails) {
+  RpcServer server;
+  RpcClient client(std::make_shared<InProcChannel>(server));
+  Buffer args;
+  try {
+    client.call(99, std::move(args));
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNotFound);
+  }
+}
+
+TEST(Rpc, CallOverTcp) {
+  RpcServer core;
+  core.register_procedure(7, [](BufReader& in, Buffer& out) {
+    Xdr dec(in);
+    char name[32];
+    if (!dec.x_string(name, sizeof name)) {
+      throw Error(ErrorCode::kProtocol, "bad args");
+    }
+    std::string greeting = std::string("hello ") + name;
+    Xdr enc(out);
+    char reply[64];
+    std::snprintf(reply, sizeof reply, "%s", greeting.c_str());
+    enc.x_string(reply, sizeof reply);
+  });
+  TcpServer server(core, 0);
+  RpcClient client(std::make_shared<TcpClientChannel>(server.port()));
+  Buffer args;
+  Xdr enc(args);
+  char name[32] = "world";
+  enc.x_string(name, sizeof name);
+  auto result = client.call(7, std::move(args));
+  BufReader r = result.reader();
+  Xdr dec(r);
+  char reply[64];
+  ASSERT_TRUE(dec.x_string(reply, sizeof reply));
+  EXPECT_STREQ(reply, "hello world");
+}
+
+}  // namespace
+}  // namespace iw::rpc

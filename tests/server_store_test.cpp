@@ -1,0 +1,359 @@
+// SegmentStore unit tests: subblock version tracking, version-list/marker
+// maintenance, diff caching, free history, and checkpoint round trips.
+#include "server/segment_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wire/translate.hpp"
+
+namespace iw::server {
+namespace {
+
+/// Builds a client-shaped diff that creates one int-array block.
+std::vector<uint8_t> make_create_diff(SegmentStore& store, uint32_t serial,
+                                      uint32_t n_ints, uint32_t type_serial,
+                                      const std::string& name = {}) {
+  Buffer out;
+  DiffWriter w(out, store.version(), store.version() + 1);
+  w.begin_block(serial, diff_flags::kNew | diff_flags::kWhole, type_serial,
+                name);
+  w.begin_run(0, n_ints);
+  for (uint32_t i = 0; i < n_ints; ++i) out.append_u32(i);
+  w.end_block();
+  w.finish();
+  return out.take();
+}
+
+std::vector<uint8_t> make_update_diff(SegmentStore& store, uint32_t serial,
+                                      uint32_t start, uint32_t count,
+                                      uint32_t value) {
+  Buffer out;
+  DiffWriter w(out, store.version(), store.version() + 1);
+  w.begin_block(serial, 0);
+  w.begin_run(start, count);
+  for (uint32_t i = 0; i < count; ++i) out.append_u32(value + i);
+  w.end_block();
+  w.finish();
+  return out.take();
+}
+
+uint32_t register_int_array(SegmentStore& store, uint32_t n) {
+  TypeRegistry scratch(Platform::native().rules);
+  Buffer graph;
+  TypeCodec::encode_graph(
+      scratch.array_of(scratch.primitive(PrimitiveKind::kInt32), n), graph);
+  return store.register_type(graph.span());
+}
+
+TEST(SegmentStore, FreshStoreState) {
+  SegmentStore store("s", {});
+  EXPECT_EQ(store.version(), 1u);
+  EXPECT_EQ(store.next_block_serial(), 1u);
+  EXPECT_EQ(store.block_count(), 0u);
+}
+
+TEST(SegmentStore, TypeRegistrationDedups) {
+  SegmentStore store("s", {});
+  uint32_t a = register_int_array(store, 100);
+  uint32_t b = register_int_array(store, 100);
+  uint32_t c = register_int_array(store, 200);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(store.type_count(), 2u);
+}
+
+TEST(SegmentStore, ApplyCreateDiff) {
+  SegmentStore store("s", {});
+  uint32_t t = register_int_array(store, 64);
+  uint32_t v = store.apply_diff(make_create_diff(store, 1, 64, t, "data"));
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(store.block_count(), 1u);
+  EXPECT_EQ(store.next_block_serial(), 2u);
+  const SvrBlock* blk = store.find_block(1);
+  ASSERT_NE(blk, nullptr);
+  EXPECT_EQ(blk->name, "data");
+  EXPECT_EQ(blk->created_version, 2u);
+  EXPECT_EQ(store.find_block_by_name("data"), blk);
+  // 64 units / 16 per subblock = 4 subblocks, all at version 2.
+  ASSERT_EQ(blk->subblock_count(), 4u);
+  for (uint32_t sv : blk->subblock_versions) EXPECT_EQ(sv, 2u);
+}
+
+TEST(SegmentStore, SubblockVersionsTrackPartialUpdates) {
+  SegmentStore store("s", {});
+  uint32_t t = register_int_array(store, 64);
+  store.apply_diff(make_create_diff(store, 1, 64, t));
+  store.apply_diff(make_update_diff(store, 1, 20, 4, 999));  // units 20-23
+  const SvrBlock* blk = store.find_block(1);
+  // Units 20-23 live in subblock 1 only.
+  EXPECT_EQ(blk->subblock_versions[0], 2u);
+  EXPECT_EQ(blk->subblock_versions[1], 3u);
+  EXPECT_EQ(blk->subblock_versions[2], 2u);
+  EXPECT_EQ(blk->version, 3u);
+}
+
+TEST(SegmentStore, CollectDiffForStaleClientSendsOnlyNewSubblocks) {
+  SegmentStore::Options options;
+  options.enable_diff_cache = false;
+  SegmentStore store("s", options);
+  uint32_t t = register_int_array(store, 256);
+  store.apply_diff(make_create_diff(store, 1, 256, t));  // v2
+
+  auto full = store.collect_diff(0);
+  store.apply_diff(make_update_diff(store, 1, 0, 2, 5));  // v3, subblock 0
+
+  auto incr = store.collect_diff(2);
+  EXPECT_LT(incr->size(), full->size() / 4)
+      << "incremental diff must be much smaller than a full send";
+
+  // Parse: one block entry, one run covering exactly subblock 0 (units 0-15).
+  BufReader in(incr->data(), incr->size());
+  DiffReader r(in);
+  EXPECT_EQ(r.from_version(), 2u);
+  EXPECT_EQ(r.to_version(), 3u);
+  DiffEntry e;
+  ASSERT_TRUE(r.next(&e));
+  EXPECT_EQ(e.serial, 1u);
+  EXPECT_EQ(e.flags, 0);
+  DiffRun run = DiffReader::read_run(e.runs);
+  EXPECT_EQ(run.start_unit, 0u);
+  EXPECT_EQ(run.unit_count, 16u);
+}
+
+TEST(SegmentStore, CollectMergesAdjacentDirtySubblocks) {
+  SegmentStore::Options options;
+  options.enable_diff_cache = false;
+  SegmentStore store("s", options);
+  uint32_t t = register_int_array(store, 256);
+  store.apply_diff(make_create_diff(store, 1, 256, t));
+  store.apply_diff(make_update_diff(store, 1, 10, 30, 7));  // subblocks 0,1,2
+
+  auto diff = store.collect_diff(2);
+  BufReader in(diff->data(), diff->size());
+  DiffReader r(in);
+  DiffEntry e;
+  ASSERT_TRUE(r.next(&e));
+  DiffRun run = DiffReader::read_run(e.runs);
+  EXPECT_EQ(run.start_unit, 0u);
+  EXPECT_EQ(run.unit_count, 48u);  // one merged run, 3 subblocks
+  EXPECT_TRUE(e.runs.remaining() == 48 * 4);
+}
+
+TEST(SegmentStore, FreeHistoryInformsStaleClients) {
+  SegmentStore store("s", {});
+  uint32_t t = register_int_array(store, 16);
+  store.apply_diff(make_create_diff(store, 1, 16, t));  // v2
+  store.apply_diff(make_create_diff(store, 2, 16, t));  // v3
+
+  // Free block 1 at v4.
+  Buffer out;
+  DiffWriter w(out, store.version(), store.version() + 1);
+  w.add_free(1);
+  w.finish();
+  store.apply_diff(out.span());
+
+  // A client at v3 saw block 1: it gets the free entry.
+  auto diff = store.collect_diff(3);
+  BufReader in(diff->data(), diff->size());
+  DiffReader r(in);
+  DiffEntry e;
+  ASSERT_TRUE(r.next(&e));
+  EXPECT_TRUE(e.flags & diff_flags::kFree);
+  EXPECT_EQ(e.serial, 1u);
+
+  // A fresh client never saw it: no free entry, one create entry.
+  auto fresh = store.collect_diff(0);
+  BufReader in2(fresh->data(), fresh->size());
+  DiffReader r2(in2);
+  ASSERT_TRUE(r2.next(&e));
+  EXPECT_FALSE(e.flags & diff_flags::kFree);
+  EXPECT_EQ(e.serial, 2u);
+  EXPECT_FALSE(r2.next(&e));
+}
+
+TEST(SegmentStore, DiffCacheServesRepeatRequests) {
+  SegmentStore store("s", {});
+  uint32_t t = register_int_array(store, 64);
+  store.apply_diff(make_create_diff(store, 1, 64, t));
+  store.apply_diff(make_update_diff(store, 1, 0, 4, 9));
+
+  // The applied diff (v2 -> v3) was cached; a client at v2 reuses it.
+  auto d1 = store.collect_diff(2);
+  EXPECT_EQ(store.stats().diff_cache_hits, 1u);
+  auto d2 = store.collect_diff(2);
+  EXPECT_EQ(store.stats().diff_cache_hits, 2u);
+  EXPECT_EQ(d1.get(), d2.get()) << "same cached bytes object";
+
+  // A different from-version misses and is built.
+  auto d0 = store.collect_diff(0);
+  EXPECT_EQ(store.stats().diff_cache_misses, 1u);
+  // ... and is itself now cached.
+  auto d0b = store.collect_diff(0);
+  EXPECT_EQ(d0.get(), d0b.get());
+}
+
+TEST(SegmentStore, DiffCacheDisabledAlwaysBuilds) {
+  SegmentStore::Options options;
+  options.enable_diff_cache = false;
+  SegmentStore store("s", options);
+  uint32_t t = register_int_array(store, 64);
+  store.apply_diff(make_create_diff(store, 1, 64, t));
+  auto d1 = store.collect_diff(0);
+  auto d2 = store.collect_diff(0);
+  EXPECT_NE(d1.get(), d2.get());
+  EXPECT_EQ(store.stats().diff_cache_hits, 0u);
+}
+
+TEST(SegmentStore, StaleBaseVersionRejected) {
+  SegmentStore store("s", {});
+  uint32_t t = register_int_array(store, 16);
+  store.apply_diff(make_create_diff(store, 1, 16, t));
+  Buffer out;
+  DiffWriter w(out, 1, 2);  // base v1, but store is at v2
+  w.begin_block(1, 0);
+  w.begin_run(0, 1);
+  out.append_u32(1);
+  w.end_block();
+  w.finish();
+  try {
+    store.apply_diff(out.span());
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kState);
+  }
+}
+
+TEST(SegmentStore, MalformedDiffsRejected) {
+  SegmentStore store("s", {});
+  uint32_t t = register_int_array(store, 16);
+  store.apply_diff(make_create_diff(store, 1, 16, t));
+
+  // Run beyond block bounds.
+  Buffer out;
+  DiffWriter w(out, store.version(), store.version() + 1);
+  w.begin_block(1, 0);
+  w.begin_run(10, 100);
+  for (int i = 0; i < 100; ++i) out.append_u32(0);
+  w.end_block();
+  w.finish();
+  EXPECT_THROW(store.apply_diff(out.span()), Error);
+
+  // Update of unknown block.
+  EXPECT_THROW(store.apply_diff(make_update_diff(store, 99, 0, 1, 0)), Error);
+
+  // New block with unknown type.
+  Buffer out2;
+  DiffWriter w2(out2, store.version(), store.version() + 1);
+  w2.begin_block(5, diff_flags::kNew, 42, "x");
+  w2.begin_run(0, 1);
+  out2.append_u32(0);
+  w2.end_block();
+  w2.finish();
+  EXPECT_THROW(store.apply_diff(out2.span()), Error);
+}
+
+TEST(SegmentStore, StringsAndPointersStoredOutOfLine) {
+  SegmentStore store("s", {});
+  TypeRegistry scratch(Platform::native().rules);
+  const TypeDescriptor* rec = scratch.struct_builder("rec")
+      .field("name", scratch.string_type(16))
+      .field("next", scratch.pointer_to(nullptr))
+      .finish();
+  Buffer graph;
+  TypeCodec::encode_graph(rec, graph);
+  uint32_t t = store.register_type(graph.span());
+
+  Buffer out;
+  DiffWriter w(out, 1, 2);
+  w.begin_block(1, diff_flags::kNew | diff_flags::kWhole, t, "");
+  w.begin_run(0, 2);
+  out.append_lp_string("hello");            // string unit
+  out.append_lp_string("host/other#1#0");   // MIP unit
+  w.end_block();
+  w.finish();
+  store.apply_diff(out.span());
+
+  const SvrBlock* blk = store.find_block(1);
+  ASSERT_EQ(blk->vardata.size(), 2u);
+  EXPECT_EQ(blk->vardata[0], "hello");
+  EXPECT_EQ(blk->vardata[1], "host/other#1#0");
+
+  // Collecting re-emits identical variable data.
+  auto diff = store.collect_diff(0);
+  BufReader in(diff->data(), diff->size());
+  DiffReader r(in);
+  DiffEntry e;
+  ASSERT_TRUE(r.next(&e));
+  DiffReader::read_run(e.runs);
+  EXPECT_EQ(e.runs.read_lp_string(), "hello");
+  EXPECT_EQ(e.runs.read_lp_string(), "host/other#1#0");
+}
+
+TEST(SegmentStore, SerializeDeserializeRoundTrip) {
+  // Disable the diff cache so both stores build diffs from subblock state
+  // (the cache would give the original store finer-grained cached bytes).
+  SegmentStore::Options options;
+  options.enable_diff_cache = false;
+  SegmentStore store("s", options);
+  uint32_t t = register_int_array(store, 64);
+  store.apply_diff(make_create_diff(store, 1, 64, t, "a"));
+  store.apply_diff(make_create_diff(store, 2, 64, t, "b"));
+  store.apply_diff(make_update_diff(store, 1, 16, 4, 77));
+
+  Buffer snapshot;
+  store.serialize(snapshot);
+  BufReader in(snapshot.span());
+  auto restored = SegmentStore::deserialize("s", {}, in);
+  EXPECT_TRUE(in.at_end());
+
+  EXPECT_EQ(restored->version(), store.version());
+  EXPECT_EQ(restored->next_block_serial(), store.next_block_serial());
+  EXPECT_EQ(restored->block_count(), 2u);
+  const SvrBlock* blk = restored->find_block(1);
+  ASSERT_NE(blk, nullptr);
+  EXPECT_EQ(blk->version, 4u);
+  EXPECT_EQ(blk->subblock_versions[1], 4u);
+  EXPECT_EQ(blk->subblock_versions[0], 2u);
+
+  // Diffs collected from the restored store match the original's content.
+  auto d_orig = store.collect_diff(3);
+  auto d_rest = restored->collect_diff(3);
+  ASSERT_EQ(d_orig->size(), d_rest->size());
+  EXPECT_EQ(0, memcmp(d_orig->data(), d_rest->data(), d_orig->size()));
+}
+
+TEST(SegmentStore, LastBlockPredictionHitsOnSequentialDiffs) {
+  SegmentStore store("s", {});
+  uint32_t t = register_int_array(store, 32);
+  // Create 10 blocks in one diff.
+  {
+    Buffer out;
+    DiffWriter w(out, 1, 2);
+    for (uint32_t serial = 1; serial <= 10; ++serial) {
+      w.begin_block(serial, diff_flags::kNew | diff_flags::kWhole, t, "");
+      w.begin_run(0, 32);
+      for (int i = 0; i < 32; ++i) out.append_u32(i);
+      w.end_block();
+    }
+    w.finish();
+    store.apply_diff(out.span());
+  }
+  // Update all 10 in serial order, twice. The second pass should follow the
+  // version-list order established by the first and hit the prediction.
+  for (int round = 0; round < 2; ++round) {
+    Buffer out;
+    DiffWriter w(out, store.version(), store.version() + 1);
+    for (uint32_t serial = 1; serial <= 10; ++serial) {
+      w.begin_block(serial, 0);
+      w.begin_run(0, 1);
+      out.append_u32(round);
+      w.end_block();
+    }
+    w.finish();
+    store.apply_diff(out.span());
+  }
+  EXPECT_GT(store.stats().prediction_hits, 8u);
+}
+
+}  // namespace
+}  // namespace iw::server

@@ -1,0 +1,125 @@
+// End-to-end tests for the CLI tools (iwidlc, iwinspect) run as real
+// subprocesses against in-test servers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "interweave/interweave.hpp"
+
+namespace iw {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string run_command(const std::string& command, int* exit_code) {
+  std::string output;
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed";
+    *exit_code = -1;
+    return output;
+  }
+  char buf[512];
+  while (fgets(buf, sizeof buf, pipe) != nullptr) output += buf;
+  int status = ::pclose(pipe);
+  *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return output;
+}
+
+TEST(Iwidlc, GeneratesHeader) {
+  fs::path dir = fs::temp_directory_path() / "iw-tools-test";
+  fs::create_directories(dir);
+  fs::path idl = dir / "t.idl";
+  {
+    std::ofstream f(idl);
+    f << "enum kind_t { A, B = 3 };\n"
+         "struct rec { int id; string<8> tag; rec *next; };\n";
+  }
+  int code = 0;
+  std::string out = run_command(std::string(IWIDLC_PATH) + " -n demo " +
+                                idl.string(), &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("namespace demo"), std::string::npos);
+  EXPECT_NE(out.find("enum kind_t : int32_t"), std::string::npos);
+  EXPECT_NE(out.find("struct rec {"), std::string::npos);
+  EXPECT_NE(out.find("static_assert(sizeof(rec)"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(Iwidlc, RejectsBadIdl) {
+  fs::path dir = fs::temp_directory_path() / "iw-tools-test2";
+  fs::create_directories(dir);
+  fs::path idl = dir / "bad.idl";
+  {
+    std::ofstream f(idl);
+    f << "struct s { nope x; };\n";
+  }
+  int code = 0;
+  std::string out = run_command(std::string(IWIDLC_PATH) + " " + idl.string(),
+                                &code);
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("undeclared type"), std::string::npos) << out;
+  fs::remove_all(dir);
+}
+
+TEST(Iwinspect, DirectoryAndDataDump) {
+  server::SegmentServer core;
+  TcpServer server(core, 0);
+
+  // Seed a segment with typed data.
+  Client c([&](const std::string&) {
+    return std::make_shared<TcpClientChannel>(server.port());
+  });
+  const TypeDescriptor* rec = c.types().struct_builder("rec")
+      .field("id", c.types().primitive(PrimitiveKind::kInt32))
+      .field("score", c.types().primitive(PrimitiveKind::kFloat64))
+      .field("tag", c.types().string_type(8))
+      .self_pointer_field("next")
+      .finish();
+  ClientSegment* seg = c.open_segment("tool/demo");
+  c.write_lock(seg);
+  struct Rec { int32_t id; double score; char tag[8]; void* next; };
+  auto* a = static_cast<Rec*>(c.malloc_block(seg, rec, "alpha"));
+  a->id = 17;
+  a->score = 2.5;
+  std::snprintf(a->tag, sizeof a->tag, "hey");
+  auto* b = static_cast<Rec*>(c.malloc_block(seg, rec));
+  b->id = 18;
+  a->next = b;
+  c.write_unlock(seg);
+
+  std::string base = std::string(IWINSPECT_PATH) + " --port=" +
+                     std::to_string(server.port());
+  int code = 0;
+  std::string dir_out = run_command(base + " tool/demo", &code);
+  EXPECT_EQ(code, 0) << dir_out;
+  EXPECT_NE(dir_out.find("version  2"), std::string::npos) << dir_out;
+  EXPECT_NE(dir_out.find("struct rec"), std::string::npos);
+  EXPECT_NE(dir_out.find("alpha"), std::string::npos);
+
+  std::string data_out = run_command(base + " --data tool/demo", &code);
+  EXPECT_EQ(code, 0) << data_out;
+  EXPECT_NE(data_out.find("block #1 alpha"), std::string::npos) << data_out;
+  EXPECT_NE(data_out.find("17"), std::string::npos);
+  EXPECT_NE(data_out.find("2.5"), std::string::npos);
+  EXPECT_NE(data_out.find("\"hey\""), std::string::npos);
+  EXPECT_NE(data_out.find("-> tool/demo#2#0"), std::string::npos);
+  EXPECT_NE(data_out.find("(null)"), std::string::npos);
+}
+
+TEST(Iwinspect, MissingSegmentFailsCleanly) {
+  server::SegmentServer core;
+  TcpServer server(core, 0);
+  int code = 0;
+  std::string out = run_command(std::string(IWINSPECT_PATH) + " --port=" +
+                                    std::to_string(server.port()) +
+                                    " tool/nope",
+                                &code);
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("NotFound"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace iw

@@ -1,0 +1,250 @@
+// Unit and property tests for the intrusive AVL tree, including randomized
+// differential testing against std::set and multi-tree membership (the way
+// blocks participate in several metadata trees at once).
+#include "util/avl_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "util/rand.hpp"
+
+namespace iw {
+namespace {
+
+struct Item {
+  explicit Item(int k) : key(k) {}
+  int key;
+  uint64_t addr = 0;
+  AvlHook by_key;
+  AvlHook by_addr;
+};
+
+struct KeyOf {
+  int operator()(const Item& i) const { return i.key; }
+};
+struct AddrOf {
+  uint64_t operator()(const Item& i) const { return i.addr; }
+};
+
+using KeyTree = AvlTree<Item, &Item::by_key, KeyOf>;
+using AddrTree = AvlTree<Item, &Item::by_addr, AddrOf>;
+
+TEST(AvlTree, EmptyTreeBehaviour) {
+  KeyTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.find(1), nullptr);
+  EXPECT_EQ(tree.lower_bound(1), nullptr);
+  EXPECT_EQ(tree.floor(1), nullptr);
+  EXPECT_EQ(tree.first(), nullptr);
+  EXPECT_EQ(tree.last(), nullptr);
+  tree.check_invariants();
+}
+
+TEST(AvlTree, InsertFindSingle) {
+  KeyTree tree;
+  Item a(42);
+  EXPECT_TRUE(tree.insert(a));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.find(42), &a);
+  EXPECT_EQ(tree.find(41), nullptr);
+  EXPECT_EQ(tree.first(), &a);
+  EXPECT_EQ(tree.last(), &a);
+  tree.check_invariants();
+}
+
+TEST(AvlTree, DuplicateInsertRejected) {
+  KeyTree tree;
+  Item a(7), b(7);
+  EXPECT_TRUE(tree.insert(a));
+  EXPECT_FALSE(tree.insert(b));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.find(7), &a);
+}
+
+TEST(AvlTree, AscendingInsertionStaysBalanced) {
+  KeyTree tree;
+  std::vector<std::unique_ptr<Item>> items;
+  for (int i = 0; i < 1000; ++i) {
+    items.push_back(std::make_unique<Item>(i));
+    ASSERT_TRUE(tree.insert(*items.back()));
+    tree.check_invariants();
+  }
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_EQ(tree.first()->key, 0);
+  EXPECT_EQ(tree.last()->key, 999);
+}
+
+TEST(AvlTree, DescendingInsertionStaysBalanced) {
+  KeyTree tree;
+  std::vector<std::unique_ptr<Item>> items;
+  for (int i = 999; i >= 0; --i) {
+    items.push_back(std::make_unique<Item>(i));
+    ASSERT_TRUE(tree.insert(*items.back()));
+  }
+  tree.check_invariants();
+  EXPECT_EQ(tree.first()->key, 0);
+}
+
+TEST(AvlTree, InOrderIterationIsSorted) {
+  KeyTree tree;
+  std::vector<std::unique_ptr<Item>> items;
+  SplitMix64 rng(1);
+  std::set<int> keys;
+  while (keys.size() < 200) keys.insert(static_cast<int>(rng.below(100000)));
+  for (int k : keys) {
+    items.push_back(std::make_unique<Item>(k));
+    ASSERT_TRUE(tree.insert(*items.back()));
+  }
+  std::vector<int> seen;
+  for (Item* it = tree.first(); it != nullptr; it = tree.next(*it)) {
+    seen.push_back(it->key);
+  }
+  EXPECT_EQ(seen, std::vector<int>(keys.begin(), keys.end()));
+}
+
+TEST(AvlTree, LowerBoundAndFloor) {
+  KeyTree tree;
+  std::vector<std::unique_ptr<Item>> items;
+  for (int k : {10, 20, 30, 40}) {
+    items.push_back(std::make_unique<Item>(k));
+    tree.insert(*items.back());
+  }
+  EXPECT_EQ(tree.lower_bound(5)->key, 10);
+  EXPECT_EQ(tree.lower_bound(10)->key, 10);
+  EXPECT_EQ(tree.lower_bound(11)->key, 20);
+  EXPECT_EQ(tree.lower_bound(40)->key, 40);
+  EXPECT_EQ(tree.lower_bound(41), nullptr);
+  EXPECT_EQ(tree.floor(5), nullptr);
+  EXPECT_EQ(tree.floor(10)->key, 10);
+  EXPECT_EQ(tree.floor(11)->key, 10);
+  EXPECT_EQ(tree.floor(39)->key, 30);
+  EXPECT_EQ(tree.floor(100)->key, 40);
+}
+
+TEST(AvlTree, EraseLeafRootAndInner) {
+  KeyTree tree;
+  std::vector<std::unique_ptr<Item>> items;
+  for (int k : {50, 25, 75, 10, 30, 60, 90}) {
+    items.push_back(std::make_unique<Item>(k));
+    tree.insert(*items.back());
+  }
+  // Erase a leaf.
+  tree.erase(*items[3]);  // 10
+  tree.check_invariants();
+  EXPECT_EQ(tree.find(10), nullptr);
+  // Erase an inner node with two children.
+  tree.erase(*items[1]);  // 25
+  tree.check_invariants();
+  EXPECT_EQ(tree.find(25), nullptr);
+  EXPECT_NE(tree.find(30), nullptr);
+  // Erase the root.
+  tree.erase(*items[0]);  // 50
+  tree.check_invariants();
+  EXPECT_EQ(tree.size(), 4u);
+}
+
+TEST(AvlTree, ReinsertAfterErase) {
+  KeyTree tree;
+  Item a(1), b(2);
+  tree.insert(a);
+  tree.insert(b);
+  tree.erase(a);
+  EXPECT_TRUE(tree.insert(a));
+  EXPECT_EQ(tree.size(), 2u);
+  tree.check_invariants();
+}
+
+TEST(AvlTree, SameItemInTwoTreesSimultaneously) {
+  KeyTree by_key;
+  AddrTree by_addr;
+  std::vector<std::unique_ptr<Item>> items;
+  SplitMix64 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    auto item = std::make_unique<Item>(i);
+    item->addr = rng();
+    ASSERT_TRUE(by_key.insert(*item));
+    ASSERT_TRUE(by_addr.insert(*item));
+    items.push_back(std::move(item));
+  }
+  by_key.check_invariants();
+  by_addr.check_invariants();
+  // Erasing from one tree leaves the other untouched.
+  by_key.erase(*items[50]);
+  EXPECT_EQ(by_key.find(50), nullptr);
+  EXPECT_EQ(by_addr.find(items[50]->addr), items[50].get());
+  by_addr.check_invariants();
+}
+
+// Differential test: a long random mix of inserts, erases and queries must
+// agree with std::set at every step, and invariants must hold throughout.
+TEST(AvlTree, RandomizedDifferentialAgainstStdSet) {
+  KeyTree tree;
+  std::set<int> model;
+  std::vector<std::unique_ptr<Item>> pool;
+  std::vector<Item*> live;
+  SplitMix64 rng(12345);
+
+  for (int step = 0; step < 20000; ++step) {
+    int op = static_cast<int>(rng.below(10));
+    if (op < 5) {  // insert
+      int key = static_cast<int>(rng.below(500));
+      if (model.insert(key).second) {
+        pool.push_back(std::make_unique<Item>(key));
+        ASSERT_TRUE(tree.insert(*pool.back()));
+        live.push_back(pool.back().get());
+      } else {
+        Item probe(key);
+        ASSERT_FALSE(tree.insert(probe));
+      }
+    } else if (op < 8 && !live.empty()) {  // erase random live item
+      size_t i = rng.below(live.size());
+      Item* victim = live[i];
+      model.erase(victim->key);
+      tree.erase(*victim);
+      live[i] = live.back();
+      live.pop_back();
+    } else {  // query
+      int key = static_cast<int>(rng.below(500));
+      Item* found = tree.find(key);
+      EXPECT_EQ(found != nullptr, model.count(key) == 1);
+      auto lb = model.lower_bound(key);
+      Item* tlb = tree.lower_bound(key);
+      if (lb == model.end()) {
+        EXPECT_EQ(tlb, nullptr);
+      } else {
+        ASSERT_NE(tlb, nullptr);
+        EXPECT_EQ(tlb->key, *lb);
+      }
+    }
+    if (step % 512 == 0) tree.check_invariants();
+    ASSERT_EQ(tree.size(), model.size());
+  }
+  tree.check_invariants();
+}
+
+TEST(AvlTree, StressEraseAllInRandomOrder) {
+  KeyTree tree;
+  std::vector<std::unique_ptr<Item>> items;
+  for (int i = 0; i < 2048; ++i) {
+    items.push_back(std::make_unique<Item>(i));
+    tree.insert(*items.back());
+  }
+  SplitMix64 rng(99);
+  std::vector<Item*> order;
+  for (auto& item : items) order.push_back(item.get());
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    tree.erase(*order[i]);
+    if (i % 127 == 0) tree.check_invariants();
+  }
+  EXPECT_TRUE(tree.empty());
+}
+
+}  // namespace
+}  // namespace iw

@@ -1,0 +1,151 @@
+// Tests for Buffer/BufReader and the endian helpers they are built on.
+#include "util/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/endian.hpp"
+
+namespace iw {
+namespace {
+
+TEST(Endian, RoundTrips) {
+  uint8_t buf[8];
+  store_be16(buf, 0x1234);
+  EXPECT_EQ(buf[0], 0x12);
+  EXPECT_EQ(buf[1], 0x34);
+  EXPECT_EQ(load_be16(buf), 0x1234);
+
+  store_be32(buf, 0xDEADBEEF);
+  EXPECT_EQ(buf[0], 0xDE);
+  EXPECT_EQ(buf[3], 0xEF);
+  EXPECT_EQ(load_be32(buf), 0xDEADBEEFu);
+
+  store_be64(buf, 0x0102030405060708ULL);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0x08);
+  EXPECT_EQ(load_be64(buf), 0x0102030405060708ULL);
+}
+
+TEST(Endian, FloatBitPatternsSurviveRoundTrip) {
+  uint8_t buf[8];
+  for (double v : {0.0, -0.0, 1.5, -123.456, 1e300,
+                   std::numeric_limits<double>::infinity()}) {
+    store_be_double(buf, v);
+    EXPECT_EQ(load_be_double(buf), v);
+  }
+  store_be_double(buf, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(load_be_double(buf)));
+  for (float v : {0.0f, 3.14f, -1e-30f}) {
+    store_be_float(buf, v);
+    EXPECT_EQ(load_be_float(buf), v);
+  }
+}
+
+TEST(Buffer, AppendAndReadBackAllTypes) {
+  Buffer b;
+  b.append_u8(0xAB);
+  b.append_u16(0x1234);
+  b.append_u32(0xCAFEBABE);
+  b.append_u64(0x1122334455667788ULL);
+  b.append_i32(-42);
+  b.append_i64(-1e15);
+  b.append_f32(2.5f);
+  b.append_f64(-0.125);
+  b.append_lp_string("hello");
+
+  BufReader r(b.data(), b.size());
+  EXPECT_EQ(r.read_u8(), 0xAB);
+  EXPECT_EQ(r.read_u16(), 0x1234);
+  EXPECT_EQ(r.read_u32(), 0xCAFEBABEu);
+  EXPECT_EQ(r.read_u64(), 0x1122334455667788ULL);
+  EXPECT_EQ(r.read_i32(), -42);
+  EXPECT_EQ(r.read_i64(), -1000000000000000LL);
+  EXPECT_EQ(r.read_f32(), 2.5f);
+  EXPECT_EQ(r.read_f64(), -0.125);
+  EXPECT_EQ(r.read_lp_string(), "hello");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Buffer, EmptyLpString) {
+  Buffer b;
+  b.append_lp_string("");
+  BufReader r(b.span());
+  EXPECT_EQ(r.read_lp_string(), "");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Buffer, PlaceholderPatching) {
+  Buffer b;
+  b.append_u8(1);
+  size_t off = b.append_placeholder_u32();
+  b.append_lp_string("payload");
+  b.patch_u32(off, 777);
+  BufReader r(b.span());
+  EXPECT_EQ(r.read_u8(), 1);
+  EXPECT_EQ(r.read_u32(), 777u);
+  EXPECT_EQ(r.read_lp_string(), "payload");
+}
+
+TEST(Buffer, PatchOutOfRangeThrows) {
+  Buffer b;
+  b.append_u8(1);
+  EXPECT_THROW(b.patch_u32(0, 1), Error);
+}
+
+TEST(BufReader, OverrunThrowsProtocolError) {
+  Buffer b;
+  b.append_u16(7);
+  BufReader r(b.span());
+  EXPECT_EQ(r.read_u8(), 0);
+  try {
+    (void)r.read_u32();
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kProtocol);
+  }
+}
+
+TEST(BufReader, TruncatedLpStringThrows) {
+  Buffer b;
+  b.append_u32(100);  // claims 100 bytes
+  b.append_u8('x');
+  BufReader r(b.span());
+  EXPECT_THROW((void)r.read_lp_string(), Error);
+}
+
+TEST(BufReader, SkipAndRemaining) {
+  Buffer b;
+  b.append_u32(1);
+  b.append_u32(2);
+  BufReader r(b.span());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.skip(4);
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_EQ(r.read_u32(), 2u);
+  EXPECT_THROW(r.skip(1), Error);
+}
+
+TEST(Buffer, LargeAppendKeepsContents) {
+  Buffer b;
+  std::vector<uint8_t> chunk(100000);
+  for (size_t i = 0; i < chunk.size(); ++i) chunk[i] = static_cast<uint8_t>(i);
+  b.append(chunk.data(), chunk.size());
+  b.append(chunk.data(), chunk.size());
+  ASSERT_EQ(b.size(), 200000u);
+  EXPECT_EQ(b.data()[0], 0);
+  EXPECT_EQ(b.data()[100000], 0);
+  EXPECT_EQ(b.data()[99999], static_cast<uint8_t>(99999));
+}
+
+TEST(Buffer, TakeMovesStorage) {
+  Buffer b;
+  b.append_lp_string("abc");
+  auto v = b.take();
+  EXPECT_EQ(v.size(), 7u);
+}
+
+}  // namespace
+}  // namespace iw

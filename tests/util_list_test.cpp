@@ -1,0 +1,118 @@
+// Tests for the intrusive list used by the server's blk_version_list.
+#include "util/intrusive_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace iw {
+namespace {
+
+struct Node {
+  explicit Node(int v) : value(v) {}
+  int value;
+  ListHook hook;
+};
+
+using List = IntrusiveList<Node, &Node::hook>;
+
+std::vector<int> contents(const List& list) {
+  std::vector<int> out;
+  for (Node* n = list.front(); n != nullptr; n = list.next(*n)) {
+    out.push_back(n->value);
+  }
+  return out;
+}
+
+TEST(IntrusiveList, EmptyList) {
+  List list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.front(), nullptr);
+  EXPECT_EQ(list.back(), nullptr);
+}
+
+TEST(IntrusiveList, PushBackOrder) {
+  List list;
+  Node a(1), b(2), c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  EXPECT_EQ(contents(list), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(list.front(), &a);
+  EXPECT_EQ(list.back(), &c);
+  EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(IntrusiveList, PushFrontOrder) {
+  List list;
+  Node a(1), b(2);
+  list.push_front(a);
+  list.push_front(b);
+  EXPECT_EQ(contents(list), (std::vector<int>{2, 1}));
+}
+
+TEST(IntrusiveList, EraseMiddleFrontBack) {
+  List list;
+  Node a(1), b(2), c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.erase(b);
+  EXPECT_EQ(contents(list), (std::vector<int>{1, 3}));
+  EXPECT_FALSE(b.hook.linked());
+  list.erase(a);
+  EXPECT_EQ(contents(list), (std::vector<int>{3}));
+  list.erase(c);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, MoveToBackModelsModifiedBlock) {
+  List list;
+  Node a(1), b(2), c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.move_to_back(a);
+  EXPECT_EQ(contents(list), (std::vector<int>{2, 3, 1}));
+  list.move_to_back(a);  // already at back; stays there
+  EXPECT_EQ(contents(list), (std::vector<int>{2, 3, 1}));
+}
+
+TEST(IntrusiveList, InsertAfter) {
+  List list;
+  Node a(1), b(2), c(3);
+  list.push_back(a);
+  list.push_back(c);
+  list.insert_after(a, b);
+  EXPECT_EQ(contents(list), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(list.prev(b), &a);
+  EXPECT_EQ(list.next(b), &c);
+  EXPECT_EQ(list.prev(a), nullptr);
+  EXPECT_EQ(list.next(c), nullptr);
+}
+
+TEST(IntrusiveList, ReuseAfterErase) {
+  List list;
+  Node a(1);
+  list.push_back(a);
+  list.erase(a);
+  list.push_back(a);
+  EXPECT_EQ(contents(list), (std::vector<int>{1}));
+}
+
+TEST(IntrusiveList, ClearUnlinksAll) {
+  List list;
+  Node a(1), b(2);
+  list.push_back(a);
+  list.push_back(b);
+  list.clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(a.hook.linked());
+  EXPECT_FALSE(b.hook.linked());
+  list.push_back(a);  // reusable after clear
+  EXPECT_EQ(list.size(), 1u);
+}
+
+}  // namespace
+}  // namespace iw

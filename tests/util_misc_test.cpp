@@ -1,0 +1,102 @@
+// Tests for the small util pieces: errors, logging levels, RNG determinism,
+// seqlock reader/writer protocol.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/rand.hpp"
+#include "util/seqlock.hpp"
+#include "util/stopwatch.hpp"
+
+namespace iw {
+namespace {
+
+TEST(Error, CarriesCodeAndMessage) {
+  Error e(ErrorCode::kNotFound, "segment foo");
+  EXPECT_EQ(e.code(), ErrorCode::kNotFound);
+  EXPECT_STREQ(e.what(), "NotFound: segment foo");
+}
+
+TEST(Error, ThrowErrnoPreservesContext) {
+  errno = ENOENT;
+  try {
+    throw_errno("open(/nope)");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+    EXPECT_NE(std::string(e.what()).find("open(/nope)"), std::string::npos);
+  }
+}
+
+TEST(Error, AllCodesHaveNames) {
+  for (int i = 0; i <= static_cast<int>(ErrorCode::kInternal); ++i) {
+    EXPECT_STRNE(error_code_name(static_cast<ErrorCode>(i)), "Unknown");
+  }
+}
+
+TEST(Logging, LevelGateWorks) {
+  LogLevel old = log_level();
+  set_log_level(LogLevel::kOff);
+  IW_LOG(kError) << "this must not crash even when suppressed";
+  set_log_level(old);
+}
+
+TEST(Rand, DeterministicAcrossInstances) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rand, BelowStaysInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rand, UniformInUnitInterval) {
+  SplitMix64 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(sw.elapsed_ns(), 5'000'000);
+  sw.restart();
+  EXPECT_LT(sw.elapsed_ns(), 5'000'000);
+}
+
+TEST(SeqLock, ReaderSeesConsistentPairs) {
+  SeqLock lock;
+  uint64_t a = 1, b = ~1ULL;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (uint64_t i = 1; i < 200000 && !stop.load(); ++i) {
+      lock.write_begin();
+      a = i;
+      b = ~i;
+      lock.write_end();
+    }
+    stop = true;
+  });
+  uint64_t reads = 0;
+  while (!stop.load() && reads < 100000) {
+    uint32_t seq = lock.read_begin();
+    uint64_t ra = a, rb = b;
+    if (lock.read_retry(seq)) continue;
+    ASSERT_EQ(ra, ~rb) << "torn read";
+    ++reads;
+  }
+  stop = true;
+  writer.join();
+}
+
+}  // namespace
+}  // namespace iw

@@ -1,0 +1,162 @@
+// Tests for the typed View accessors: field-path resolution, all accessor
+// kinds, platform independence, and pointer following. Plus close_segment.
+#include "client/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "interweave/interweave.hpp"
+
+namespace iw::client {
+namespace {
+
+class ViewTest : public ::testing::Test {
+ protected:
+  ViewTest() {
+    factory_ = [this](const std::string&) {
+      return std::make_shared<InProcChannel>(server_);
+    };
+  }
+  std::unique_ptr<Client> make_client(Platform platform = Platform::native()) {
+    Client::Options options;
+    options.platform = platform;
+    return std::make_unique<Client>(factory_, options);
+  }
+
+  static const TypeDescriptor* sample_type(Client& c) {
+    const TypeDescriptor* inner = c.types().struct_builder("inner")
+        .field("id", c.types().primitive(PrimitiveKind::kInt16))
+        .field("weight", c.types().primitive(PrimitiveKind::kFloat64))
+        .finish();
+    return c.types().struct_builder("sample")
+        .field("tag", c.types().primitive(PrimitiveKind::kChar))
+        .field("count", c.types().primitive(PrimitiveKind::kInt64))
+        .field("label", c.types().string_type(10))
+        .field("items", c.types().array_of(inner, 4))
+        .self_pointer_field("next")
+        .finish();
+  }
+
+  server::SegmentServer server_;
+  Client::ChannelFactory factory_;
+};
+
+TEST_F(ViewTest, PathResolution) {
+  auto c = make_client();
+  const TypeDescriptor* t = sample_type(*c);
+  ClientSegment* seg = c->open_segment("host/view1");
+  c->write_lock(seg);
+  auto* raw = static_cast<uint8_t*>(c->malloc_block(seg, t, "s"));
+  View v(*c, raw, t);
+  // Units: tag=0, count=1, label=2, items[i]={id,weight} at 3+2i, next=11.
+  EXPECT_EQ(v.unit_of("tag"), 0u);
+  EXPECT_EQ(v.unit_of("count"), 1u);
+  EXPECT_EQ(v.unit_of("label"), 2u);
+  EXPECT_EQ(v.unit_of("items[0].id"), 3u);
+  EXPECT_EQ(v.unit_of("items[2].weight"), 8u);
+  EXPECT_EQ(v.unit_of("next"), 11u);
+  EXPECT_THROW(v.unit_of("nope"), Error);
+  EXPECT_THROW(v.unit_of("items[9].id"), Error);
+  EXPECT_THROW(v.unit_of("tag[0]"), Error);
+  EXPECT_THROW(v.unit_of("items[x]"), Error);
+  c->write_unlock(seg);
+}
+
+TEST_F(ViewTest, AccessorsRoundTripOnNative) {
+  auto c = make_client();
+  const TypeDescriptor* t = sample_type(*c);
+  ClientSegment* seg = c->open_segment("host/view2");
+  c->write_lock(seg);
+  auto* raw = static_cast<uint8_t*>(c->malloc_block(seg, t, "s"));
+  View v(*c, raw, t);
+  v.set_int("tag", 'x');
+  v.set_int("count", -123456789012345LL);
+  v.set_string("label", "hello");
+  v.set_int("items[1].id", -7);
+  v.set_f64("items[1].weight", 3.25);
+  v.set_ptr("next", raw);
+
+  EXPECT_EQ(v.get_int("tag"), 'x');
+  EXPECT_EQ(v.get_int("count"), -123456789012345LL);
+  EXPECT_EQ(v.get_string("label"), "hello");
+  EXPECT_EQ(v.get_int("items[1].id"), -7);
+  EXPECT_EQ(v.get_f64("items[1].weight"), 3.25);
+  EXPECT_EQ(v.get_ptr("next"), raw);
+  // Type confusion is rejected.
+  EXPECT_THROW(v.get_f64("tag"), Error);
+  EXPECT_THROW(v.get_string("count"), Error);
+  EXPECT_THROW(v.get_ptr("label"), Error);
+  c->write_unlock(seg);
+}
+
+TEST_F(ViewTest, CrossPlatformViewsAgree) {
+  auto native = make_client(Platform::native());
+  auto sparc = make_client(Platform::sparc32());
+  const TypeDescriptor* tn = sample_type(*native);
+
+  ClientSegment* ns = native->open_segment("host/view3");
+  native->write_lock(ns);
+  auto* raw = static_cast<uint8_t*>(native->malloc_block(ns, tn, "s"));
+  View vn(*native, raw, tn);
+  vn.set_int("count", 42);
+  vn.set_string("label", "abc");
+  vn.set_f64("items[3].weight", -0.5);
+  native->write_unlock(ns);
+
+  ClientSegment* ss = sparc->open_segment("host/view3");
+  sparc->read_lock(ss);
+  auto* blk = ss->heap().find_by_name("s");
+  ASSERT_NE(blk, nullptr);
+  View vs(*sparc, blk);
+  EXPECT_EQ(vs.get_int("count"), 42);
+  EXPECT_EQ(vs.get_string("label"), "abc");
+  EXPECT_EQ(vs.get_f64("items[3].weight"), -0.5);
+  sparc->read_unlock(ss);
+}
+
+TEST_F(ViewTest, FollowPointers) {
+  auto c = make_client();
+  const TypeDescriptor* t = sample_type(*c);
+  ClientSegment* seg = c->open_segment("host/view4");
+  c->write_lock(seg);
+  auto* a = static_cast<uint8_t*>(c->malloc_block(seg, t, "a"));
+  auto* b = static_cast<uint8_t*>(c->malloc_block(seg, t, "b"));
+  View va(*c, a, t);
+  View vb(*c, b, t);
+  vb.set_int("count", 99);
+  va.set_ptr("next", b);
+  c->write_unlock(seg);
+
+  View chased = va.follow("next");
+  EXPECT_EQ(chased.get_int("count"), 99);
+  EXPECT_THROW(vb.follow("next"), Error);  // null
+}
+
+TEST_F(ViewTest, CloseSegmentDropsCache) {
+  auto c = make_client();
+  const TypeDescriptor* int_t = c->types().primitive(PrimitiveKind::kInt32);
+  ClientSegment* seg = c->open_segment("host/close1");
+  c->write_lock(seg);
+  auto* p = static_cast<int32_t*>(c->malloc_block(seg, int_t, "v"));
+  *p = 7;
+  c->write_unlock(seg);
+
+  // Cannot close while locked.
+  c->read_lock(seg);
+  EXPECT_THROW(c->close_segment(seg), Error);
+  c->read_unlock(seg);
+
+  c->close_segment(seg);
+  // The old pointer is no longer part of any segment.
+  EXPECT_THROW(c->ptr_to_mip(p), Error);
+
+  // Reopen: fresh cache, data refetched from the server.
+  ClientSegment* again = c->open_segment("host/close1");
+  c->read_lock(again);
+  auto* blk = again->heap().find_by_name("v");
+  ASSERT_NE(blk, nullptr);
+  EXPECT_EQ(*reinterpret_cast<const int32_t*>(blk->data()), 7);
+  c->read_unlock(again);
+}
+
+}  // namespace
+}  // namespace iw::client

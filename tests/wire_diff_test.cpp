@@ -1,0 +1,189 @@
+// Tests for the segment-diff wire format (DiffWriter / DiffReader) and for
+// frame encoding.
+#include "wire/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wire/frame.hpp"
+#include "wire/translate.hpp"
+
+namespace iw {
+namespace {
+
+TEST(Frame, HeaderRoundTrip) {
+  Frame f;
+  f.type = MsgType::kAcquireRead;
+  f.request_id = 0xABCD;
+  f.payload = {1, 2, 3};
+  Buffer out;
+  encode_frame(f, out);
+  ASSERT_EQ(out.size(), kFrameHeaderSize + 3);
+  FrameHeader h = decode_frame_header(out.data());
+  EXPECT_EQ(h.type, MsgType::kAcquireRead);
+  EXPECT_EQ(h.request_id, 0xABCDu);
+  EXPECT_EQ(h.payload_size, 3u);
+  EXPECT_EQ(frame_wire_size(f), out.size());
+}
+
+TEST(Frame, OversizedPayloadRejected) {
+  uint8_t hdr[kFrameHeaderSize] = {0};
+  store_be32(hdr + 5, kMaxFramePayload + 1);
+  EXPECT_THROW(decode_frame_header(hdr), Error);
+}
+
+TEST(Diff, EmptyDiff) {
+  Buffer buf;
+  DiffWriter w(buf, 3, 4);
+  uint64_t size = w.finish();
+  EXPECT_EQ(size, buf.size());
+
+  BufReader in(buf.span());
+  DiffReader r(in);
+  EXPECT_EQ(r.from_version(), 3u);
+  EXPECT_EQ(r.to_version(), 4u);
+  EXPECT_EQ(r.entry_count(), 0u);
+  DiffEntry e;
+  EXPECT_FALSE(r.next(&e));
+}
+
+TEST(Diff, FreeEntries) {
+  Buffer buf;
+  DiffWriter w(buf, 0, 1);
+  w.add_free(17);
+  w.add_free(23);
+  w.finish();
+
+  BufReader in(buf.span());
+  DiffReader r(in);
+  DiffEntry e;
+  ASSERT_TRUE(r.next(&e));
+  EXPECT_EQ(e.serial, 17u);
+  EXPECT_TRUE(e.flags & diff_flags::kFree);
+  ASSERT_TRUE(r.next(&e));
+  EXPECT_EQ(e.serial, 23u);
+  EXPECT_FALSE(r.next(&e));
+}
+
+TEST(Diff, ModifiedBlockWithRuns) {
+  TypeRegistry reg(Platform::native().rules);
+  const TypeDescriptor* arr = reg.array_of(reg.primitive(PrimitiveKind::kInt32), 100);
+  std::vector<int32_t> data(100);
+  for (int i = 0; i < 100; ++i) data[i] = i;
+  NumericOnlyHooks hooks;
+
+  Buffer buf;
+  DiffWriter w(buf, 7, 8);
+  w.begin_block(5, 0);
+  w.begin_run(10, 3);
+  encode_units(*arr, reg.rules(), data.data(), 10, 13, hooks, w.buffer());
+  w.begin_run(50, 2);
+  encode_units(*arr, reg.rules(), data.data(), 50, 52, hooks, w.buffer());
+  w.end_block();
+  w.finish();
+
+  BufReader in(buf.span());
+  DiffReader r(in);
+  DiffEntry e;
+  ASSERT_TRUE(r.next(&e));
+  EXPECT_EQ(e.serial, 5u);
+  EXPECT_EQ(e.flags, 0);
+
+  std::vector<int32_t> out(100, -1);
+  DiffRun run = DiffReader::read_run(e.runs);
+  EXPECT_EQ(run.start_unit, 10u);
+  EXPECT_EQ(run.unit_count, 3u);
+  decode_units(*arr, reg.rules(), out.data(), run.start_unit,
+               run.start_unit + run.unit_count, hooks, e.runs);
+  run = DiffReader::read_run(e.runs);
+  EXPECT_EQ(run.start_unit, 50u);
+  decode_units(*arr, reg.rules(), out.data(), run.start_unit,
+               run.start_unit + run.unit_count, hooks, e.runs);
+  EXPECT_TRUE(e.runs.at_end());
+  EXPECT_EQ(out[10], 10);
+  EXPECT_EQ(out[12], 12);
+  EXPECT_EQ(out[50], 50);
+  EXPECT_EQ(out[51], 51);
+  EXPECT_EQ(out[9], -1);
+  EXPECT_EQ(out[13], -1);
+}
+
+TEST(Diff, NewBlockCarriesTypeAndName) {
+  Buffer buf;
+  DiffWriter w(buf, 1, 2);
+  w.begin_block(9, diff_flags::kNew | diff_flags::kWhole, 4, "head");
+  w.begin_run(0, 1);
+  w.buffer().append_u32(0xAA55AA55);
+  w.end_block();
+  w.finish();
+
+  BufReader in(buf.span());
+  DiffReader r(in);
+  DiffEntry e;
+  ASSERT_TRUE(r.next(&e));
+  EXPECT_EQ(e.serial, 9u);
+  EXPECT_TRUE(e.flags & diff_flags::kNew);
+  EXPECT_TRUE(e.flags & diff_flags::kWhole);
+  EXPECT_EQ(e.type_serial, 4u);
+  EXPECT_EQ(e.name, "head");
+  DiffRun run = DiffReader::read_run(e.runs);
+  EXPECT_EQ(run.start_unit, 0u);
+  EXPECT_EQ(e.runs.read_u32(), 0xAA55AA55u);
+}
+
+TEST(Diff, MultipleBlocksSequential) {
+  Buffer buf;
+  DiffWriter w(buf, 0, 5);
+  for (uint32_t serial = 1; serial <= 10; ++serial) {
+    w.begin_block(serial, 0);
+    w.begin_run(0, 1);
+    w.buffer().append_u32(serial * 100);
+    w.end_block();
+  }
+  w.finish();
+
+  BufReader in(buf.span());
+  DiffReader r(in);
+  EXPECT_EQ(r.entry_count(), 10u);
+  DiffEntry e;
+  for (uint32_t serial = 1; serial <= 10; ++serial) {
+    ASSERT_TRUE(r.next(&e));
+    EXPECT_EQ(e.serial, serial);
+    DiffReader::read_run(e.runs);
+    EXPECT_EQ(e.runs.read_u32(), serial * 100);
+  }
+  EXPECT_FALSE(r.next(&e));
+  EXPECT_TRUE(in.at_end());
+}
+
+TEST(Diff, TruncatedDiffThrows) {
+  Buffer buf;
+  DiffWriter w(buf, 0, 1);
+  w.begin_block(1, 0);
+  w.begin_run(0, 4);
+  w.buffer().append_u32(1);
+  w.end_block();
+  w.finish();
+
+  // Clip the buffer mid-entry.
+  Buffer clipped;
+  clipped.append(buf.data(), buf.size() - 3);
+  BufReader in(clipped.span());
+  DiffReader r(in);
+  DiffEntry e;
+  EXPECT_THROW(r.next(&e), Error);
+}
+
+TEST(Diff, WriterGuardsMisuse) {
+  Buffer buf;
+  DiffWriter w(buf, 0, 1);
+  EXPECT_THROW(w.end_block(), Error);
+  w.begin_block(1, 0);
+  EXPECT_THROW(w.begin_block(2, 0), Error);
+  EXPECT_THROW(w.add_free(3), Error);
+  EXPECT_THROW(w.finish(), Error);
+  w.end_block();
+  w.finish();
+}
+
+}  // namespace
+}  // namespace iw

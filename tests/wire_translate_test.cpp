@@ -1,0 +1,411 @@
+// Translation tests: local <-> wire round trips across platforms, pointer
+// and string hooks, padding preservation, and measure_units accounting.
+#include "wire/translate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "util/rand.hpp"
+
+namespace iw {
+namespace {
+
+/// Fake swizzler: pointers are 64-bit tokens mapped to/from "mip:<n>".
+class FakeHooks : public InlineStringHooks {
+ public:
+  explicit FakeHooks(const LayoutRules& rules) : rules_(rules) {}
+
+  std::string swizzle_out(const void* field) override {
+    uint64_t token = 0;
+    std::memcpy(&token, field, rules_.size[static_cast<int>(PrimitiveKind::kPointer)]);
+    ++swizzles_out;
+    return token == 0 ? "" : "mip:" + std::to_string(token);
+  }
+
+  void swizzle_in(std::string_view mip, void* field) override {
+    ++swizzles_in;
+    uint64_t token = 0;
+    if (!mip.empty()) {
+      token = std::stoull(std::string(mip.substr(4)));
+    }
+    std::memcpy(field, &token, rules_.size[static_cast<int>(PrimitiveKind::kPointer)]);
+  }
+
+  int swizzles_out = 0;
+  int swizzles_in = 0;
+
+ private:
+  LayoutRules rules_;
+};
+
+TEST(Translate, IntArrayRoundTripNative) {
+  TypeRegistry reg(Platform::native().rules);
+  const TypeDescriptor* arr = reg.array_of(reg.primitive(PrimitiveKind::kInt32), 64);
+  std::vector<int32_t> data(64);
+  for (int i = 0; i < 64; ++i) data[i] = i * 1000 - 32000;
+
+  NumericOnlyHooks hooks;
+  Buffer wire;
+  encode_units(*arr, reg.rules(), data.data(), 0, 64, hooks, wire);
+  EXPECT_EQ(wire.size(), 256u);
+  // Big-endian on the wire: first int is -32000.
+  EXPECT_EQ(static_cast<int32_t>(load_be32(wire.data())), -32000);
+
+  std::vector<int32_t> back(64, 0);
+  BufReader r(wire.span());
+  decode_units(*arr, reg.rules(), back.data(), 0, 64, hooks, r);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(back, data);
+}
+
+TEST(Translate, PartialRangeTouchesOnlyThoseUnits) {
+  TypeRegistry reg(Platform::native().rules);
+  const TypeDescriptor* arr = reg.array_of(reg.primitive(PrimitiveKind::kInt32), 10);
+  std::vector<int32_t> src(10, 7);
+  NumericOnlyHooks hooks;
+  Buffer wire;
+  encode_units(*arr, reg.rules(), src.data(), 3, 6, hooks, wire);
+  EXPECT_EQ(wire.size(), 12u);
+
+  std::vector<int32_t> dst(10, -1);
+  BufReader r(wire.span());
+  decode_units(*arr, reg.rules(), dst.data(), 3, 6, hooks, r);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(dst[i], (i >= 3 && i < 6) ? 7 : -1) << i;
+  }
+}
+
+TEST(Translate, CrossPlatformNumericConversion) {
+  // Encode from a big-endian 32-bit platform, decode into native (LE).
+  TypeRegistry be(Platform::sparc32().rules);
+  TypeRegistry le(Platform::native().rules);
+  const TypeDescriptor* s_be = be.struct_builder("v")
+      .field("i", be.primitive(PrimitiveKind::kInt32))
+      .field("d", be.primitive(PrimitiveKind::kFloat64))
+      .field("h", be.primitive(PrimitiveKind::kInt16))
+      .finish();
+  const TypeDescriptor* s_le = le.struct_builder("v")
+      .field("i", le.primitive(PrimitiveKind::kInt32))
+      .field("d", le.primitive(PrimitiveKind::kFloat64))
+      .field("h", le.primitive(PrimitiveKind::kInt16))
+      .finish();
+
+  // Build the BE-local representation by hand: i=0x01020304 big-endian.
+  std::vector<uint8_t> be_local(s_be->local_size(), 0);
+  const uint8_t i_bytes[4] = {0x01, 0x02, 0x03, 0x04};
+  std::memcpy(be_local.data() + s_be->fields()[0].local_offset, i_bytes, 4);
+  uint64_t dbits = std::bit_cast<uint64_t>(3.25);
+  store_be64(be_local.data() + s_be->fields()[1].local_offset, dbits);
+  const uint8_t h_bytes[2] = {0xFF, 0xFE};  // -2 big-endian
+  std::memcpy(be_local.data() + s_be->fields()[2].local_offset, h_bytes, 2);
+
+  NumericOnlyHooks hooks;
+  Buffer wire;
+  encode_units(*s_be, be.rules(), be_local.data(), 0, 3, hooks, wire);
+
+  struct Native { int32_t i; double d; int16_t h; } out{};
+  BufReader r(wire.span());
+  decode_units(*s_le, le.rules(), &out, 0, 3, hooks, r);
+  EXPECT_EQ(out.i, 0x01020304);
+  EXPECT_EQ(out.d, 3.25);
+  EXPECT_EQ(out.h, -2);
+}
+
+TEST(Translate, StringsTravelLengthPrefixedAndNulPad) {
+  TypeRegistry reg(Platform::native().rules);
+  const TypeDescriptor* arr = reg.array_of(reg.string_type(8), 3);
+  char local[24];
+  std::memset(local, 'X', sizeof local);
+  std::memcpy(local + 0, "ab\0XXXXX", 8);   // short string
+  std::memcpy(local + 8, "12345678", 8);    // full capacity, no NUL
+  std::memset(local + 16, 0, 8);            // empty
+
+  FakeHooks hooks(reg.rules());
+  Buffer wire;
+  encode_units(*arr, reg.rules(), local, 0, 3, hooks, wire);
+  // 3 lp strings: (4+2) + (4+8) + (4+0) = 22 bytes.
+  EXPECT_EQ(wire.size(), 22u);
+
+  char back[24];
+  std::memset(back, '?', sizeof back);
+  BufReader r(wire.span());
+  decode_units(*arr, reg.rules(), back, 0, 3, hooks, r);
+  EXPECT_EQ(std::string(back, 2), "ab");
+  EXPECT_EQ(back[2], '\0');  // NUL-padded to capacity
+  EXPECT_EQ(back[7], '\0');
+  EXPECT_EQ(std::string(back + 8, 8), "12345678");
+  EXPECT_EQ(back[16], '\0');
+}
+
+TEST(Translate, PointersGoThroughSwizzleHooks) {
+  TypeRegistry reg(Platform::native().rules);
+  const TypeDescriptor* node = reg.struct_builder("n")
+      .field("key", reg.primitive(PrimitiveKind::kInt32))
+      .self_pointer_field("next")
+      .finish();
+  struct N { int32_t key; uint64_t next; } local{42, 0xBEEF};
+  FakeHooks hooks(reg.rules());
+  Buffer wire;
+  encode_units(*node, reg.rules(), &local, 0, 2, hooks, wire);
+  EXPECT_EQ(hooks.swizzles_out, 1);
+
+  N back{0, 1};
+  BufReader r(wire.span());
+  decode_units(*node, reg.rules(), &back, 0, 2, hooks, r);
+  EXPECT_EQ(hooks.swizzles_in, 1);
+  EXPECT_EQ(back.key, 42);
+  EXPECT_EQ(back.next, 0xBEEFu);
+}
+
+TEST(Translate, NullPointerIsEmptyMip) {
+  TypeRegistry reg(Platform::native().rules);
+  const TypeDescriptor* ptr = reg.pointer_to(reg.primitive(PrimitiveKind::kInt32));
+  uint64_t local = 0;
+  FakeHooks hooks(reg.rules());
+  Buffer wire;
+  encode_units(*ptr, reg.rules(), &local, 0, 1, hooks, wire);
+  EXPECT_EQ(wire.size(), 4u);  // lp "" = length word only
+
+  uint64_t back = 123;
+  BufReader r(wire.span());
+  decode_units(*ptr, reg.rules(), &back, 0, 1, hooks, r);
+  EXPECT_EQ(back, 0u);
+}
+
+TEST(Translate, PointerWidthConversion32to64) {
+  // A sparc32 client stores 4-byte pointer tokens; wire MIPs re-expand to
+  // 8-byte tokens on native.
+  TypeRegistry p32(Platform::sparc32().rules);
+  TypeRegistry p64(Platform::native().rules);
+  const TypeDescriptor* t32 = p32.pointer_to(nullptr);
+  const TypeDescriptor* t64 = p64.pointer_to(nullptr);
+
+  uint32_t local32 = 77;
+  FakeHooks hooks32(p32.rules());
+  Buffer wire;
+  encode_units(*t32, p32.rules(), &local32, 0, 1, hooks32, wire);
+
+  uint64_t local64 = 0;
+  FakeHooks hooks64(p64.rules());
+  BufReader r(wire.span());
+  decode_units(*t64, p64.rules(), &local64, 0, 1, hooks64, r);
+  EXPECT_EQ(local64, 77u);
+}
+
+TEST(Translate, PaddingBytesAreNotTransmitted) {
+  TypeRegistry reg(Platform::native().rules);
+  const TypeDescriptor* s = reg.struct_builder("pad")
+      .field("c", reg.primitive(PrimitiveKind::kChar))
+      .field("d", reg.primitive(PrimitiveKind::kFloat64))
+      .finish();
+  std::vector<uint8_t> local(s->local_size(), 0xAA);
+  local[0] = 'z';
+  double d = 1.5;
+  std::memcpy(local.data() + 8, &d, 8);
+
+  NumericOnlyHooks hooks;
+  Buffer wire;
+  encode_units(*s, reg.rules(), local.data(), 0, 2, hooks, wire);
+  EXPECT_EQ(wire.size(), 9u);  // 1 char + 8 double; padding skipped
+
+  std::vector<uint8_t> back(s->local_size(), 0x55);
+  BufReader r(wire.span());
+  decode_units(*s, reg.rules(), back.data(), 0, 2, hooks, r);
+  EXPECT_EQ(back[0], 'z');
+  EXPECT_EQ(back[1], 0x55);  // padding untouched
+  double bd;
+  std::memcpy(&bd, back.data() + 8, 8);
+  EXPECT_EQ(bd, 1.5);
+}
+
+TEST(Translate, MeasureMatchesEncodeSize) {
+  TypeRegistry reg(Platform::native().rules);
+  const TypeDescriptor* mix = reg.struct_builder("mix")
+      .field("i", reg.primitive(PrimitiveKind::kInt32))
+      .field("s", reg.string_type(32))
+      .field("p", reg.pointer_to(reg.primitive(PrimitiveKind::kInt32)))
+      .field("d", reg.primitive(PrimitiveKind::kFloat64))
+      .finish();
+  const TypeDescriptor* arr = reg.array_of(mix, 10);
+  std::vector<uint8_t> local(arr->local_size(), 0);
+  FakeHooks hooks(reg.rules());
+  // Put some strings/pointers in.
+  for (int i = 0; i < 10; ++i) {
+    uint8_t* base = local.data() + i * arr->element_stride();
+    std::snprintf(reinterpret_cast<char*>(base + mix->fields()[1].local_offset),
+                  32, "str-%d", i);
+    uint64_t token = i % 3 == 0 ? 0 : 1000 + i;
+    std::memcpy(base + mix->fields()[2].local_offset, &token, 8);
+  }
+  uint64_t measured =
+      measure_units(*arr, reg.rules(), local.data(), 0, arr->prim_units(), hooks);
+  Buffer wire;
+  encode_units(*arr, reg.rules(), local.data(), 0, arr->prim_units(), hooks, wire);
+  EXPECT_EQ(measured, wire.size());
+}
+
+// The flat-run fast path (arrays of fixed-wire-size structs) must agree
+// with the generic path for arbitrary ragged ranges, on both byte orders.
+TEST(Translate, FlatFastPathMatchesGenericPath) {
+  for (const Platform& platform : {Platform::native(), Platform::sparc32()}) {
+    TypeRegistry reg(platform.rules);
+    const TypeDescriptor* elem = reg.struct_builder("cell")
+        .field("c", reg.primitive(PrimitiveKind::kChar))
+        .field("h", reg.primitive(PrimitiveKind::kInt16))
+        .field("i", reg.primitive(PrimitiveKind::kInt32))
+        .field("d", reg.primitive(PrimitiveKind::kFloat64))
+        .finish();
+    ASSERT_FALSE(elem->flat_runs().empty());
+    const TypeDescriptor* arr = reg.array_of(elem, 50);
+
+    std::vector<uint8_t> mem(arr->local_size());
+    SplitMix64 rng(13);
+    for (auto& b : mem) b = static_cast<uint8_t>(rng());
+
+    NumericOnlyHooks hooks;
+    for (int trial = 0; trial < 100; ++trial) {
+      uint64_t a = rng.below(arr->prim_units());
+      uint64_t b = a + 1 + rng.below(arr->prim_units() - a);
+
+      // Fast path (array type dispatches through flat runs).
+      Buffer fast;
+      encode_units(*arr, reg.rules(), mem.data(), a, b, hooks, fast);
+
+      // Generic path: visit each unit individually, which can never take
+      // the whole-element shortcut.
+      Buffer slow;
+      for (uint64_t u = a; u < b; ++u) {
+        encode_units(*arr, reg.rules(), mem.data(), u, u + 1, hooks, slow);
+      }
+      ASSERT_EQ(fast.size(), slow.size()) << platform.name << " " << a << ".." << b;
+      ASSERT_EQ(0, std::memcmp(fast.data(), slow.data(), fast.size()))
+          << platform.name << " range " << a << ".." << b;
+
+      // And decode restores the identical bytes (padding aside).
+      std::vector<uint8_t> back(arr->local_size(), 0);
+      BufReader r(fast.span());
+      decode_units(*arr, reg.rules(), back.data(), a, b, hooks, r);
+      EXPECT_TRUE(r.at_end());
+      Buffer re;
+      encode_units(*arr, reg.rules(), back.data(), a, b, hooks, re);
+      ASSERT_EQ(0, std::memcmp(fast.data(), re.data(), fast.size()));
+    }
+  }
+}
+
+TEST(Translate, FlatRunsSkippedForVariableStructs) {
+  TypeRegistry reg(Platform::native().rules);
+  const TypeDescriptor* with_string = reg.struct_builder("vs")
+      .field("i", reg.primitive(PrimitiveKind::kInt32))
+      .field("s", reg.string_type(8))
+      .finish();
+  EXPECT_TRUE(with_string->flat_runs().empty());
+  const TypeDescriptor* with_ptr = reg.struct_builder("vp")
+      .field("i", reg.primitive(PrimitiveKind::kInt32))
+      .self_pointer_field("p")
+      .finish();
+  EXPECT_TRUE(with_ptr->flat_runs().empty());
+}
+
+// Property sweep: random ranges of a nested type round-trip across every
+// platform pair through canonical wire format.
+struct PlatformPair {
+  const char* src;
+  const char* dst;
+};
+class CrossPlatformRoundTrip : public ::testing::TestWithParam<PlatformPair> {};
+
+Platform by_name(const std::string& name) {
+  if (name == "native") return Platform::native();
+  if (name == "sparc32") return Platform::sparc32();
+  if (name == "big64") return Platform::big64();
+  return Platform::packed_le32();
+}
+
+const TypeDescriptor* build_nested(TypeRegistry& reg) {
+  const TypeDescriptor* inner = reg.struct_builder("inner")
+      .field("a", reg.primitive(PrimitiveKind::kInt16))
+      .field("b", reg.primitive(PrimitiveKind::kFloat64))
+      .field("s", reg.string_type(6))
+      .finish();
+  return reg.array_of(inner, 20);
+}
+
+TEST_P(CrossPlatformRoundTrip, RandomRanges) {
+  TypeRegistry src_reg(by_name(GetParam().src).rules);
+  TypeRegistry dst_reg(by_name(GetParam().dst).rules);
+  const TypeDescriptor* src_t = build_nested(src_reg);
+  const TypeDescriptor* dst_t = build_nested(dst_reg);
+  ASSERT_EQ(src_t->prim_units(), dst_t->prim_units());
+
+  // Fill source representation via per-unit stores using locate_prim.
+  std::vector<uint8_t> src_mem(src_t->local_size(), 0);
+  SplitMix64 rng(11);
+  FakeHooks src_hooks(src_reg.rules());
+  FakeHooks dst_hooks(dst_reg.rules());
+  for (uint64_t u = 0; u < src_t->prim_units(); ++u) {
+    PrimLocation loc = src_t->locate_prim(u);
+    uint8_t* p = src_mem.data() + loc.local_offset;
+    switch (loc.kind) {
+      case PrimitiveKind::kInt16: {
+        uint16_t v = static_cast<uint16_t>(rng());
+        if (src_reg.rules().byte_order == ByteOrder::kBig) {
+          store_be16(p, v);
+        } else {
+          std::memcpy(p, &v, 2);
+        }
+        break;
+      }
+      case PrimitiveKind::kFloat64: {
+        double v = rng.uniform() * 100 - 50;
+        if (src_reg.rules().byte_order == ByteOrder::kBig) {
+          store_be_double(p, v);
+        } else {
+          std::memcpy(p, &v, 8);
+        }
+        break;
+      }
+      case PrimitiveKind::kString: {
+        std::string s = "s" + std::to_string(rng.below(1000));
+        src_hooks.write_string(p, loc.string_capacity, s);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Round trip random unit ranges.
+  std::vector<uint8_t> dst_mem(dst_t->local_size(), 0);
+  for (int trial = 0; trial < 50; ++trial) {
+    uint64_t a = rng.below(src_t->prim_units());
+    uint64_t b = a + 1 + rng.below(src_t->prim_units() - a);
+    Buffer wire;
+    encode_units(*src_t, src_reg.rules(), src_mem.data(), a, b, src_hooks, wire);
+    BufReader r(wire.span());
+    decode_units(*dst_t, dst_reg.rules(), dst_mem.data(), a, b, dst_hooks, r);
+    EXPECT_TRUE(r.at_end());
+    // Re-encode the received range from dst; wire bytes must be identical
+    // (canonical form is unique).
+    Buffer wire2;
+    encode_units(*dst_t, dst_reg.rules(), dst_mem.data(), a, b, dst_hooks, wire2);
+    ASSERT_EQ(wire.size(), wire2.size());
+    EXPECT_EQ(0, std::memcmp(wire.data(), wire2.data(), wire.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, CrossPlatformRoundTrip,
+    ::testing::Values(PlatformPair{"native", "sparc32"},
+                      PlatformPair{"sparc32", "native"},
+                      PlatformPair{"big64", "packed_le32"},
+                      PlatformPair{"packed_le32", "big64"},
+                      PlatformPair{"native", "native"}),
+    [](const auto& info) {
+      return std::string(info.param.src) + "_to_" + info.param.dst;
+    });
+
+}  // namespace
+}  // namespace iw

@@ -1,0 +1,61 @@
+// iwidlc — the InterWeave IDL compiler CLI.
+//
+// Usage: iwidlc [-n namespace] <input.idl> [output.hpp]
+//
+// Reads an IDL file, validates it, and writes a generated C++ header (to
+// stdout when no output path is given).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "idl/codegen.hpp"
+#include "idl/parser.hpp"
+
+namespace {
+int usage() {
+  std::cerr << "usage: iwidlc [-n namespace] <input.idl> [output.hpp]\n";
+  return 2;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  iw::idl::CodegenOptions options;
+  int argi = 1;
+  if (argi < argc && std::string(argv[argi]) == "-n") {
+    if (argi + 1 >= argc) return usage();
+    options.cpp_namespace = argv[argi + 1];
+    argi += 2;
+  }
+  if (argi >= argc) return usage();
+  std::string input_path = argv[argi++];
+  std::string output_path = (argi < argc) ? argv[argi++] : "";
+
+  std::ifstream in(input_path);
+  if (!in) {
+    std::cerr << "iwidlc: cannot open " << input_path << "\n";
+    return 1;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+
+  try {
+    iw::idl::IdlFile file = iw::idl::parse(source.str());
+    std::string header =
+        iw::idl::generate_cpp_header(file, source.str(), options);
+    if (output_path.empty()) {
+      std::cout << header;
+    } else {
+      std::ofstream out(output_path);
+      if (!out) {
+        std::cerr << "iwidlc: cannot write " << output_path << "\n";
+        return 1;
+      }
+      out << header;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "iwidlc: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

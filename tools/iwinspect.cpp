@@ -1,0 +1,188 @@
+// iwinspect — inspect a segment on a running InterWeave server.
+//
+// Usage: iwinspect [--port=N] [--data] <segment-url>
+//
+// Prints the segment's version, registered types, and block directory
+// (serial, type, name) using the same wire protocol as any client. With
+// --data it additionally maps the segment as a real client and pretty-
+// prints every block's contents (pointers shown as MIPs).
+#include <cstdio>
+#include <cstring>
+
+#include "client/view.hpp"
+#include "interweave/interweave.hpp"
+#include "net/tcp.hpp"
+#include "types/registry.hpp"
+#include "wire/frame.hpp"
+
+namespace {
+
+const char* kind_name(iw::TypeKind kind) {
+  switch (kind) {
+    case iw::TypeKind::kPrimitive: return "primitive";
+    case iw::TypeKind::kString: return "string";
+    case iw::TypeKind::kPointer: return "pointer";
+    case iw::TypeKind::kArray: return "array";
+    case iw::TypeKind::kStruct: return "struct";
+  }
+  return "?";
+}
+
+std::string describe(const iw::TypeDescriptor* t) {
+  switch (t->kind()) {
+    case iw::TypeKind::kPrimitive:
+      return iw::primitive_kind_name(t->primitive());
+    case iw::TypeKind::kString:
+      return "string<" + std::to_string(t->string_capacity()) + ">";
+    case iw::TypeKind::kPointer:
+      return t->pointee() ? describe(t->pointee()) + "*" : "void*";
+    case iw::TypeKind::kArray:
+      return describe(t->element()) + "[" + std::to_string(t->count()) + "]";
+    case iw::TypeKind::kStruct:
+      return "struct " + t->struct_name() + " {" +
+             std::to_string(t->fields().size()) + " fields}";
+  }
+  return "?";
+}
+
+/// Recursively pretty-prints units [unit, unit + type->prim_units()) of a
+/// block through a View; arrays are truncated after `max_elems`.
+void print_value(iw::Client& client, iw::client::View& view,
+                 const iw::TypeDescriptor* type, uint64_t unit, int indent,
+                 uint64_t max_elems = 8) {
+  auto pad = [&] { std::printf("%*s", indent, ""); };
+  switch (type->kind()) {
+    case iw::TypeKind::kPrimitive:
+      pad();
+      if (type->primitive() == iw::PrimitiveKind::kFloat32 ||
+          type->primitive() == iw::PrimitiveKind::kFloat64) {
+        std::printf("%g\n", view.get_f64(unit));
+      } else {
+        std::printf("%lld\n", static_cast<long long>(view.get_int(unit)));
+      }
+      break;
+    case iw::TypeKind::kString:
+      pad();
+      std::printf("\"%s\"\n", view.get_string(unit).c_str());
+      break;
+    case iw::TypeKind::kPointer: {
+      pad();
+      void* p = view.get_ptr(unit);
+      std::printf("-> %s\n", p ? client.ptr_to_mip(p).c_str() : "(null)");
+      break;
+    }
+    case iw::TypeKind::kArray: {
+      uint64_t n = std::min<uint64_t>(type->count(), max_elems);
+      for (uint64_t i = 0; i < n; ++i) {
+        pad();
+        std::printf("[%llu]\n", static_cast<unsigned long long>(i));
+        print_value(client, view, type->element(),
+                    unit + i * type->element()->prim_units(), indent + 2,
+                    max_elems);
+      }
+      if (n < type->count()) {
+        pad();
+        std::printf("... (%llu more)\n",
+                    static_cast<unsigned long long>(type->count() - n));
+      }
+      break;
+    }
+    case iw::TypeKind::kStruct:
+      for (const auto& f : type->fields()) {
+        pad();
+        std::printf(".%s\n", f.name.c_str());
+        print_value(client, view, f.type, unit + f.prim_offset, indent + 2,
+                    max_elems);
+      }
+      break;
+  }
+}
+
+int dump_data(unsigned port, const std::string& url) {
+  iw::Client client([port](const std::string&) {
+    return std::make_shared<iw::TcpClientChannel>(static_cast<uint16_t>(port));
+  });
+  iw::ClientSegment* seg = client.open_segment(url, /*create=*/false);
+  client.read_lock(seg);
+  std::printf("data (version %u):\n", seg->version());
+  seg->heap().for_each_block([&](iw::client::BlockHeader* blk) {
+    std::printf("block #%u%s%s:\n", blk->serial, blk->name ? " " : "",
+                blk->name ? blk->name->c_str() : "");
+    iw::client::View view(client, blk);
+    print_value(client, view, blk->type, 0, 2);
+  });
+  client.read_unlock(seg);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned port = 7747;
+  bool data = false;
+  std::string url;
+  for (int i = 1; i < argc; ++i) {
+    if (std::sscanf(argv[i], "--port=%u", &port) == 1) continue;
+    if (std::strcmp(argv[i], "--data") == 0) {
+      data = true;
+      continue;
+    }
+    url = argv[i];
+  }
+  if (url.empty()) {
+    std::fprintf(stderr, "usage: %s [--port=N] [--data] <segment-url>\n",
+                 argv[0]);
+    return 2;
+  }
+  if (data) {
+    try {
+      return dump_data(port, url);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "iwinspect: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  try {
+    iw::TcpClientChannel channel(static_cast<uint16_t>(port));
+    iw::Buffer payload;
+    payload.append_lp_string(url);
+    iw::Frame resp =
+        channel.call(iw::MsgType::kSegmentInfo, std::move(payload));
+    iw::BufReader r = resp.reader();
+
+    uint32_t version = r.read_u32();
+    std::printf("segment  %s\n", url.c_str());
+    std::printf("version  %u\n", version);
+
+    iw::TypeRegistry registry(iw::Platform::native().rules);
+    uint32_t n_types = r.read_u32();
+    std::vector<const iw::TypeDescriptor*> types;
+    std::printf("types    %u\n", n_types);
+    for (uint32_t serial = 1; serial <= n_types; ++serial) {
+      uint32_t len = r.read_u32();
+      auto graph = r.read_bytes(len);
+      iw::BufReader gr(graph.data(), graph.size());
+      const iw::TypeDescriptor* t = iw::TypeCodec::decode_graph(gr, registry);
+      types.push_back(t);
+      std::printf("  [%u] %-9s %s  (%llu units, %u bytes native)\n", serial,
+                  kind_name(t->kind()), describe(t).c_str(),
+                  static_cast<unsigned long long>(t->prim_units()),
+                  t->local_size());
+    }
+
+    uint32_t n_blocks = r.read_u32();
+    std::printf("blocks   %u\n", n_blocks);
+    for (uint32_t i = 0; i < n_blocks; ++i) {
+      uint32_t serial = r.read_u32();
+      uint32_t type_serial = r.read_u32();
+      std::string name = r.read_lp_string();
+      std::printf("  #%-6u type=%-3u %s\n", serial, type_serial,
+                  name.empty() ? "(unnamed)" : name.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iwinspect: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
