@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablations.cpp" "bench/CMakeFiles/ablations.dir/ablations.cpp.o" "gcc" "bench/CMakeFiles/ablations.dir/ablations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/client/CMakeFiles/iw_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/iw_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/iw_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/iw_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_translation.dir/fig4_translation.cpp.o"
+  "CMakeFiles/fig4_translation.dir/fig4_translation.cpp.o.d"
+  "fig4_translation"
+  "fig4_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

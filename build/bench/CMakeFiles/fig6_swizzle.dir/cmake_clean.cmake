@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_swizzle.dir/fig6_swizzle.cpp.o"
+  "CMakeFiles/fig6_swizzle.dir/fig6_swizzle.cpp.o.d"
+  "fig6_swizzle"
+  "fig6_swizzle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_swizzle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_datamining.dir/fig7_datamining.cpp.o"
+  "CMakeFiles/fig7_datamining.dir/fig7_datamining.cpp.o.d"
+  "fig7_datamining"
+  "fig7_datamining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_datamining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_mining.dir/shared_mining.cpp.o"
+  "CMakeFiles/shared_mining.dir/shared_mining.cpp.o.d"
+  "shared_mining"
+  "shared_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

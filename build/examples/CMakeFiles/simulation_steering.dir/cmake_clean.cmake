@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_steering.dir/simulation_steering.cpp.o"
+  "CMakeFiles/simulation_steering.dir/simulation_steering.cpp.o.d"
+  "simulation_steering"
+  "simulation_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_client.dir/api.cpp.o"
+  "CMakeFiles/iw_client.dir/api.cpp.o.d"
+  "CMakeFiles/iw_client.dir/client.cpp.o"
+  "CMakeFiles/iw_client.dir/client.cpp.o.d"
+  "CMakeFiles/iw_client.dir/heap.cpp.o"
+  "CMakeFiles/iw_client.dir/heap.cpp.o.d"
+  "CMakeFiles/iw_client.dir/tracking.cpp.o"
+  "CMakeFiles/iw_client.dir/tracking.cpp.o.d"
+  "CMakeFiles/iw_client.dir/view.cpp.o"
+  "CMakeFiles/iw_client.dir/view.cpp.o.d"
+  "libiw_client.a"
+  "libiw_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

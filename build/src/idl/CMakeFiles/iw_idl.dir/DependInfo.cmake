@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/idl/codegen.cpp" "src/idl/CMakeFiles/iw_idl.dir/codegen.cpp.o" "gcc" "src/idl/CMakeFiles/iw_idl.dir/codegen.cpp.o.d"
+  "/root/repo/src/idl/lexer.cpp" "src/idl/CMakeFiles/iw_idl.dir/lexer.cpp.o" "gcc" "src/idl/CMakeFiles/iw_idl.dir/lexer.cpp.o.d"
+  "/root/repo/src/idl/parser.cpp" "src/idl/CMakeFiles/iw_idl.dir/parser.cpp.o" "gcc" "src/idl/CMakeFiles/iw_idl.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/iw_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

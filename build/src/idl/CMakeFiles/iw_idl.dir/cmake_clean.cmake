@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_idl.dir/codegen.cpp.o"
+  "CMakeFiles/iw_idl.dir/codegen.cpp.o.d"
+  "CMakeFiles/iw_idl.dir/lexer.cpp.o"
+  "CMakeFiles/iw_idl.dir/lexer.cpp.o.d"
+  "CMakeFiles/iw_idl.dir/parser.cpp.o"
+  "CMakeFiles/iw_idl.dir/parser.cpp.o.d"
+  "libiw_idl.a"
+  "libiw_idl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_mining.dir/lattice.cpp.o"
+  "CMakeFiles/iw_mining.dir/lattice.cpp.o.d"
+  "CMakeFiles/iw_mining.dir/quest.cpp.o"
+  "CMakeFiles/iw_mining.dir/quest.cpp.o.d"
+  "libiw_mining.a"
+  "libiw_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_net.dir/inproc.cpp.o"
+  "CMakeFiles/iw_net.dir/inproc.cpp.o.d"
+  "CMakeFiles/iw_net.dir/tcp.cpp.o"
+  "CMakeFiles/iw_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/iw_net.dir/transport.cpp.o"
+  "CMakeFiles/iw_net.dir/transport.cpp.o.d"
+  "libiw_net.a"
+  "libiw_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

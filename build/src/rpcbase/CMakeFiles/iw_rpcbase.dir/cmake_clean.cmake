@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_rpcbase.dir/rpc.cpp.o"
+  "CMakeFiles/iw_rpcbase.dir/rpc.cpp.o.d"
+  "CMakeFiles/iw_rpcbase.dir/xdr.cpp.o"
+  "CMakeFiles/iw_rpcbase.dir/xdr.cpp.o.d"
+  "libiw_rpcbase.a"
+  "libiw_rpcbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_rpcbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_server.dir/segment_store.cpp.o"
+  "CMakeFiles/iw_server.dir/segment_store.cpp.o.d"
+  "CMakeFiles/iw_server.dir/server.cpp.o"
+  "CMakeFiles/iw_server.dir/server.cpp.o.d"
+  "libiw_server.a"
+  "libiw_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/types/platform.cpp" "src/types/CMakeFiles/iw_types.dir/platform.cpp.o" "gcc" "src/types/CMakeFiles/iw_types.dir/platform.cpp.o.d"
+  "/root/repo/src/types/registry.cpp" "src/types/CMakeFiles/iw_types.dir/registry.cpp.o" "gcc" "src/types/CMakeFiles/iw_types.dir/registry.cpp.o.d"
+  "/root/repo/src/types/type_desc.cpp" "src/types/CMakeFiles/iw_types.dir/type_desc.cpp.o" "gcc" "src/types/CMakeFiles/iw_types.dir/type_desc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

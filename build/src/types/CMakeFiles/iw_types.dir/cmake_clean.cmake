@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_types.dir/platform.cpp.o"
+  "CMakeFiles/iw_types.dir/platform.cpp.o.d"
+  "CMakeFiles/iw_types.dir/registry.cpp.o"
+  "CMakeFiles/iw_types.dir/registry.cpp.o.d"
+  "CMakeFiles/iw_types.dir/type_desc.cpp.o"
+  "CMakeFiles/iw_types.dir/type_desc.cpp.o.d"
+  "libiw_types.a"
+  "libiw_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_util.dir/error.cpp.o"
+  "CMakeFiles/iw_util.dir/error.cpp.o.d"
+  "CMakeFiles/iw_util.dir/logging.cpp.o"
+  "CMakeFiles/iw_util.dir/logging.cpp.o.d"
+  "libiw_util.a"
+  "libiw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

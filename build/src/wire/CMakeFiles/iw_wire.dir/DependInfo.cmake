@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/diff.cpp" "src/wire/CMakeFiles/iw_wire.dir/diff.cpp.o" "gcc" "src/wire/CMakeFiles/iw_wire.dir/diff.cpp.o.d"
+  "/root/repo/src/wire/frame.cpp" "src/wire/CMakeFiles/iw_wire.dir/frame.cpp.o" "gcc" "src/wire/CMakeFiles/iw_wire.dir/frame.cpp.o.d"
+  "/root/repo/src/wire/translate.cpp" "src/wire/CMakeFiles/iw_wire.dir/translate.cpp.o" "gcc" "src/wire/CMakeFiles/iw_wire.dir/translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/iw_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

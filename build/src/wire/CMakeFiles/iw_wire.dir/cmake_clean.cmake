@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_wire.dir/diff.cpp.o"
+  "CMakeFiles/iw_wire.dir/diff.cpp.o.d"
+  "CMakeFiles/iw_wire.dir/frame.cpp.o"
+  "CMakeFiles/iw_wire.dir/frame.cpp.o.d"
+  "CMakeFiles/iw_wire.dir/translate.cpp.o"
+  "CMakeFiles/iw_wire.dir/translate.cpp.o.d"
+  "libiw_wire.a"
+  "libiw_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_nodiff_test.dir/block_nodiff_test.cpp.o"
+  "CMakeFiles/block_nodiff_test.dir/block_nodiff_test.cpp.o.d"
+  "block_nodiff_test"
+  "block_nodiff_test.pdb"
+  "block_nodiff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_nodiff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

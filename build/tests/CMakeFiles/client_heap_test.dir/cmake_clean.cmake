@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_heap_test.dir/client_heap_test.cpp.o"
+  "CMakeFiles/client_heap_test.dir/client_heap_test.cpp.o.d"
+  "client_heap_test"
+  "client_heap_test.pdb"
+  "client_heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

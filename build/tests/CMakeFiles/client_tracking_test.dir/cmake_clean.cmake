@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_tracking_test.dir/client_tracking_test.cpp.o"
+  "CMakeFiles/client_tracking_test.dir/client_tracking_test.cpp.o.d"
+  "client_tracking_test"
+  "client_tracking_test.pdb"
+  "client_tracking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_tracking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

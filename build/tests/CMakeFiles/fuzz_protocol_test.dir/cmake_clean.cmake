@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_protocol_test.dir/fuzz_protocol_test.cpp.o"
+  "CMakeFiles/fuzz_protocol_test.dir/fuzz_protocol_test.cpp.o.d"
+  "fuzz_protocol_test"
+  "fuzz_protocol_test.pdb"
+  "fuzz_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

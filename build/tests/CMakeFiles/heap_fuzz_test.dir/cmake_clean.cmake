@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_fuzz_test.dir/heap_fuzz_test.cpp.o"
+  "CMakeFiles/heap_fuzz_test.dir/heap_fuzz_test.cpp.o.d"
+  "heap_fuzz_test"
+  "heap_fuzz_test.pdb"
+  "heap_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idl_test.dir/idl_test.cpp.o"
+  "CMakeFiles/idl_test.dir/idl_test.cpp.o.d"
+  "idl_test"
+  "idl_test.pdb"
+  "idl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

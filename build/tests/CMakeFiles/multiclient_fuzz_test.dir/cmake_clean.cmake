@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiclient_fuzz_test.dir/multiclient_fuzz_test.cpp.o"
+  "CMakeFiles/multiclient_fuzz_test.dir/multiclient_fuzz_test.cpp.o.d"
+  "multiclient_fuzz_test"
+  "multiclient_fuzz_test.pdb"
+  "multiclient_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiclient_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_protocol_test.dir/server_protocol_test.cpp.o"
+  "CMakeFiles/server_protocol_test.dir/server_protocol_test.cpp.o.d"
+  "server_protocol_test"
+  "server_protocol_test.pdb"
+  "server_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_store_test.dir/server_store_test.cpp.o"
+  "CMakeFiles/server_store_test.dir/server_store_test.cpp.o.d"
+  "server_store_test"
+  "server_store_test.pdb"
+  "server_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

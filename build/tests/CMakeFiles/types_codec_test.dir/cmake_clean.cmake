@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/types_codec_test.dir/types_codec_test.cpp.o"
+  "CMakeFiles/types_codec_test.dir/types_codec_test.cpp.o.d"
+  "types_codec_test"
+  "types_codec_test.pdb"
+  "types_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/types_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

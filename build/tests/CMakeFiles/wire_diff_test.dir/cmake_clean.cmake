@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_diff_test.dir/wire_diff_test.cpp.o"
+  "CMakeFiles/wire_diff_test.dir/wire_diff_test.cpp.o.d"
+  "wire_diff_test"
+  "wire_diff_test.pdb"
+  "wire_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

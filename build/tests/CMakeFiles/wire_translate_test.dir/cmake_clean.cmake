@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_translate_test.dir/wire_translate_test.cpp.o"
+  "CMakeFiles/wire_translate_test.dir/wire_translate_test.cpp.o.d"
+  "wire_translate_test"
+  "wire_translate_test.pdb"
+  "wire_translate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_translate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iwidlc.dir/iwidlc.cpp.o"
+  "CMakeFiles/iwidlc.dir/iwidlc.cpp.o.d"
+  "iwidlc"
+  "iwidlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iwidlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

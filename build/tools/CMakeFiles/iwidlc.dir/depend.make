@@ -1,0 +1,2 @@
+# Empty dependencies file for iwidlc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iwinspect.dir/iwinspect.cpp.o"
+  "CMakeFiles/iwinspect.dir/iwinspect.cpp.o.d"
+  "iwinspect"
+  "iwinspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iwinspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

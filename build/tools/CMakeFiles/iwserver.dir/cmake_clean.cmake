@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iwserver.dir/iwserver.cpp.o"
+  "CMakeFiles/iwserver.dir/iwserver.cpp.o.d"
+  "iwserver"
+  "iwserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iwserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
