@@ -105,11 +105,34 @@ std::atomic<SessionId> g_next_tcp_session{1u << 20};
 
 }  // namespace
 
+// With the sharded server, notifications for one segment can fire while the
+// connection is being torn down by its serve thread; the write mutex
+// therefore guards the fd's lifecycle (not just write interleaving) so a
+// late notification can never hit a closed — possibly reused — descriptor.
 struct TcpServer::Connection {
-  int fd = -1;
+  std::mutex write_mu;  // guards fd lifecycle and frame writes
+  int fd = -1;          // -1 once closed
   SessionId session = 0;
-  std::mutex write_mu;
   std::thread thread;
+
+  void send(const Frame& frame) {
+    Buffer out(kFrameHeaderSize + frame.payload.size());
+    encode_frame(frame, out);
+    std::lock_guard lock(write_mu);
+    if (fd < 0) throw Error(ErrorCode::kIo, "connection closed");
+    write_all(fd, out.data(), out.size());
+  }
+  void shutdown_socket() {
+    std::lock_guard lock(write_mu);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+  void close_socket() {
+    std::lock_guard lock(write_mu);
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
 };
 
 TcpServer::TcpServer(ServerCore& core, uint16_t port) : core_(core) {
@@ -141,7 +164,7 @@ void TcpServer::accept_loop() {
     }
     core_.on_connect(conn->session, [conn](const Frame& frame) {
       try {
-        send_frame(conn->fd, conn->write_mu, frame, nullptr);
+        conn->send(frame);
       } catch (const Error&) {
         // Connection is going away; the serve loop will clean up.
       }
@@ -151,9 +174,12 @@ void TcpServer::accept_loop() {
 }
 
 void TcpServer::serve(std::shared_ptr<Connection> conn) {
+  // The fd value is fixed for the connection's lifetime and this thread is
+  // the only closer, so the blocking recv path reads it lock-free.
+  const int fd = conn->fd;
   try {
     Frame request;
-    while (recv_frame(conn->fd, &request, nullptr)) {
+    while (recv_frame(fd, &request, nullptr)) {
       Frame response;
       try {
         response = core_.handle(conn->session, request);
@@ -163,14 +189,16 @@ void TcpServer::serve(std::shared_ptr<Connection> conn) {
         response = make_error_frame(Error(ErrorCode::kInternal, e.what()));
       }
       response.request_id = request.request_id;
-      send_frame(conn->fd, conn->write_mu, response, nullptr);
+      conn->send(response);
     }
   } catch (const Error& e) {
     IW_LOG(kDebug) << "tcp connection error: " << e.what();
   }
+  // Disconnect before closing: the core drops the session's notifier (and
+  // any writer locks) first, so the window where a stale notifier targets a
+  // closed connection is as small as possible — and send() rejects it.
   core_.on_disconnect(conn->session);
-  ::close(conn->fd);
-  conn->fd = -1;
+  conn->close_socket();
 }
 
 void TcpServer::shutdown() {
@@ -184,8 +212,14 @@ void TcpServer::shutdown() {
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Shut every socket down before joining any thread: a serve thread can be
+  // blocked in the core waiting for a writer lock that only drops when the
+  // holder's connection disconnects, so tear-down must reach all
+  // connections before the first join.
   for (auto& conn : conns) {
-    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    conn->shutdown_socket();
+  }
+  for (auto& conn : conns) {
     if (conn->thread.joinable()) conn->thread.join();
   }
 }

@@ -54,6 +54,23 @@ class ServerHooks final : public TranslationHooks {
 SegmentStore::SegmentStore(std::string name, Options options)
     : name_(std::move(name)), options_(options) {}
 
+StoreStats SegmentStore::stats() const noexcept {
+  StoreStats s;
+  s.diffs_applied = stats_.diffs_applied.load(std::memory_order_relaxed);
+  s.diffs_collected = stats_.diffs_collected.load(std::memory_order_relaxed);
+  s.diff_cache_hits = stats_.diff_cache_hits.load(std::memory_order_relaxed);
+  s.diff_cache_misses =
+      stats_.diff_cache_misses.load(std::memory_order_relaxed);
+  s.prediction_hits = stats_.prediction_hits.load(std::memory_order_relaxed);
+  s.prediction_misses =
+      stats_.prediction_misses.load(std::memory_order_relaxed);
+  s.bytes_applied = stats_.bytes_applied.load(std::memory_order_relaxed);
+  s.bytes_collected = stats_.bytes_collected.load(std::memory_order_relaxed);
+  s.apply_ns = stats_.apply_ns.load(std::memory_order_relaxed);
+  s.collect_ns = stats_.collect_ns.load(std::memory_order_relaxed);
+  return s;
+}
+
 SegmentStore::~SegmentStore() {
   // Intrusive structures reference owned_ storage; drop views first.
   blocks_by_serial_.clear();
@@ -238,10 +255,10 @@ uint32_t SegmentStore::apply_diff(std::span<const uint8_t> diff_bytes) {
     if (options_.enable_last_block_prediction && predicted != nullptr &&
         predicted->serial == entry.serial) {
       block = predicted;
-      ++stats_.prediction_hits;
+      stats_.prediction_hits.fetch_add(1, std::memory_order_relaxed);
     }
     if (block == nullptr) {
-      ++stats_.prediction_misses;
+      stats_.prediction_misses.fetch_add(1, std::memory_order_relaxed);
       block = blocks_by_serial_.find(entry.serial);
     }
     if (block == nullptr) {
@@ -261,9 +278,9 @@ uint32_t SegmentStore::apply_diff(std::span<const uint8_t> diff_bytes) {
   }
 
   version_ = new_version;
-  ++stats_.diffs_applied;
-  stats_.bytes_applied += diff_bytes.size();
-  stats_.apply_ns += timer.elapsed_ns();
+  stats_.diffs_applied.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_applied.fetch_add(diff_bytes.size(), std::memory_order_relaxed);
+  stats_.apply_ns.fetch_add(timer.elapsed_ns(), std::memory_order_relaxed);
 
   if (options_.enable_diff_cache) {
     cache_insert(new_version - 1, new_version,
@@ -314,11 +331,11 @@ std::shared_ptr<const std::vector<uint8_t>> SegmentStore::collect_diff(
   if (options_.enable_diff_cache) {
     for (const CachedDiff& c : diff_cache_) {
       if (c.from_version == from_version && c.to_version == version_) {
-        ++stats_.diff_cache_hits;
+        stats_.diff_cache_hits.fetch_add(1, std::memory_order_relaxed);
         return c.bytes;
       }
     }
-    ++stats_.diff_cache_misses;
+    stats_.diff_cache_misses.fetch_add(1, std::memory_order_relaxed);
   }
 
   Stopwatch timer;
@@ -348,9 +365,9 @@ std::shared_ptr<const std::vector<uint8_t>> SegmentStore::collect_diff(
   writer.finish();
 
   auto bytes = std::make_shared<const std::vector<uint8_t>>(out.take());
-  ++stats_.diffs_collected;
-  stats_.bytes_collected += bytes->size();
-  stats_.collect_ns += timer.elapsed_ns();
+  stats_.diffs_collected.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_collected.fetch_add(bytes->size(), std::memory_order_relaxed);
+  stats_.collect_ns.fetch_add(timer.elapsed_ns(), std::memory_order_relaxed);
   if (options_.enable_diff_cache) {
     cache_insert(from_version, version_, bytes);
   }

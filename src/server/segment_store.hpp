@@ -15,6 +15,7 @@
 // a version AVL tree so "first change after version c" is O(log n).
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
@@ -92,7 +93,10 @@ struct CachedDiff {
   std::shared_ptr<const std::vector<uint8_t>> bytes;
 };
 
-/// Statistics a SegmentStore accumulates (consumed by tests/benches).
+/// Statistics snapshot a SegmentStore accumulates (consumed by
+/// tests/benches). Maintained internally as relaxed atomics so concurrent
+/// readers (stats scrapers, benches) never make the mutation hot path take
+/// a lock.
 struct StoreStats {
   uint64_t diffs_applied = 0;
   uint64_t diffs_collected = 0;
@@ -129,7 +133,8 @@ class SegmentStore {
   /// Approximate current wire size of the segment's data (for Diff
   /// coherence percentage tracking).
   uint64_t total_data_bytes() const noexcept { return total_data_bytes_; }
-  const StoreStats& stats() const noexcept { return stats_; }
+  /// Snapshot of the relaxed-atomic counters; safe without the owner's lock.
+  StoreStats stats() const noexcept;
 
   /// Registers a type graph (encoded by TypeCodec) and returns its
   /// segment-scoped serial; identical graphs dedup to one serial.
@@ -214,7 +219,19 @@ class SegmentStore {
   std::vector<FreeRecord> free_history_;
   std::deque<CachedDiff> diff_cache_;
 
-  StoreStats stats_;
+  struct AtomicStoreStats {
+    std::atomic<uint64_t> diffs_applied{0};
+    std::atomic<uint64_t> diffs_collected{0};
+    std::atomic<uint64_t> diff_cache_hits{0};
+    std::atomic<uint64_t> diff_cache_misses{0};
+    std::atomic<uint64_t> prediction_hits{0};
+    std::atomic<uint64_t> prediction_misses{0};
+    std::atomic<uint64_t> bytes_applied{0};
+    std::atomic<uint64_t> bytes_collected{0};
+    std::atomic<uint64_t> apply_ns{0};
+    std::atomic<uint64_t> collect_ns{0};
+  };
+  AtomicStoreStats stats_;
 };
 
 }  // namespace iw::server

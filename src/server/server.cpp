@@ -39,44 +39,80 @@ SegmentServer::SegmentServer(Options options) : options_(std::move(options)) {
 SegmentServer::~SegmentServer() = default;
 
 void SegmentServer::on_connect(SessionId session, Notifier notify) {
-  std::lock_guard lock(mu_);
-  sessions_[session].notify = std::move(notify);
+  std::unique_lock lock(sessions_mu_);
+  sessions_[session] = std::move(notify);
 }
 
 void SegmentServer::on_disconnect(SessionId session) {
-  std::lock_guard lock(mu_);
-  // Release any writer locks the departing client held.
-  for (auto& [name, entry] : segments_) {
-    if (entry.writer == session) {
-      IW_LOG(kWarn) << "session " << session
-                    << " disconnected holding write lock on " << name;
-      entry.writer = 0;
+  // Release any writer locks the departing client held and drop its
+  // per-segment state. Directory shared + one entry at a time, so live
+  // traffic on other segments is not stalled.
+  {
+    std::shared_lock dir(dir_mu_);
+    for (auto& [name, entry] : segments_) {
+      std::lock_guard el(entry->mu);
+      if (entry->writer == session) {
+        IW_LOG(kWarn) << "session " << session
+                      << " disconnected holding write lock on " << name;
+        entry->writer = 0;
+        entry->writer_cv.notify_all();
+      }
+      entry->sessions.erase(session);
     }
   }
+  std::unique_lock lock(sessions_mu_);
   sessions_.erase(session);
-  writer_cv_.notify_all();
 }
 
-SegmentServer::SegmentEntry& SegmentServer::segment(const std::string& name,
-                                                    bool create) {
+SegmentServer::SegmentEntry* SegmentServer::find_segment(
+    const std::string& name, bool create) {
+  {
+    std::shared_lock lock(dir_mu_);
+    auto it = segments_.find(name);
+    if (it != segments_.end()) return it->second.get();
+  }
+  if (!create) return nullptr;
+  std::unique_lock lock(dir_mu_);
   auto it = segments_.find(name);
   if (it == segments_.end()) {
-    if (!create) {
-      throw Error(ErrorCode::kNotFound, "segment '" + name + "'");
-    }
-    SegmentEntry entry;
-    entry.store = std::make_unique<SegmentStore>(name, options_.store);
+    auto entry = std::make_unique<SegmentEntry>();
+    entry->store = std::make_unique<SegmentStore>(name, options_.store);
     it = segments_.emplace(name, std::move(entry)).first;
   }
-  return it->second;
+  return it->second.get();
 }
 
-SegmentServer::Session& SegmentServer::session_ref(SessionId id) {
-  auto it = sessions_.find(id);
-  if (it == sessions_.end()) {
-    throw Error(ErrorCode::kState, "unknown session");
+SegmentServer::SegmentEntry& SegmentServer::segment(const std::string& name) {
+  SegmentEntry* entry = find_segment(name, false);
+  if (entry == nullptr) {
+    throw Error(ErrorCode::kNotFound, "segment '" + name + "'");
   }
-  return it->second;
+  return *entry;
+}
+
+const SegmentServer::SegmentEntry& SegmentServer::segment(
+    const std::string& name) const {
+  return const_cast<SegmentServer*>(this)->segment(name);
+}
+
+SegmentServer::SegmentSession& SegmentServer::seg_session(SegmentEntry& entry,
+                                                          SessionId id) {
+  auto it = entry.sessions.find(id);
+  if (it != entry.sessions.end()) return it->second;
+  // First touch of this segment by this session: capture the notifier so
+  // notification fan-out later needs no lock beyond the entry's.
+  Notifier notify;
+  {
+    std::shared_lock lock(sessions_mu_);
+    auto sit = sessions_.find(id);
+    if (sit == sessions_.end()) {
+      throw Error(ErrorCode::kState, "unknown session");
+    }
+    notify = sit->second;
+  }
+  SegmentSession ss;
+  ss.notify = std::move(notify);
+  return entry.sessions.emplace(id, std::move(ss)).first->second;
 }
 
 bool SegmentServer::is_stale(SegmentEntry& entry, const SegmentSession& ss,
@@ -143,19 +179,17 @@ bool SegmentServer::append_update(SegmentEntry& entry, SegmentSession& ss,
 Frame SegmentServer::handle(SessionId session, const Frame& request) {
   std::vector<PendingNotify> notifies;
   Frame response;
-  {
-    std::unique_lock lock(mu_);
-    ++stats_.requests;
-    try {
-      response = dispatch(session, request, &notifies, lock);
-    } catch (const Error& e) {
-      response = make_error_frame(e);
-    } catch (const std::exception& e) {
-      response = make_error_frame(Error(ErrorCode::kInternal, e.what()));
-    }
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  try {
+    response = dispatch(session, request, &notifies);
+  } catch (const Error& e) {
+    response = make_error_frame(e);
+  } catch (const std::exception& e) {
+    response = make_error_frame(Error(ErrorCode::kInternal, e.what()));
   }
-  // Notifications go out after the server lock is dropped so a notification
-  // handler that grabs client-side locks cannot deadlock against us.
+  // Notifications go out after every server lock is dropped so a
+  // notification handler that grabs client-side locks cannot deadlock
+  // against us.
   for (PendingNotify& pn : notifies) {
     pn.notify(pn.frame);
   }
@@ -164,8 +198,7 @@ Frame SegmentServer::handle(SessionId session, const Frame& request) {
 }
 
 Frame SegmentServer::dispatch(SessionId session, const Frame& request,
-                              std::vector<PendingNotify>* notifies,
-                              std::unique_lock<std::mutex>& lock) {
+                              std::vector<PendingNotify>* notifies) {
   Frame resp;
   Buffer payload;
   BufReader in = request.reader();
@@ -179,21 +212,26 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
     case MsgType::kOpenSegment: {
       std::string name = in.read_lp_string();
       bool create = in.read_u8() != 0;
-      SegmentEntry& entry = segment(name, create);
+      SegmentEntry* entry = find_segment(name, create);
+      if (entry == nullptr) {
+        throw Error(ErrorCode::kNotFound, "segment '" + name + "'");
+      }
+      std::lock_guard el(entry->mu);
       resp.type = MsgType::kOpenSegmentResp;
-      payload.append_u32(entry.store->version());
-      payload.append_u32(entry.store->next_block_serial());
+      payload.append_u32(entry->store->version());
+      payload.append_u32(entry->store->next_block_serial());
       break;
     }
 
     case MsgType::kRegisterType: {
       std::string name = in.read_lp_string();
-      SegmentEntry& entry = segment(name, false);
+      SegmentEntry& entry = segment(name);
       auto graph = in.read_bytes(in.remaining());
+      std::lock_guard el(entry.mu);
       uint32_t serial = entry.store->register_type(graph);
       // The registering client now knows this serial; extend its known
       // prefix when contiguous.
-      SegmentSession& ss = session_ref(session).segments[name];
+      SegmentSession& ss = seg_session(entry, session);
       if (serial == ss.types_sent + 1) ss.types_sent = serial;
       resp.type = MsgType::kRegisterTypeResp;
       payload.append_u32(serial);
@@ -206,13 +244,14 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
       CoherencePolicy policy;
       policy.model = static_cast<CoherenceModel>(in.read_u8());
       policy.param = in.read_u64();
-      SegmentEntry& entry = segment(name, false);
-      SegmentSession& ss = session_ref(session).segments[name];
+      SegmentEntry& entry = segment(name);
+      std::lock_guard el(entry.mu);
+      SegmentSession& ss = seg_session(entry, session);
       resp.type = MsgType::kAcquireReadResp;
       if (append_update(entry, ss, client_version, policy, payload)) {
-        ++stats_.updates_sent;
+        stats_.updates_sent.fetch_add(1, std::memory_order_relaxed);
       } else {
-        ++stats_.uptodate_responses;
+        stats_.uptodate_responses.fetch_add(1, std::memory_order_relaxed);
       }
       break;
     }
@@ -226,31 +265,32 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
     case MsgType::kAcquireWrite: {
       std::string name = in.read_lp_string();
       uint32_t client_version = in.read_u32();
-      SegmentEntry* entry = &segment(name, false);
-      if (entry->writer == session) {
+      SegmentEntry& entry = segment(name);
+      std::unique_lock el(entry.mu);
+      if (entry.writer == session) {
         throw Error(ErrorCode::kState, "write lock already held");
       }
-      writer_cv_.wait(lock, [&] {
-        // The entry reference stays valid: segments are never removed.
-        return entry->writer == 0;
-      });
-      entry->writer = session;
-      SegmentSession& ss = session_ref(session).segments[name];
+      // Waiting here blocks only this segment's entry lock; traffic on
+      // other segments is unaffected.
+      entry.writer_cv.wait(el, [&] { return entry.writer == 0; });
+      entry.writer = session;
+      SegmentSession& ss = seg_session(entry, session);
       resp.type = MsgType::kAcquireWriteResp;
-      payload.append_u32(entry->store->next_block_serial());
+      payload.append_u32(entry.store->next_block_serial());
       // A writer must start from the current version.
-      if (append_update(*entry, ss, client_version, CoherencePolicy::full(),
+      if (append_update(entry, ss, client_version, CoherencePolicy::full(),
                         payload)) {
-        ++stats_.updates_sent;
+        stats_.updates_sent.fetch_add(1, std::memory_order_relaxed);
       } else {
-        ++stats_.uptodate_responses;
+        stats_.uptodate_responses.fetch_add(1, std::memory_order_relaxed);
       }
       break;
     }
 
     case MsgType::kReleaseWrite: {
       std::string name = in.read_lp_string();
-      SegmentEntry& entry = segment(name, false);
+      SegmentEntry& entry = segment(name);
+      std::lock_guard el(entry.mu);
       if (entry.writer != session) {
         throw Error(ErrorCode::kState, "releasing write lock not held");
       }
@@ -261,35 +301,34 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
       } catch (...) {
         // A malformed diff must not wedge the segment: drop the lock.
         entry.writer = 0;
-        writer_cv_.notify_all();
+        entry.writer_cv.notify_all();
         throw;
       }
       entry.writer = 0;
-      writer_cv_.notify_all();
+      entry.writer_cv.notify_all();
 
-      // Conservative Diff-coherence accounting and notifications.
-      for (auto& [sid, sess] : sessions_) {
-        auto it = sess.segments.find(name);
-        if (it == sess.segments.end()) continue;
+      // Conservative Diff-coherence accounting and notifications, all from
+      // this entry's session table: fan-out for this segment never touches
+      // another segment's lock or the connection table.
+      for (auto& [sid, ss] : entry.sessions) {
         if (sid == session) {
-          it->second.modified_since_update = 0;
+          ss.modified_since_update = 0;
           continue;
         }
-        it->second.modified_since_update += diff_bytes.size();
-        if (it->second.subscribed && sess.notify) {
+        ss.modified_since_update += diff_bytes.size();
+        if (ss.subscribed && ss.notify) {
           Frame note;
           note.type = MsgType::kNotifyVersion;
           Buffer np;
           np.append_lp_string(name);
           np.append_u32(new_version);
           note.payload = np.take();
-          notifies->push_back({sess.notify, std::move(note)});
-          ++stats_.notifications_sent;
+          notifies->push_back({ss.notify, std::move(note)});
+          stats_.notifications_sent.fetch_add(1, std::memory_order_relaxed);
         }
       }
       // The writer itself is now current.
-      session_ref(session).segments[name].types_sent =
-          entry.store->type_count();
+      seg_session(entry, session).types_sent = entry.store->type_count();
 
       if (options_.checkpoint_every > 0 &&
           ++entry.versions_since_checkpoint >= options_.checkpoint_every) {
@@ -302,7 +341,8 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
 
     case MsgType::kSegmentInfo: {
       std::string name = in.read_lp_string();
-      SegmentEntry& entry = segment(name, false);
+      SegmentEntry& entry = segment(name);
+      std::lock_guard el(entry.mu);
       SegmentStore& store = *entry.store;
       resp.type = MsgType::kSegmentInfoResp;
       payload.append_u32(store.version());
@@ -322,23 +362,29 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
       // The directory lets a client reserve address space; it still fetches
       // data with a from-version of 0, so mark the session as having seen
       // all current types.
-      session_ref(session).segments[name].types_sent = count;
+      seg_session(entry, session).types_sent = count;
       break;
     }
 
     case MsgType::kCloseSegment: {
       std::string name = in.read_lp_string();
       // The client dropped its cache: forget what we sent it (type-table
-      // prefix, subscription, coherence counters).
-      session_ref(session).segments.erase(name);
+      // prefix, subscription, coherence counters). Closing a segment the
+      // server never saw is a no-op.
+      SegmentEntry* entry = find_segment(name, false);
+      if (entry != nullptr) {
+        std::lock_guard el(entry->mu);
+        entry->sessions.erase(session);
+      }
       resp.type = MsgType::kAck;
       break;
     }
 
     case MsgType::kSubscribe: {
       std::string name = in.read_lp_string();
-      segment(name, false);  // validate
-      session_ref(session).segments[name].subscribed = true;
+      SegmentEntry& entry = segment(name);
+      std::lock_guard el(entry.mu);
+      seg_session(entry, session).subscribed = true;
       resp.type = MsgType::kAck;
       break;
     }
@@ -372,20 +418,21 @@ void SegmentServer::checkpoint_segment_locked(SegmentEntry& entry) {
   }
   fs::rename(tmp_path, final_path);
   entry.versions_since_checkpoint = 0;
-  ++stats_.checkpoints_written;
+  stats_.checkpoints_written.fetch_add(1, std::memory_order_relaxed);
 }
 
 void SegmentServer::checkpoint() {
-  std::lock_guard lock(mu_);
+  std::shared_lock dir(dir_mu_);
   for (auto& [name, entry] : segments_) {
-    checkpoint_segment_locked(entry);
+    std::lock_guard el(entry->mu);
+    checkpoint_segment_locked(*entry);
   }
 }
 
 void SegmentServer::recover() {
   if (options_.checkpoint_dir.empty()) return;
   namespace fs = std::filesystem;
-  std::lock_guard lock(mu_);
+  std::unique_lock dir(dir_mu_);
   for (const auto& dirent : fs::directory_iterator(options_.checkpoint_dir)) {
     if (dirent.path().extension() != ".iwseg") continue;
     std::ifstream f(dirent.path(), std::ios::binary);
@@ -398,34 +445,45 @@ void SegmentServer::recover() {
       continue;
     }
     std::string name = in.read_lp_string();
-    SegmentEntry entry;
-    entry.store = SegmentStore::deserialize(name, options_.store, in);
-    segments_[name] = std::move(entry);
-    IW_LOG(kInfo) << "recovered segment " << name;
+    auto store = SegmentStore::deserialize(name, options_.store, in);
+    auto it = segments_.find(name);
+    if (it != segments_.end()) {
+      // Replace the store in place: entry addresses must stay stable.
+      std::lock_guard el(it->second->mu);
+      it->second->store = std::move(store);
+      it->second->versions_since_checkpoint = 0;
+    } else {
+      auto entry = std::make_unique<SegmentEntry>();
+      entry->store = std::move(store);
+      segments_.emplace(std::move(name), std::move(entry));
+    }
+    IW_LOG(kInfo) << "recovered segment "
+                  << dirent.path().filename().string();
   }
 }
 
 SegmentServer::Stats SegmentServer::stats() const {
-  std::lock_guard lock(mu_);
-  return stats_;
+  Stats s;
+  s.requests = stats_.requests.load(std::memory_order_relaxed);
+  s.updates_sent = stats_.updates_sent.load(std::memory_order_relaxed);
+  s.uptodate_responses =
+      stats_.uptodate_responses.load(std::memory_order_relaxed);
+  s.notifications_sent =
+      stats_.notifications_sent.load(std::memory_order_relaxed);
+  s.checkpoints_written =
+      stats_.checkpoints_written.load(std::memory_order_relaxed);
+  return s;
 }
 
 StoreStats SegmentServer::segment_stats(const std::string& name) const {
-  std::lock_guard lock(mu_);
-  auto it = segments_.find(name);
-  if (it == segments_.end()) {
-    throw Error(ErrorCode::kNotFound, "segment '" + name + "'");
-  }
-  return it->second.store->stats();
+  // StoreStats counters are relaxed atomics; no entry lock needed.
+  return segment(name).store->stats();
 }
 
 uint32_t SegmentServer::segment_version(const std::string& name) const {
-  std::lock_guard lock(mu_);
-  auto it = segments_.find(name);
-  if (it == segments_.end()) {
-    throw Error(ErrorCode::kNotFound, "segment '" + name + "'");
-  }
-  return it->second.store->version();
+  const SegmentEntry& entry = segment(name);
+  std::lock_guard el(entry.mu);
+  return entry.store->version();
 }
 
 }  // namespace iw::server

@@ -6,11 +6,22 @@
 // under the client's coherence model, ships type definitions and diffs,
 // pushes version notifications to subscribed clients, and periodically
 // checkpoints segments to disk as partial protection against failure.
+//
+// Concurrency model (two-level locking): a read-mostly segment directory
+// guarded by a shared_mutex maps names to heap-allocated SegmentEntry
+// objects whose addresses never change; all per-segment state — the store,
+// the writer lock, and every session's per-segment view of that segment —
+// lives under the entry's own mutex. Requests for distinct segments only
+// touch the directory lock in shared mode, so the per-connection transport
+// threads proceed fully in parallel. Lock ordering: directory → entry →
+// session table; see DESIGN.md "Server concurrency model".
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -31,6 +42,8 @@ class SegmentServer : public ServerCore {
     SegmentStore::Options store;
   };
 
+  /// Snapshot of the server-wide counters (maintained as relaxed atomics;
+  /// the request hot path never takes a stats lock).
   struct Stats {
     uint64_t requests = 0;
     uint64_t updates_sent = 0;
@@ -50,6 +63,8 @@ class SegmentServer : public ServerCore {
 
   // --- administration ---
   /// Writes every segment to the checkpoint directory (atomic per segment).
+  /// Safe to call concurrently with request handling; each segment is
+  /// checkpointed under its own lock.
   void checkpoint();
   /// Loads all segments found in the checkpoint directory. Call before
   /// serving; existing in-memory segments with the same name are replaced.
@@ -62,45 +77,74 @@ class SegmentServer : public ServerCore {
   uint32_t segment_version(const std::string& name) const;
 
  private:
+  /// One session's view of one segment. Guarded by the owning
+  /// SegmentEntry's mutex, so bookkeeping for segment A (including
+  /// notification fan-out) never blocks a writer on segment B.
   struct SegmentSession {
-    uint32_t types_sent = 0;           // prefix of type serials known
+    uint32_t types_sent = 0;             // prefix of type serials known
     uint64_t modified_since_update = 0;  // for Diff coherence
     bool subscribed = false;
+    Notifier notify;  // copied from the session record at first touch
   };
-  struct Session {
-    Notifier notify;
-    std::unordered_map<std::string, SegmentSession> segments;
-  };
+  /// One segment plus everything guarded by its lock. Heap-allocated and
+  /// never removed from the directory, so raw pointers taken under the
+  /// directory lock stay valid without holding it.
   struct SegmentEntry {
+    mutable std::mutex mu;
+    std::condition_variable writer_cv;  // signalled when `writer` drops to 0
     std::unique_ptr<SegmentStore> store;
     SessionId writer = 0;  // 0 = unlocked
     uint32_t versions_since_checkpoint = 0;
+    std::unordered_map<SessionId, SegmentSession> sessions;
   };
   struct PendingNotify {
     Notifier notify;
     Frame frame;
   };
+  struct AtomicStats {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> updates_sent{0};
+    std::atomic<uint64_t> uptodate_responses{0};
+    std::atomic<uint64_t> notifications_sent{0};
+    std::atomic<uint64_t> checkpoints_written{0};
+  };
 
   Frame dispatch(SessionId session, const Frame& request,
-                 std::vector<PendingNotify>* notifies,
-                 std::unique_lock<std::mutex>& lock);
-  SegmentEntry& segment(const std::string& name, bool create);
-  Session& session_ref(SessionId id);
+                 std::vector<PendingNotify>* notifies);
+  /// Directory lookup (shared lock); inserts under the exclusive lock when
+  /// `create`. Returns nullptr when absent and !create.
+  SegmentEntry* find_segment(const std::string& name, bool create);
+  /// Like find_segment(name, false) but throws kNotFound when absent.
+  SegmentEntry& segment(const std::string& name);
+  const SegmentEntry& segment(const std::string& name) const;
+  /// This session's state for `entry`'s segment, created on first touch
+  /// (validating the session against the connection table). Caller holds
+  /// entry.mu.
+  SegmentSession& seg_session(SegmentEntry& entry, SessionId id);
   /// Appends status/type-table/diff to `payload` for a client at
   /// `client_version` under `policy`; returns true when an update was sent.
+  /// Caller holds entry.mu.
   bool append_update(SegmentEntry& entry, SegmentSession& ss,
                      uint32_t client_version, CoherencePolicy policy,
                      Buffer& payload);
   bool is_stale(SegmentEntry& entry, const SegmentSession& ss,
                 uint32_t client_version, CoherencePolicy policy) const;
+  /// Caller holds entry.mu.
   void checkpoint_segment_locked(SegmentEntry& entry);
 
-  mutable std::mutex mu_;
-  std::condition_variable writer_cv_;
   Options options_;
-  std::unordered_map<std::string, SegmentEntry> segments_;
-  std::unordered_map<SessionId, Session> sessions_;
-  Stats stats_;
+
+  /// Level 1: the segment directory. Read-mostly — shared for lookup,
+  /// exclusive only to insert a new segment.
+  mutable std::shared_mutex dir_mu_;
+  std::unordered_map<std::string, std::unique_ptr<SegmentEntry>> segments_;
+
+  /// Connection table (session → notifier). Leaf lock: never held while
+  /// acquiring the directory or an entry lock.
+  mutable std::shared_mutex sessions_mu_;
+  std::unordered_map<SessionId, Notifier> sessions_;
+
+  AtomicStats stats_;
 };
 
 }  // namespace iw::server

@@ -115,9 +115,16 @@ class BufReader {
 
   /// Reads a u32-length-prefixed byte string as a std::string.
   std::string read_lp_string() {
+    return std::string(read_lp_view());
+  }
+
+  /// Reads a u32-length-prefixed byte string as a view into the underlying
+  /// storage — no allocation. The view is only valid while the buffer the
+  /// reader was constructed over stays alive and unmodified.
+  std::string_view read_lp_view() {
     uint32_t n = read_u32();
     auto s = read_bytes(n);
-    return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+    return {reinterpret_cast<const char*>(s.data()), s.size()};
   }
 
   /// Skips `n` bytes.

@@ -363,15 +363,16 @@ void decode_units(const TypeDescriptor& type, const LayoutRules& rules,
         }
         break;
       case PrimitiveKind::kPointer:
+        // read_lp_view: the MIP/string bytes are consumed (copied or
+        // resolved) by the hook before the next read, so a view into the
+        // input buffer avoids one heap allocation per unit.
         for (uint64_t i = 0; i < run.unit_count; ++i, p += run.local_stride) {
-          std::string mip = in.read_lp_string();
-          hooks.swizzle_in(mip, p);
+          hooks.swizzle_in(in.read_lp_view(), p);
         }
         break;
       case PrimitiveKind::kString:
         for (uint64_t i = 0; i < run.unit_count; ++i, p += run.local_stride) {
-          std::string content = in.read_lp_string();
-          hooks.write_string(p, run.string_capacity, content);
+          hooks.write_string(p, run.string_capacity, in.read_lp_view());
         }
         break;
     }
