@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + full test suite, then the translation
+# differential test again under UBSan (the plan engine's pointer/offset
+# arithmetic is exactly what -fsanitize=undefined is good at catching).
+#
+# Usage: scripts/verify.sh [build-dir] [ubsan-build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+UBSAN_BUILD="${2:-build-ubsan}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j "$JOBS"
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+echo "== differential translation test under UBSan =="
+cmake -B "$UBSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DIW_SANITIZE=undefined
+cmake --build "$UBSAN_BUILD" -j "$JOBS" --target wire_translate_test
+UBSAN_OPTIONS=halt_on_error=1 \
+    "$UBSAN_BUILD"/tests/wire_translate_test
+
+echo "== verify.sh: all green =="

@@ -766,7 +766,12 @@ void Client::collect_and_release_locked(ClientSegment* seg) {
   ClientHooks hooks(this);
   const LayoutRules& rules = options_.platform.rules;
 
-  Buffer payload;
+  // The collect buffer is owned by the segment and reused across lock
+  // cycles: clear() keeps the capacity, and the channel hands the
+  // allocation back (in-proc) or sends straight from it (TCP vectored
+  // send), so steady-state releases allocate nothing for the payload.
+  Buffer& payload = seg->collect_buf_;
+  payload.clear();
   payload.append_lp_string(seg->url_);
   DiffWriter writer(payload, seg->version_, seg->version_ + 1);
 
@@ -942,7 +947,7 @@ void Client::collect_and_release_locked(ClientSegment* seg) {
   ++stats_.diffs_collected;
   stats_.collect_ns += total.elapsed_ns();
 
-  Frame resp = seg->channel_->call(MsgType::kReleaseWrite, std::move(payload));
+  Frame resp = seg->channel_->call(MsgType::kReleaseWrite, payload);
   BufReader r = resp.reader();
   seg->version_ = r.read_u32();
 

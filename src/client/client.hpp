@@ -57,6 +57,14 @@ struct ClientStats {
   uint64_t diff_releases = 0;
   uint64_t no_diff_releases = 0;
   uint64_t block_no_diff_emissions = 0;  ///< blocks sent whole by block mode
+
+  // Plan-compiled translation counters, merged from the client's type
+  // registry (see types/translation_plan.hpp).
+  uint64_t bytes_encoded = 0;
+  uint64_t bytes_decoded = 0;
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t isomorphic_fast_path_blocks = 0;
 };
 
 class Client;
@@ -95,6 +103,10 @@ class ClientSegment {
   std::vector<const TypeDescriptor*> types_;  // serial-1 -> descriptor
   std::unordered_map<const TypeDescriptor*, uint32_t> type_serials_;
   std::deque<std::string> name_arena_;
+
+  /// Release-path collect buffer, reused across write-lock cycles (the
+  /// channel consumes the bytes but leaves the allocation behind).
+  Buffer collect_buf_;
 
   // Current write critical section.
   TrackingMode active_tracking_ = TrackingMode::kNoDiff;
@@ -202,8 +214,23 @@ class Client {
   void* read_pointer_field(const void* field) const;
   void write_pointer_field(void* field, void* addr);
 
-  const ClientStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = ClientStats{}; }
+  /// Snapshot of the client counters plus the registry's translation
+  /// counters (by value: the translation side is sampled from relaxed
+  /// atomics at call time).
+  ClientStats stats() const noexcept {
+    ClientStats s = stats_;
+    TranslationStats t = registry_.translation_stats();
+    s.bytes_encoded = t.bytes_encoded;
+    s.bytes_decoded = t.bytes_decoded;
+    s.plan_cache_hits = t.plan_cache_hits;
+    s.plan_cache_misses = t.plan_cache_misses;
+    s.isomorphic_fast_path_blocks = t.isomorphic_fast_path_blocks;
+    return s;
+  }
+  void reset_stats() noexcept {
+    stats_ = ClientStats{};
+    registry_.reset_translation_stats();
+  }
   /// Total bytes across all channels (bandwidth accounting).
   uint64_t bytes_sent() const;
   uint64_t bytes_received() const;

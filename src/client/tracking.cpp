@@ -15,10 +15,57 @@ namespace {
 std::atomic<uint64_t> g_fault_count{0};
 struct sigaction g_previous_action;
 
+/// Twin page pool: pages released by drop_all_twins are parked here (up to
+/// kTwinPoolCap) and reused by the next fault instead of a fresh mmap, so a
+/// steady-state write-lock cycle does no map/unmap syscalls at all.
+///
+/// The pool is guarded by an atomic_flag spinlock. The fault path (a signal
+/// handler) only *try-locks*: atomic_flag operations are async-signal-safe,
+/// and no code inside the critical section can fault on tracked memory, so
+/// a contended flag just means "fall back to mmap" — never a deadlock.
+constexpr size_t kTwinPoolCap = 256;
+std::atomic_flag g_twin_pool_lock = ATOMIC_FLAG_INIT;
+uint8_t* g_twin_pool[kTwinPoolCap];
+size_t g_twin_pool_size = 0;
+
+/// Pops a pooled page, or nullptr when the pool is empty or the lock is
+/// contended. Async-signal-safe.
+uint8_t* twin_pool_pop() noexcept {
+  if (g_twin_pool_lock.test_and_set(std::memory_order_acquire)) {
+    return nullptr;  // contended: caller falls back to mmap
+  }
+  uint8_t* page = nullptr;
+  if (g_twin_pool_size > 0) {
+    page = g_twin_pool[--g_twin_pool_size];
+  }
+  g_twin_pool_lock.clear(std::memory_order_release);
+  return page;
+}
+
+/// Parks a page in the pool; returns false (caller munmaps) when full.
+/// Called from normal context only, so spinning on the lock is fine.
+bool twin_pool_push(uint8_t* page) noexcept {
+  while (g_twin_pool_lock.test_and_set(std::memory_order_acquire)) {
+  }
+  bool parked = false;
+  if (g_twin_pool_size < kTwinPoolCap) {
+    g_twin_pool[g_twin_pool_size++] = page;
+    parked = true;
+  }
+  g_twin_pool_lock.clear(std::memory_order_release);
+  return parked;
+}
+
 uint8_t* map_twin_page() noexcept {
+  uint8_t* pooled = twin_pool_pop();
+  if (pooled != nullptr) return pooled;
   void* p = ::mmap(nullptr, kPageSize, PROT_READ | PROT_WRITE,
                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
   return p == MAP_FAILED ? nullptr : static_cast<uint8_t*>(p);
+}
+
+void release_twin_page(uint8_t* page) noexcept {
+  if (!twin_pool_push(page)) ::munmap(page, kPageSize);
 }
 
 /// Creates the twin for `page` if absent (CAS per slot) and re-enables
@@ -129,7 +176,7 @@ void twin_all_pages(Subsegment& subseg) {
 void drop_all_twins(Subsegment& subseg) {
   for (auto& twin : subseg.twins) {
     if (twin != nullptr) {
-      ::munmap(twin, kPageSize);
+      release_twin_page(twin);
       twin = nullptr;
     }
   }

@@ -22,7 +22,7 @@ InProcChannel::InProcChannel(ServerCore& core)
 
 InProcChannel::~InProcChannel() { core_.on_disconnect(session_); }
 
-Frame InProcChannel::call(MsgType type, Buffer payload) {
+Frame InProcChannel::call(MsgType type, Buffer& payload) {
   Frame request;
   request.type = type;
   request.request_id = next_request_id_.fetch_add(1);
@@ -33,6 +33,10 @@ Frame InProcChannel::call(MsgType type, Buffer payload) {
   response.request_id = request.request_id;
   bytes_received_.fetch_add(frame_wire_size(response),
                             std::memory_order_relaxed);
+  // The request was handled synchronously; hand the payload allocation back
+  // to the caller so a reused collect buffer keeps its capacity.
+  payload.adopt(std::move(request.payload));
+  payload.clear();
   return check_response(std::move(response));
 }
 

@@ -25,7 +25,8 @@ class InProcChannel final : public ClientChannel {
   InProcChannel(const InProcChannel&) = delete;
   InProcChannel& operator=(const InProcChannel&) = delete;
 
-  Frame call(MsgType type, Buffer payload) override;
+  using ClientChannel::call;
+  Frame call(MsgType type, Buffer& payload) override;
   void set_notify_handler(std::function<void(const Frame&)> fn) override;
   uint64_t bytes_sent() const override { return bytes_sent_.load(); }
   uint64_t bytes_received() const override { return bytes_received_.load(); }

@@ -26,6 +26,38 @@ void write_all(int fd, const uint8_t* data, size_t n) {
   }
 }
 
+/// Vectored equivalent of write_all: sends every slice of `chain` in order
+/// via sendmsg, so a frame header and its payload go out in one syscall
+/// without being glued into a contiguous copy first.
+void write_all_vec(int fd, const IoChain& chain) {
+  iovec iov[IoChain::kMaxSlices];
+  size_t count = chain.count();
+  for (size_t i = 0; i < count; ++i) {
+    iov[i].iov_base = const_cast<void*>(chain.slices()[i].data);
+    iov[i].iov_len = chain.slices()[i].len;
+  }
+  size_t idx = 0;
+  while (idx < count) {
+    msghdr msg{};
+    msg.msg_iov = iov + idx;
+    msg.msg_iovlen = count - idx;
+    ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("sendmsg");
+    }
+    size_t rem = static_cast<size_t>(w);
+    while (idx < count && rem >= iov[idx].iov_len) {
+      rem -= iov[idx].iov_len;
+      ++idx;
+    }
+    if (idx < count) {  // partial write into slice idx
+      iov[idx].iov_base = static_cast<uint8_t*>(iov[idx].iov_base) + rem;
+      iov[idx].iov_len -= rem;
+    }
+  }
+}
+
 /// Reads exactly n bytes; returns false on clean EOF at a frame boundary.
 bool read_exact(int fd, uint8_t* data, size_t n) {
   size_t got = 0;
@@ -46,12 +78,16 @@ bool read_exact(int fd, uint8_t* data, size_t n) {
 
 void send_frame(int fd, std::mutex& write_mu, const Frame& frame,
                 std::atomic<uint64_t>* bytes_counter) {
-  Buffer out(kFrameHeaderSize + frame.payload.size());
-  encode_frame(frame, out);
+  uint8_t header[kFrameHeaderSize];
+  encode_frame_header(frame.type, frame.request_id, frame.payload.size(),
+                      header);
+  IoChain chain;
+  chain.add(header, sizeof header);
+  chain.add(frame.payload.data(), frame.payload.size());
   std::lock_guard lock(write_mu);
-  write_all(fd, out.data(), out.size());
+  write_all_vec(fd, chain);
   if (bytes_counter) {
-    bytes_counter->fetch_add(out.size(), std::memory_order_relaxed);
+    bytes_counter->fetch_add(chain.total_bytes(), std::memory_order_relaxed);
   }
 }
 
@@ -116,11 +152,15 @@ struct TcpServer::Connection {
   std::thread thread;
 
   void send(const Frame& frame) {
-    Buffer out(kFrameHeaderSize + frame.payload.size());
-    encode_frame(frame, out);
+    uint8_t header[kFrameHeaderSize];
+    encode_frame_header(frame.type, frame.request_id, frame.payload.size(),
+                        header);
+    IoChain chain;
+    chain.add(header, sizeof header);
+    chain.add(frame.payload.data(), frame.payload.size());
     std::lock_guard lock(write_mu);
     if (fd < 0) throw Error(ErrorCode::kIo, "connection closed");
-    write_all(fd, out.data(), out.size());
+    write_all_vec(fd, chain);
   }
   void shutdown_socket() {
     std::lock_guard lock(write_mu);
@@ -274,7 +314,7 @@ void TcpClientChannel::receive_loop() {
   cv_.notify_all();
 }
 
-Frame TcpClientChannel::call(MsgType type, Buffer payload) {
+Frame TcpClientChannel::call(MsgType type, Buffer& payload) {
   Frame request;
   request.type = type;
   {
@@ -282,8 +322,20 @@ Frame TcpClientChannel::call(MsgType type, Buffer payload) {
     if (closed_) throw Error(ErrorCode::kIo, "channel closed");
     request.request_id = next_request_id_++;
   }
-  request.payload = payload.take();
-  send_frame(fd_, write_mu_, request, &bytes_sent_);
+  // Vectored send straight from the caller's buffer: the payload is never
+  // copied into a contiguous frame, and the caller keeps its capacity.
+  uint8_t header[kFrameHeaderSize];
+  encode_frame_header(request.type, request.request_id, payload.size(),
+                      header);
+  IoChain chain;
+  chain.add(header, sizeof header);
+  chain.add(payload.slice());
+  {
+    std::lock_guard lock(write_mu_);
+    write_all_vec(fd_, chain);
+  }
+  bytes_sent_.fetch_add(chain.total_bytes(), std::memory_order_relaxed);
+  payload.clear();
 
   std::unique_lock lock(mu_);
   cv_.wait(lock, [&] {

@@ -55,7 +55,8 @@ class TcpClientChannel final : public ClientChannel {
   explicit TcpClientChannel(uint16_t port);
   ~TcpClientChannel() override;
 
-  Frame call(MsgType type, Buffer payload) override;
+  using ClientChannel::call;
+  Frame call(MsgType type, Buffer& payload) override;
   void set_notify_handler(std::function<void(const Frame&)> fn) override;
   uint64_t bytes_sent() const override { return bytes_sent_.load(); }
   uint64_t bytes_received() const override { return bytes_received_.load(); }

@@ -28,7 +28,18 @@ class ClientChannel {
 
   /// Sends a request and blocks for its response. Throws Error on transport
   /// failure; a server-side kError response is surfaced as a thrown Error.
-  virtual Frame call(MsgType type, Buffer payload) = 0;
+  /// The payload is consumed (left empty), but implementations keep or hand
+  /// back its allocation where they can so a caller-owned buffer can be
+  /// reused across calls without reallocating (the per-release collect
+  /// buffer rides on this).
+  virtual Frame call(MsgType type, Buffer& payload) = 0;
+
+  /// Rvalue convenience: call sites that build a one-shot payload pass a
+  /// temporary (or std::move a local) and don't care about reuse.
+  Frame call(MsgType type, Buffer&& payload) {
+    Buffer consumed = std::move(payload);
+    return call(type, consumed);
+  }
 
   /// Installs the handler invoked for unsolicited notifications. May be
   /// invoked from another thread (TCP) or from within call() (in-proc);

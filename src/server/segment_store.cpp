@@ -68,6 +68,12 @@ StoreStats SegmentStore::stats() const noexcept {
   s.bytes_collected = stats_.bytes_collected.load(std::memory_order_relaxed);
   s.apply_ns = stats_.apply_ns.load(std::memory_order_relaxed);
   s.collect_ns = stats_.collect_ns.load(std::memory_order_relaxed);
+  TranslationStats t = registry_.translation_stats();
+  s.bytes_encoded = t.bytes_encoded;
+  s.bytes_decoded = t.bytes_decoded;
+  s.plan_cache_hits = t.plan_cache_hits;
+  s.plan_cache_misses = t.plan_cache_misses;
+  s.isomorphic_fast_path_blocks = t.isomorphic_fast_path_blocks;
   return s;
 }
 

@@ -108,6 +108,14 @@ struct StoreStats {
   uint64_t bytes_collected = 0;
   uint64_t apply_ns = 0;    ///< time spent in apply_diff
   uint64_t collect_ns = 0;  ///< time spent building diffs (cache hits free)
+
+  // Plan-compiled translation counters, merged from the store's
+  // packed-canonical type registry (see types/translation_plan.hpp).
+  uint64_t bytes_encoded = 0;
+  uint64_t bytes_decoded = 0;
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t isomorphic_fast_path_blocks = 0;
 };
 
 /// One segment's master copy plus all its metadata.

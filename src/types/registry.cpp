@@ -54,6 +54,7 @@ size_t TypeRegistry::size() const {
 
 TypeDescriptor* TypeRegistry::alloc() {
   owned_.push_back(std::unique_ptr<TypeDescriptor>(new TypeDescriptor));
+  owned_.back()->counters_ = &translation_counters_;
   return owned_.back().get();
 }
 

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "types/translation_plan.hpp"
 #include "types/type_desc.hpp"
 #include "util/buffer.hpp"
 
@@ -92,6 +93,14 @@ class TypeRegistry {
   /// Number of descriptors owned (diagnostics/tests).
   size_t size() const;
 
+  /// Snapshot of the translation counters accumulated by every plan-compiled
+  /// encode/decode over this registry's descriptors (relaxed atomics; safe
+  /// without any lock).
+  TranslationStats translation_stats() const noexcept {
+    return translation_counters_.snapshot();
+  }
+  void reset_translation_stats() noexcept { translation_counters_.reset(); }
+
  private:
   friend class StructBuilder;
   friend class TypeCodec;
@@ -125,6 +134,9 @@ class TypeRegistry {
   mutable std::mutex mu_;
   LayoutRules rules_;
   Options options_;
+  /// Shared by all owned descriptors; must outlive them (declared before
+  /// owned_ so it is destroyed after).
+  mutable TranslationCounters translation_counters_;
   std::deque<std::unique_ptr<TypeDescriptor>> owned_;
   std::unordered_map<std::string, const TypeDescriptor*> interned_;
   std::unordered_map<const TypeDescriptor*, uint64_t> serials_;

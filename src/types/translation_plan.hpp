@@ -1,0 +1,146 @@
+// Plan-compiled translation: per-(TypeDescriptor, LayoutRules) run programs.
+//
+// A TranslationPlan is compiled once per descriptor instantiation and cached
+// on the descriptor itself: a flattened, prefix-summed program of primitive
+// runs (and loops over aggregate array elements) covering the whole value.
+// Translation binary-searches to the op containing the first requested unit
+// and executes straight-line copy/swap loops from there — no recursive
+// descent over the descriptor tree per lock release.
+//
+// The compiler also proves (or refutes) the paper's §3.3 isomorphism: when
+// the local layout is byte-identical to the canonical wire format (matching
+// endianness and sizes, no padding, no strings or pointers), encoding or
+// decoding any unit range degenerates to a single memcpy.
+//
+// Plans are immutable after compilation and live exactly as long as their
+// descriptor; descriptors are themselves immutable, so there are no
+// invalidation rules — the cache key is descriptor identity within its
+// registry's LayoutRules.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "types/platform.hpp"
+
+namespace iw {
+
+class TypeDescriptor;
+class TranslationPlan;
+
+/// Snapshot of one registry's translation counters.
+struct TranslationStats {
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t bytes_encoded = 0;
+  uint64_t bytes_decoded = 0;
+  uint64_t isomorphic_fast_path_blocks = 0;
+};
+
+/// Relaxed-atomic counters shared by every descriptor of one TypeRegistry
+/// (same pattern as the server's AtomicStats: mutation paths never lock).
+struct TranslationCounters {
+  std::atomic<uint64_t> plan_cache_hits{0};
+  std::atomic<uint64_t> plan_cache_misses{0};
+  std::atomic<uint64_t> bytes_encoded{0};
+  std::atomic<uint64_t> bytes_decoded{0};
+  std::atomic<uint64_t> isomorphic_fast_path_blocks{0};
+
+  TranslationStats snapshot() const noexcept {
+    TranslationStats s;
+    s.plan_cache_hits = plan_cache_hits.load(std::memory_order_relaxed);
+    s.plan_cache_misses = plan_cache_misses.load(std::memory_order_relaxed);
+    s.bytes_encoded = bytes_encoded.load(std::memory_order_relaxed);
+    s.bytes_decoded = bytes_decoded.load(std::memory_order_relaxed);
+    s.isomorphic_fast_path_blocks =
+        isomorphic_fast_path_blocks.load(std::memory_order_relaxed);
+    return s;
+  }
+  void reset() noexcept {
+    plan_cache_hits.store(0, std::memory_order_relaxed);
+    plan_cache_misses.store(0, std::memory_order_relaxed);
+    bytes_encoded.store(0, std::memory_order_relaxed);
+    bytes_decoded.store(0, std::memory_order_relaxed);
+    isomorphic_fast_path_blocks.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// One instruction of a compiled plan. Ops are sorted by first_unit and
+/// partition [0, prim_units) exactly.
+struct PlanOp {
+  enum class Kind : uint8_t {
+    kRun,   ///< unit_count homogeneous primitive units at a fixed stride
+    kLoop,  ///< elem_count aggregate elements, each executed via elem_plan
+  };
+
+  Kind op = Kind::kRun;
+  PrimitiveKind prim = PrimitiveKind::kChar;  ///< valid for kRun
+  uint64_t first_unit = 0;   ///< prefix-summed unit index of the op's start
+  uint64_t unit_count = 0;   ///< total units the op covers
+  uint32_t local_offset = 0; ///< byte offset of the first unit / element
+  uint32_t local_stride = 0; ///< kRun: bytes between units; kLoop: element stride
+  uint32_t string_capacity = 0;  ///< valid when prim == kString
+  /// Fixed-wire bytes preceding this op within the value. Only meaningful
+  /// while every preceding unit is fixed-size (always true when the whole
+  /// plan is fixed, i.e. !variable()).
+  uint64_t wire_offset = 0;
+
+  // --- kLoop only ---
+  const TranslationPlan* elem_plan = nullptr;
+  uint64_t elem_count = 0;
+  uint64_t units_per_elem = 0;
+  uint64_t wire_per_elem = 0;  ///< valid when the element plan is fixed
+};
+
+class TranslationPlan {
+ public:
+  /// The cached plan for `type` (compiled against `rules` on first use).
+  /// Lock-free after the first call; bumps the owning registry's
+  /// plan_cache_hits/misses counters. `rules` must be the LayoutRules the
+  /// descriptor was instantiated against (its registry's rules).
+  static const TranslationPlan& of(const TypeDescriptor& type,
+                                   const LayoutRules& rules);
+
+  const std::vector<PlanOp>& ops() const noexcept { return ops_; }
+  uint64_t prim_units() const noexcept { return prim_units_; }
+  uint64_t fixed_wire_size() const noexcept { return fixed_wire_size_; }
+  /// True when the wire encoding contains strings or pointers (variable
+  /// length; fixed-wire offsets are not usable).
+  bool variable() const noexcept { return variable_; }
+  /// True when local bytes [offset_of(b), offset_of(e)) are the wire
+  /// encoding of units [b, e) verbatim — the §3.3 single-memcpy case.
+  bool isomorphic() const noexcept { return isomorphic_; }
+  /// True when local numeric byte order differs from the (big-endian) wire.
+  bool swap() const noexcept { return swap_; }
+
+  /// Index of the op whose unit range contains `unit` (< prim_units).
+  size_t op_index(uint64_t unit) const noexcept;
+
+  /// Wire byte offset of `unit` within the value's encoding; `unit` ==
+  /// prim_units() yields the total size. Requires !variable(). For an
+  /// isomorphic plan this is also the unit's local byte offset.
+  uint64_t fixed_wire_offset_of(uint64_t unit) const noexcept;
+
+  TranslationPlan(const TranslationPlan&) = delete;
+  TranslationPlan& operator=(const TranslationPlan&) = delete;
+  ~TranslationPlan();
+
+ private:
+  TranslationPlan(const TypeDescriptor& type, const LayoutRules& rules);
+
+  void compile(const TypeDescriptor& type, uint64_t unit_base,
+               uint32_t local_base, const LayoutRules& rules);
+  void append_run(PrimitiveKind kind, uint64_t first_unit, uint64_t count,
+                  uint32_t local_offset, uint32_t stride, uint32_t capacity);
+  void finalize();
+
+  std::vector<PlanOp> ops_;
+  uint64_t prim_units_ = 0;
+  uint64_t fixed_wire_size_ = 0;
+  bool variable_ = false;
+  bool isomorphic_ = false;
+  bool swap_ = false;
+};
+
+}  // namespace iw

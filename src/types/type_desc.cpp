@@ -2,7 +2,13 @@
 
 #include <algorithm>
 
+#include "types/translation_plan.hpp"
+
 namespace iw {
+
+TypeDescriptor::~TypeDescriptor() {
+  delete plan_.load(std::memory_order_acquire);
+}
 
 size_t TypeDescriptor::field_index_for_unit(uint64_t unit) const noexcept {
   // Last field whose prim_offset <= unit.

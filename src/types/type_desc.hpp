@@ -14,6 +14,7 @@
 // Descriptors are immutable after construction and owned by a TypeRegistry.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -22,6 +23,9 @@
 #include "util/error.hpp"
 
 namespace iw {
+
+class TranslationPlan;
+struct TranslationCounters;
 
 enum class TypeKind : uint8_t {
   kPrimitive = 0,
@@ -60,6 +64,8 @@ class TypeRegistry;
 
 class TypeDescriptor {
  public:
+  ~TypeDescriptor();
+
   TypeKind kind() const noexcept { return kind_; }
   PrimitiveKind primitive() const noexcept { return prim_; }
 
@@ -122,8 +128,15 @@ class TypeDescriptor {
     visit_runs_impl(begin, end, 0, 0, fn);
   }
 
+  /// The owning registry's translation counters (null for descriptors built
+  /// outside a registry, which does not happen in practice).
+  TranslationCounters* translation_counters() const noexcept {
+    return counters_;
+  }
+
  private:
   friend class TypeRegistry;
+  friend class TranslationPlan;
   TypeDescriptor() = default;
 
   template <typename F>
@@ -214,6 +227,12 @@ class TypeDescriptor {
   uint64_t fixed_wire_size_ = 0;
   bool variable_wire_ = false;
   std::vector<PrimRun> flat_runs_;
+
+  /// Compiled-once translation plan (see types/translation_plan.hpp); set
+  /// lazily by TranslationPlan::of, owned by this descriptor.
+  mutable std::atomic<TranslationPlan*> plan_{nullptr};
+  /// Owning registry's counters; set at allocation, outlives the descriptor.
+  TranslationCounters* counters_ = nullptr;
 };
 
 }  // namespace iw

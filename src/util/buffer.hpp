@@ -18,6 +18,13 @@
 
 namespace iw {
 
+/// One contiguous piece of an iovec-style scatter/gather chain. Borrowed:
+/// the bytes must stay alive while the slice is in use.
+struct IoSlice {
+  const void* data = nullptr;
+  size_t len = 0;
+};
+
 /// Append-oriented byte buffer used to build wire-format messages.
 class Buffer {
  public:
@@ -76,6 +83,16 @@ class Buffer {
 
   std::vector<uint8_t> take() noexcept { return std::move(bytes_); }
 
+  /// Replaces the buffer's storage with `storage`, keeping its capacity.
+  /// Pairs with take(): a transport that moved the bytes out can hand the
+  /// (now otherwise dead) allocation back for the caller to reuse.
+  void adopt(std::vector<uint8_t> storage) noexcept {
+    bytes_ = std::move(storage);
+  }
+
+  /// Whole-buffer view for scatter/gather I/O.
+  IoSlice slice() const noexcept { return {bytes_.data(), bytes_.size()}; }
+
  private:
   template <typename F>
   void grow_and_store(size_t n, F f) {
@@ -85,6 +102,32 @@ class Buffer {
   }
 
   std::vector<uint8_t> bytes_;
+};
+
+/// A fixed-capacity chain of borrowed byte ranges — the iovec view the
+/// transports use to send a frame header and its payload in one vectored
+/// syscall without gluing them into a fresh allocation.
+class IoChain {
+ public:
+  static constexpr size_t kMaxSlices = 4;
+
+  void add(const void* p, size_t n) {
+    if (n == 0) return;
+    check_internal(count_ < kMaxSlices, "IoChain overflow");
+    slices_[count_++] = {p, n};
+    total_ += n;
+  }
+  void add(const Buffer& buffer) { add(buffer.data(), buffer.size()); }
+  void add(IoSlice s) { add(s.data, s.len); }
+
+  const IoSlice* slices() const noexcept { return slices_; }
+  size_t count() const noexcept { return count_; }
+  size_t total_bytes() const noexcept { return total_; }
+
+ private:
+  IoSlice slices_[kMaxSlices] = {};
+  size_t count_ = 0;
+  size_t total_ = 0;
 };
 
 /// Bounds-checked forward cursor over immutable bytes (typically a message

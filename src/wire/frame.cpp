@@ -9,6 +9,16 @@ void encode_frame(const Frame& frame, Buffer& out) {
   out.append(frame.payload.data(), frame.payload.size());
 }
 
+void encode_frame_header(MsgType type, uint32_t request_id,
+                         size_t payload_size, uint8_t out[kFrameHeaderSize]) {
+  if (payload_size > kMaxFramePayload) {
+    throw Error(ErrorCode::kProtocol, "frame payload too large");
+  }
+  out[0] = static_cast<uint8_t>(type);
+  store_be32(out + 1, request_id);
+  store_be32(out + 5, static_cast<uint32_t>(payload_size));
+}
+
 FrameHeader decode_frame_header(const uint8_t* header_bytes) {
   FrameHeader h;
   h.type = static_cast<MsgType>(header_bytes[0]);

@@ -54,6 +54,13 @@ inline constexpr uint32_t kMaxFramePayload = 256u << 20;
 /// Appends the wire encoding of `frame` to `out`.
 void encode_frame(const Frame& frame, Buffer& out);
 
+/// Encodes just the header into a caller-provided kFrameHeaderSize-byte
+/// array; the transports pair it with the payload in one vectored send so
+/// the payload bytes are never copied into a contiguous frame.
+void encode_frame_header(MsgType type, uint32_t request_id,
+                         size_t payload_size,
+                         uint8_t out[kFrameHeaderSize]);
+
 /// Parses one frame from exactly kFrameHeaderSize header bytes; returns the
 /// payload length the caller must then read. Throws Error(kProtocol) on a
 /// malformed header.

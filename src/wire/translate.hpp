@@ -8,9 +8,13 @@
 // caller-supplied hooks (the client library implements them with its segment
 // metadata, the server with its out-of-line slot tables, tests with fakes).
 //
-// Both directions iterate homogeneous PrimRuns (see TypeDescriptor) so the
-// per-unit cost for large arrays is one tight loop iteration, which is what
-// makes InterWeave competitive with rpcgen-generated marshaling (Fig. 4).
+// Both directions execute the type's compiled TranslationPlan (see
+// types/translation_plan.hpp): a flattened run program cached per
+// (descriptor, LayoutRules), binary-searched to the first requested unit and
+// then run as straight-line copy/swap loops. When the plan proves the local
+// layout byte-identical to wire format (§3.3 isomorphism), any unit range
+// encodes or decodes as a single memcpy. This is what makes InterWeave
+// competitive with rpcgen-generated marshaling (Fig. 4).
 #pragma once
 
 #include <string>
@@ -87,8 +91,31 @@ void decode_units(const TypeDescriptor& type, const LayoutRules& rules,
 
 /// Wire size in bytes that units [begin, end) of `type` would occupy, given
 /// the actual current contents at `base` (strings/pointers are variable).
+/// Fixed-size runs are measured arithmetically from the plan — no hook is
+/// invoked for them, only strings/pointers are read.
 uint64_t measure_units(const TypeDescriptor& type, const LayoutRules& rules,
                        const void* base, uint64_t begin, uint64_t end,
                        TranslationHooks& hooks);
+
+// --- legacy recursive reference implementation (test-only) ---------------
+//
+// The pre-plan translation path: recursive descent over the descriptor tree
+// via visit_runs, with the flat-run struct-array fast path. Kept only as
+// the reference oracle for the differential tests in wire_translate_test
+// and the planned-vs-legacy comparison in bench/translate_plan; production
+// code must call the plan-compiled entry points above.
+
+void encode_units_legacy(const TypeDescriptor& type, const LayoutRules& rules,
+                         const void* base, uint64_t begin, uint64_t end,
+                         TranslationHooks& hooks, Buffer& out);
+
+void decode_units_legacy(const TypeDescriptor& type, const LayoutRules& rules,
+                         void* base, uint64_t begin, uint64_t end,
+                         TranslationHooks& hooks, BufReader& in);
+
+uint64_t measure_units_legacy(const TypeDescriptor& type,
+                              const LayoutRules& rules, const void* base,
+                              uint64_t begin, uint64_t end,
+                              TranslationHooks& hooks);
 
 }  // namespace iw

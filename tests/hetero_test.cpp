@@ -291,6 +291,40 @@ TEST_F(Hetero, CrossSegmentPointerBetweenPlatforms) {
   big->read_unlock(tgt_b);
 }
 
+TEST_F(Hetero, IsoFastPathNeverEngagesAcrossMismatchedLayouts) {
+  // A little-endian client's local layout can never be byte-identical to
+  // the big-endian wire, so the plan's whole-block memcpy path must never
+  // engage there — while the server's packed-canonical store (genuinely
+  // isomorphic with the wire for numeric types) must use it.
+  auto writer = make_client(Platform::native());
+  const TypeDescriptor* arr = writer->types().array_of(
+      writer->types().primitive(PrimitiveKind::kInt32), 512);
+  writer->reset_stats();
+  ClientSegment* seg = writer->open_segment("host/hetiso");
+  writer->write_lock(seg);
+  auto* data = static_cast<int32_t*>(writer->malloc_block(seg, arr, "a"));
+  for (int i = 0; i < 512; ++i) data[i] = i - 256;
+  writer->write_unlock(seg);
+
+  // A second LE client decodes the segment; data must still be correct.
+  auto reader = make_client(Platform::native());
+  reader->reset_stats();
+  ClientSegment* rs = reader->open_segment("host/hetiso");
+  reader->read_lock(rs);
+  auto* blk = rs->heap().find_by_name("a");
+  ASSERT_NE(blk, nullptr);
+  const auto* rd = reinterpret_cast<const int32_t*>(blk->data());
+  for (int i = 0; i < 512; ++i) ASSERT_EQ(rd[i], i - 256) << i;
+  reader->read_unlock(rs);
+
+  EXPECT_GT(writer->stats().bytes_encoded, 0u);
+  EXPECT_EQ(writer->stats().isomorphic_fast_path_blocks, 0u);
+  EXPECT_GT(reader->stats().bytes_decoded, 0u);
+  EXPECT_EQ(reader->stats().isomorphic_fast_path_blocks, 0u);
+  EXPECT_GT(server_.segment_stats("host/hetiso").isomorphic_fast_path_blocks,
+            0u);
+}
+
 TEST_F(Hetero, AllPlatformPairsRoundTripArray) {
   const std::vector<Platform> platforms = {
       Platform::native(), Platform::sparc32(), Platform::big64(),
