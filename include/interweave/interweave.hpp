@@ -30,8 +30,10 @@
 #include <string>
 
 #include "client/client.hpp"
+#include "client/reconnect.hpp"
 #include "idl/codegen.hpp"
 #include "idl/parser.hpp"
+#include "net/fault.hpp"
 #include "net/inproc.hpp"
 #include "net/tcp.hpp"
 #include "server/server.hpp"

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + full test suite, then the translation
 # differential test again under UBSan (the plan engine's pointer/offset
-# arithmetic is exactly what -fsanitize=undefined is good at catching).
+# arithmetic is exactly what -fsanitize=undefined is good at catching),
+# then the fault/lease/chaos suites under UBSan and TSan — the chaos
+# workload's reconnect/lease interleavings are exactly what -fsanitize=thread
+# is good at catching.
 #
-# Usage: scripts/verify.sh [build-dir] [ubsan-build-dir]
+# Usage: scripts/verify.sh [build-dir] [ubsan-build-dir] [tsan-build-dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 UBSAN_BUILD="${2:-build-ubsan}"
+TSAN_BUILD="${3:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 echo "== tier-1: configure + build + ctest =="
@@ -16,11 +20,24 @@ cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
-echo "== differential translation test under UBSan =="
+echo "== differential translation + fault/lease/chaos tests under UBSan =="
 cmake -B "$UBSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DIW_SANITIZE=undefined
-cmake --build "$UBSAN_BUILD" -j "$JOBS" --target wire_translate_test
+cmake --build "$UBSAN_BUILD" -j "$JOBS" \
+      --target wire_translate_test fault_test lease_test chaos_test
 UBSAN_OPTIONS=halt_on_error=1 \
     "$UBSAN_BUILD"/tests/wire_translate_test
+for t in fault_test lease_test chaos_test; do
+  UBSAN_OPTIONS=halt_on_error=1 "$UBSAN_BUILD"/tests/"$t"
+done
+
+echo "== fault/lease/chaos tests under TSan =="
+cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DIW_SANITIZE=thread
+cmake --build "$TSAN_BUILD" -j "$JOBS" \
+      --target fault_test lease_test chaos_test
+for t in fault_test lease_test chaos_test; do
+  TSAN_OPTIONS=halt_on_error=1 "$TSAN_BUILD"/tests/"$t"
+done
 
 echo "== verify.sh: all green =="

@@ -79,7 +79,23 @@ std::shared_ptr<ClientChannel> Client::channel_for(const std::string& url) {
   std::string host = host_of(url);
   auto it = channels_.find(host);
   if (it != channels_.end()) return it->second;
-  std::shared_ptr<ClientChannel> channel = factory_(host);
+  std::shared_ptr<ClientChannel> channel;
+  if (options_.auto_reconnect) {
+    // The supervisor calls the factory again on every reconnect; an absent
+    // host must therefore fail by throwing, not by returning nullptr.
+    auto connector = [factory = factory_,
+                      host]() -> std::shared_ptr<ClientChannel> {
+      auto ch = factory(host);
+      if (ch == nullptr) {
+        throw Error(ErrorCode::kNotFound, "no server for host '" + host + "'");
+      }
+      return ch;
+    };
+    channel = std::make_shared<ReconnectingChannel>(std::move(connector),
+                                                    options_.reconnect);
+  } else {
+    channel = factory_(host);
+  }
   if (channel == nullptr) {
     throw Error(ErrorCode::kNotFound, "no server for host '" + host + "'");
   }
@@ -139,6 +155,7 @@ ClientSegment* Client::segment_for_url_locked(const std::string& url,
   auto seg = std::unique_ptr<ClientSegment>(
       new ClientSegment(this, url, channel));
   ClientSegment* raw = seg.get();
+  raw->channel_epoch_ = channel->session_epoch();
   segments_.emplace(url, std::move(seg));
   note_version(url, server_version);
 
@@ -161,6 +178,7 @@ ClientSegment* Client::reserve_remote_segment_locked(const std::string& url) {
   auto seg = std::unique_ptr<ClientSegment>(
       new ClientSegment(this, url, channel));
   ClientSegment* raw = seg.get();
+  raw->channel_epoch_ = channel->session_epoch();
   segments_.emplace(url, std::move(seg));
   note_version(url, server_version);
 
@@ -491,7 +509,50 @@ void Client::free_block(ClientSegment* seg, void* data) {
 
 // ------------------------------------------------------------------ locks
 
+void Client::revalidate_if_reconnected_locked(ClientSegment* seg) {
+  uint64_t epoch = seg->channel_->session_epoch();
+  if (epoch == seg->channel_epoch_) return;
+  seg->channel_epoch_ = epoch;
+  // The server-side session died with the old connection: its subscription
+  // and sent-type prefix are gone (the server tolerantly resends type
+  // definitions), and any notifications sent while we were dark were lost —
+  // so notification-derived freshness is void until the next round trip.
+  seg->needs_revalidation_ = true;
+  {
+    std::lock_guard nl(notify_mu_);
+    latest_versions_.erase(seg->url_);
+  }
+  if (options_.subscribe_notifications) {
+    Buffer sub;
+    sub.append_lp_string(seg->url_);
+    seg->channel_->call(MsgType::kSubscribe, std::move(sub));
+  }
+}
+
+void Client::recover_failed_release_locked(ClientSegment* seg) {
+  end_tracking_locked(seg);
+  // The blocks created this critical section may or may not exist on the
+  // server, and — if the writer lock was reclaimed — their serials may
+  // since have been handed to a *different* writer's blocks. Discard them
+  // locally: the from-0 resync below recreates whatever the server actually
+  // committed, under the committed name, without colliding on serial.
+  for (BlockHeader* block : seg->new_blocks_) {
+    seg->heap_.release(block);
+  }
+  seg->write_locked_ = false;
+  seg->in_transaction_ = false;
+  seg->new_blocks_.clear();
+  seg->freed_serials_.clear();
+  seg->deferred_frees_.clear();
+  seg->version_ = 0;  // next lock pulls a full sync and sweeps dead blocks
+  seg->needs_revalidation_ = true;
+  mip_cache_block_ = nullptr;
+  std::lock_guard nl(notify_mu_);
+  latest_versions_.erase(seg->url_);
+}
+
 bool Client::read_needs_server_locked(ClientSegment* seg) const {
+  if (seg->needs_revalidation_) return true;
   if (seg->version_ == 0) return true;  // never fetched
   const CoherencePolicy& policy = seg->policy_;
   const bool have_notifications = options_.subscribe_notifications;
@@ -525,6 +586,7 @@ void Client::read_lock(ClientSegment* seg) {
     ++seg->read_locks_;  // nested; already coherent
     return;
   }
+  revalidate_if_reconnected_locked(seg);
   if (!read_needs_server_locked(seg)) {
     ++stats_.read_lock_local_hits;
     ++seg->read_locks_;
@@ -539,6 +601,7 @@ void Client::read_lock(ClientSegment* seg) {
   Frame resp = seg->channel_->call(MsgType::kAcquireRead, std::move(payload));
   BufReader r = resp.reader();
   apply_update_locked(seg, r);
+  seg->needs_revalidation_ = false;
   seg->last_update_ns_ = monotonic_ns();
   note_version(seg->url_, seg->version_);
   ++seg->read_locks_;
@@ -560,6 +623,7 @@ void Client::write_lock(ClientSegment* seg) {
   if (seg->read_locks_ > 0) {
     throw Error(ErrorCode::kState, "read-to-write upgrade is not supported");
   }
+  revalidate_if_reconnected_locked(seg);
   Buffer payload;
   payload.append_lp_string(seg->url_);
   payload.append_u32(seg->version_);
@@ -581,6 +645,7 @@ void Client::write_lock(ClientSegment* seg) {
     }
     throw;
   }
+  seg->needs_revalidation_ = false;
   seg->last_update_ns_ = monotonic_ns();
   seg->write_locked_ = true;
   seg->new_blocks_.clear();
@@ -593,7 +658,15 @@ void Client::write_unlock(ClientSegment* seg) {
   if (!seg->write_locked_) {
     throw Error(ErrorCode::kState, "write unlock without write lock");
   }
-  collect_and_release_locked(seg);
+  try {
+    collect_and_release_locked(seg);
+  } catch (...) {
+    // Transport died mid-release (outcome unknown) or the server reclaimed
+    // our lease and rejected the release: either way the critical section
+    // is over and the cached copy can no longer be trusted.
+    recover_failed_release_locked(seg);
+    throw;
+  }
   end_tracking_locked(seg);
   seg->write_locked_ = false;
   seg->new_blocks_.clear();
@@ -683,7 +756,13 @@ void Client::abort_transaction(ClientSegment* seg) {
   Buffer release;
   release.append_lp_string(seg->url_);
   DiffWriter(release, seg->version_, seg->version_).finish();
-  Frame resp = seg->channel_->call(MsgType::kReleaseWrite, std::move(release));
+  Frame resp;
+  try {
+    resp = seg->channel_->call(MsgType::kReleaseWrite, std::move(release));
+  } catch (...) {
+    recover_failed_release_locked(seg);
+    throw;
+  }
   BufReader r = resp.reader();
   seg->version_ = r.read_u32();
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "client/heap.hpp"
+#include "client/reconnect.hpp"
 #include "client/tracking.hpp"
 #include "net/transport.hpp"
 #include "types/registry.hpp"
@@ -65,6 +66,13 @@ struct ClientStats {
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
   uint64_t isomorphic_fast_path_blocks = 0;
+
+  // Fault-tolerance counters, aggregated from the client's channels (the
+  // reconnect supervisor maintains them; raw channels report zeros except
+  // for TCP call deadlines).
+  uint64_t reconnects = 0;
+  uint64_t retried_calls = 0;
+  uint64_t call_timeouts = 0;
 };
 
 class Client;
@@ -95,6 +103,13 @@ class ClientSegment {
 
   uint32_t version_ = 0;      // version of the locally cached copy
   uint32_t next_serial_ = 0;  // valid while write-locked
+  /// Channel session epoch this segment's server-side state (subscription,
+  /// sent-type prefix) belongs to; a mismatch at lock time means the
+  /// connection was rebuilt and the state must be re-established.
+  uint64_t channel_epoch_ = 0;
+  /// Forces the next lock acquisition to consult the server even when the
+  /// coherence model would not (set after reconnects and failed releases).
+  bool needs_revalidation_ = false;
   int read_locks_ = 0;
   bool write_locked_ = false;
   CoherencePolicy policy_ = CoherencePolicy::full();
@@ -140,6 +155,13 @@ class Client {
     bool last_block_prediction = true;
     /// Subscribe to server version notifications (adaptive polling).
     bool subscribe_notifications = true;
+    /// Wrap every channel in a ReconnectingChannel: transport failures tear
+    /// the connection down, reconnect with backoff under a new session
+    /// epoch, and re-send idempotent calls. Disable for tests that drive
+    /// raw channels or assert exact failure propagation.
+    bool auto_reconnect = true;
+    /// Backoff/retry tuning for the reconnect supervisor.
+    ReconnectingChannel::Options reconnect;
     /// Isomorphic type descriptors etc.
     TypeRegistry::Options type_options;
   };
@@ -215,9 +237,10 @@ class Client {
   void write_pointer_field(void* field, void* addr);
 
   /// Snapshot of the client counters plus the registry's translation
-  /// counters (by value: the translation side is sampled from relaxed
-  /// atomics at call time).
-  ClientStats stats() const noexcept {
+  /// counters and the channels' fault counters (by value: the translation
+  /// side is sampled from relaxed atomics at call time).
+  ClientStats stats() const {
+    std::lock_guard lock(mu_);
     ClientStats s = stats_;
     TranslationStats t = registry_.translation_stats();
     s.bytes_encoded = t.bytes_encoded;
@@ -225,6 +248,12 @@ class Client {
     s.plan_cache_hits = t.plan_cache_hits;
     s.plan_cache_misses = t.plan_cache_misses;
     s.isomorphic_fast_path_blocks = t.isomorphic_fast_path_blocks;
+    for (const auto& [host, channel] : channels_) {
+      ChannelFaultStats f = channel->fault_stats();
+      s.reconnects += f.reconnects;
+      s.retried_calls += f.retried_calls;
+      s.call_timeouts += f.call_timeouts;
+    }
     return s;
   }
   void reset_stats() noexcept {
@@ -248,6 +277,14 @@ class Client {
   bool apply_update_locked(ClientSegment* seg, BufReader& in);
   void apply_diff_locked(ClientSegment* seg, BufReader& diff);
   void collect_and_release_locked(ClientSegment* seg);
+  /// Re-establishes server-side session state (subscription, freshness)
+  /// when the segment's channel was rebuilt under a new session epoch.
+  void revalidate_if_reconnected_locked(ClientSegment* seg);
+  /// A kReleaseWrite failed (transport died or lease reclaimed): the
+  /// outcome is unknown, so drop the critical-section state and force a
+  /// from-0 resync on the next lock. The caller rethrows; the application
+  /// retries the critical section.
+  void recover_failed_release_locked(ClientSegment* seg);
   void begin_tracking_locked(ClientSegment* seg);
   void end_tracking_locked(ClientSegment* seg);
   bool read_needs_server_locked(ClientSegment* seg) const;

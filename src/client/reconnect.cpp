@@ -1,0 +1,155 @@
+#include "client/reconnect.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/logging.hpp"
+
+namespace iw::client {
+
+namespace {
+
+std::atomic<uint64_t> g_next_client_id{1};
+
+}  // namespace
+
+ReconnectingChannel::ReconnectingChannel(Connector connect, Options options)
+    : connect_(std::move(connect)),
+      options_(options),
+      client_id_(g_next_client_id.fetch_add(1)),
+      jitter_(options.jitter_seed != 0 ? options.jitter_seed
+                                       : 0x9e3779b97f4a7c15ull ^ client_id_) {
+  std::lock_guard lock(mu_);
+  connect_locked();
+}
+
+void ReconnectingChannel::connect_locked() {
+  std::shared_ptr<ClientChannel> ch = connect_();
+  if (ch == nullptr) {
+    throw Error::transport(ErrorCode::kIo, "connector returned no channel");
+  }
+  if (notify_) ch->set_notify_handler(notify_);
+  ++epoch_;
+  if (options_.hello_on_connect) {
+    Buffer hello;
+    hello.append_u64(client_id_);
+    hello.append_u32(static_cast<uint32_t>(epoch_));
+    Frame resp = ch->call(MsgType::kHello, std::move(hello));
+    BufReader r = resp.reader();
+    server_lease_ms_ = r.read_u32();
+  }
+  inner_ = std::move(ch);
+}
+
+void ReconnectingChannel::reconnect_locked(
+    const std::shared_ptr<ClientChannel>& failed) {
+  if (inner_ != failed) return;  // someone else already replaced it
+  if (inner_ != nullptr) {
+    dead_bytes_sent_ += inner_->bytes_sent();
+    dead_bytes_received_ += inner_->bytes_received();
+    // Destroying the channel is the disconnect: the server's on_disconnect
+    // releases any writer lock the dead session held, which is what makes
+    // re-sending an acquire on the new session safe.
+    inner_.reset();
+  }
+  Error last = Error::transport(ErrorCode::kIo, "reconnect never attempted");
+  uint32_t backoff = options_.initial_backoff_ms;
+  for (uint32_t attempt = 0; attempt < options_.max_reconnect_attempts;
+       ++attempt) {
+    if (attempt > 0) {
+      // Half-to-full jitter keeps a herd of clients from reconnecting in
+      // lockstep after a shared outage.
+      uint32_t ms = backoff / 2 +
+                    static_cast<uint32_t>(jitter_.below(backoff / 2 + 1));
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      backoff = std::min(backoff * 2, std::max(1u, options_.max_backoff_ms));
+    }
+    try {
+      connect_locked();
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    } catch (const Error& e) {
+      last = e;
+      IW_LOG(kDebug) << "reconnect attempt " << (attempt + 1) << "/"
+                     << options_.max_reconnect_attempts
+                     << " failed: " << e.what();
+    }
+  }
+  throw last;
+}
+
+Frame ReconnectingChannel::call(MsgType type, Buffer& payload) {
+  // Replaying a release is unsafe: a response lost after the server applied
+  // the diff would be re-applied against a moved base version, and the
+  // disconnect already dropped the lock either way. Everything else is
+  // idempotent once the old session is gone.
+  const bool replayable = type != MsgType::kReleaseWrite;
+  Buffer snapshot;
+  if (replayable) snapshot.append(payload.data(), payload.size());
+
+  for (uint32_t retry = 0;; ++retry) {
+    std::shared_ptr<ClientChannel> inner;
+    {
+      std::lock_guard lock(mu_);
+      if (inner_ == nullptr) reconnect_locked(nullptr);
+      inner = inner_;
+    }
+    try {
+      return inner->call(type, payload);
+    } catch (const Error& e) {
+      if (!is_retryable_transport(e)) throw;
+      if (e.code() == ErrorCode::kTimedOut) {
+        call_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      }
+      {
+        std::lock_guard lock(mu_);
+        reconnect_locked(inner);  // throws when the server stays down
+      }
+      if (!replayable || retry + 1 >= options_.max_call_retries) throw;
+      retried_calls_.fetch_add(1, std::memory_order_relaxed);
+      payload.clear();
+      payload.append(snapshot.data(), snapshot.size());
+    }
+  }
+}
+
+void ReconnectingChannel::set_notify_handler(
+    std::function<void(const Frame&)> fn) {
+  std::lock_guard lock(mu_);
+  notify_ = std::move(fn);
+  if (inner_ != nullptr) inner_->set_notify_handler(notify_);
+}
+
+uint64_t ReconnectingChannel::bytes_sent() const {
+  std::lock_guard lock(mu_);
+  return dead_bytes_sent_ + (inner_ ? inner_->bytes_sent() : 0);
+}
+
+uint64_t ReconnectingChannel::bytes_received() const {
+  std::lock_guard lock(mu_);
+  return dead_bytes_received_ + (inner_ ? inner_->bytes_received() : 0);
+}
+
+uint64_t ReconnectingChannel::session_epoch() const {
+  std::lock_guard lock(mu_);
+  return epoch_;
+}
+
+uint32_t ReconnectingChannel::server_lease_ms() const {
+  std::lock_guard lock(mu_);
+  return server_lease_ms_;
+}
+
+ChannelFaultStats ReconnectingChannel::fault_stats() const {
+  ChannelFaultStats s;
+  s.reconnects = reconnects_.load(std::memory_order_relaxed);
+  s.retried_calls = retried_calls_.load(std::memory_order_relaxed);
+  // Timeouts are tallied here (one per caught kTimedOut) rather than summed
+  // with the inner channel's own counter, which would double-count the
+  // same events.
+  s.call_timeouts = call_timeouts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace iw::client

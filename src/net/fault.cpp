@@ -1,0 +1,144 @@
+#include "net/fault.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace iw {
+
+namespace {
+
+[[noreturn]] void throw_severed(MsgType type) {
+  throw Error::transport(ErrorCode::kConnReset,
+                         "fault: connection severed (" + msg_type_name(type) +
+                             " not delivered)");
+}
+
+}  // namespace
+
+FaultyChannel::FaultyChannel(std::shared_ptr<ClientChannel> inner,
+                             std::shared_ptr<FaultSchedule> schedule)
+    : inner_(std::move(inner)), schedule_(std::move(schedule)) {}
+
+void FaultyChannel::sever_locked() {
+  if (inner_ == nullptr) return;
+  bytes_sent_at_sever_ = inner_->bytes_sent();
+  bytes_received_at_sever_ = inner_->bytes_received();
+  // Destroying the inner channel is the disconnect: in-proc it invokes the
+  // core's on_disconnect in this thread; TCP closes the socket and the
+  // server's serve loop cleans up.
+  inner_.reset();
+}
+
+bool FaultyChannel::severed() const {
+  std::lock_guard lock(mu_);
+  return inner_ == nullptr;
+}
+
+Frame FaultyChannel::call(MsgType type, Buffer& payload) {
+  std::shared_ptr<ClientChannel> inner;
+  FaultAction action = schedule_->next_for_call(type);
+  {
+    std::lock_guard lock(mu_);
+    if (inner_ == nullptr) throw_severed(type);
+    switch (action.kind) {
+      case FaultAction::Kind::kSever:
+        sever_locked();
+        throw_severed(type);
+      case FaultAction::Kind::kTruncateFrame:
+        // The frame dies on the wire: the server never sees the request and
+        // the connection is beyond repair (mid-frame close).
+        sever_locked();
+        throw Error::transport(
+            ErrorCode::kConnReset,
+            "fault: " + msg_type_name(type) + " truncated mid-frame");
+      default:
+        break;
+    }
+    inner = inner_;
+  }
+  if (action.kind == FaultAction::Kind::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(action.delay_ms));
+  }
+  Frame response = inner->call(type, payload);
+  if (action.kind == FaultAction::Kind::kDropResponse) {
+    // The server handled the request; the client never learns the outcome.
+    throw Error::transport(
+        ErrorCode::kTimedOut,
+        "fault: response to " + msg_type_name(type) + " dropped");
+  }
+  return response;
+}
+
+void FaultyChannel::set_notify_handler(std::function<void(const Frame&)> fn) {
+  std::shared_ptr<ClientChannel> inner;
+  {
+    std::lock_guard lock(mu_);
+    inner = inner_;
+  }
+  if (inner == nullptr) return;
+  if (fn == nullptr) {
+    inner->set_notify_handler(nullptr);
+    return;
+  }
+  auto schedule = schedule_;
+  inner->set_notify_handler([schedule, fn](const Frame& frame) {
+    fn(frame);
+    if (schedule->duplicate_next_notify()) fn(frame);
+  });
+}
+
+uint64_t FaultyChannel::bytes_sent() const {
+  std::lock_guard lock(mu_);
+  return inner_ ? inner_->bytes_sent() : bytes_sent_at_sever_;
+}
+
+uint64_t FaultyChannel::bytes_received() const {
+  std::lock_guard lock(mu_);
+  return inner_ ? inner_->bytes_received() : bytes_received_at_sever_;
+}
+
+uint64_t FaultyChannel::session_epoch() const {
+  std::lock_guard lock(mu_);
+  return inner_ ? inner_->session_epoch() : 1;
+}
+
+ChannelFaultStats FaultyChannel::fault_stats() const {
+  std::lock_guard lock(mu_);
+  return inner_ ? inner_->fault_stats() : ChannelFaultStats{};
+}
+
+FaultyServerCore::FaultyServerCore(ServerCore& inner,
+                                   std::shared_ptr<FaultSchedule> schedule,
+                                   Options options)
+    : inner_(inner),
+      schedule_(std::move(schedule)),
+      options_(options),
+      rng_(0x5eedf001) {}
+
+void FaultyServerCore::on_connect(SessionId session, Notifier notify) {
+  if (options_.drop_notify_rate <= 0) {
+    inner_.on_connect(session, std::move(notify));
+    return;
+  }
+  inner_.on_connect(session, [this, notify](const Frame& frame) {
+    {
+      std::lock_guard lock(rng_mu_);
+      if (rng_.uniform() < options_.drop_notify_rate) return;
+    }
+    notify(frame);
+  });
+}
+
+void FaultyServerCore::on_disconnect(SessionId session) {
+  inner_.on_disconnect(session);
+}
+
+Frame FaultyServerCore::handle(SessionId session, const Frame& request) {
+  FaultAction action = schedule_->next_for_call(request.type);
+  if (action.kind == FaultAction::Kind::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(action.delay_ms));
+  }
+  return inner_.handle(session, request);
+}
+
+}  // namespace iw

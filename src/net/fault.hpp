@@ -1,0 +1,191 @@
+// Deterministic fault injection for the transport layer.
+//
+// FaultyChannel and FaultyServerCore are decorators around the
+// ClientChannel / ServerCore abstractions that inject failures according to
+// a FaultSchedule — a seeded, fully deterministic program of faults, so a
+// chaos test that fails under seed S fails identically on every rerun of
+// seed S. The injectable faults are the ones the failure layer must
+// survive:
+//
+//   * drop response   — the request reaches the server and is applied, but
+//                       the response never comes back (manifests client-side
+//                       as a call deadline, kTimedOut);
+//   * delay N ms      — the call completes after an injected latency;
+//   * truncate frame  — the request dies mid-frame: the server never sees
+//                       it and the connection is unusable afterwards;
+//   * sever at frame K— the connection drops (deterministically at the Kth
+//                       frame, or probabilistically), releasing server-side
+//                       session state exactly as a real disconnect would;
+//   * duplicate notification — an unsolicited server push is delivered
+//                       twice (notification handlers must be idempotent).
+//
+// Faults can be restricted to one MsgType (`only_type`) to target, say,
+// exactly the kReleaseWrite path. Channel-side faults are transport errors
+// (Error::is_transport() == true) so the reconnect/retry policy treats them
+// exactly like real socket failures.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "net/transport.hpp"
+#include "util/rand.hpp"
+
+namespace iw {
+
+/// One injected fault decision.
+struct FaultAction {
+  enum class Kind : uint8_t {
+    kNone,
+    kDropResponse,
+    kDelay,
+    kTruncateFrame,
+    kSever,
+  };
+  Kind kind = Kind::kNone;
+  uint32_t delay_ms = 0;  // for kDelay
+};
+
+/// Seeded, deterministic fault program shared by the decorators (and across
+/// reconnections: the test factory hands the same schedule to every channel
+/// incarnation so frame counting continues where it left off).
+class FaultSchedule {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    /// Per-call probabilities in [0,1]; evaluated in the order
+    /// sever > truncate > drop > delay, at most one fault per call.
+    double sever_rate = 0;
+    double truncate_rate = 0;
+    double drop_response_rate = 0;
+    double delay_rate = 0;
+    uint32_t max_delay_ms = 3;  ///< injected delays are in [1, max]
+    /// Probability that a notification is delivered twice.
+    double duplicate_notify_rate = 0;
+    /// When set, faults fire only on this request type (notification
+    /// duplication is unaffected).
+    std::optional<MsgType> only_type;
+    /// When nonzero, sever deterministically at the Kth call frame
+    /// (1-based, counted across reconnections), in addition to the rates.
+    uint64_t sever_at_frame = 0;
+  };
+
+  explicit FaultSchedule(Options options)
+      : options_(options), rng_(options.seed) {}
+
+  /// Decides the fault (if any) for the next request frame. Thread-safe.
+  FaultAction next_for_call(MsgType type) {
+    std::lock_guard lock(mu_);
+    uint64_t frame = ++frames_;
+    if (!armed_) return {};
+    if (options_.sever_at_frame != 0 && frame == options_.sever_at_frame) {
+      return {FaultAction::Kind::kSever, 0};
+    }
+    if (options_.only_type && type != *options_.only_type) return {};
+    // One uniform draw per call keeps the schedule deterministic even when
+    // rates change between runs of the same seed.
+    double u = rng_.uniform();
+    double edge = options_.sever_rate;
+    if (u < edge) return {FaultAction::Kind::kSever, 0};
+    edge += options_.truncate_rate;
+    if (u < edge) return {FaultAction::Kind::kTruncateFrame, 0};
+    edge += options_.drop_response_rate;
+    if (u < edge) return {FaultAction::Kind::kDropResponse, 0};
+    edge += options_.delay_rate;
+    if (u < edge) {
+      uint32_t ms = 1 + static_cast<uint32_t>(
+                            rng_.below(std::max(1u, options_.max_delay_ms)));
+      return {FaultAction::Kind::kDelay, ms};
+    }
+    return {};
+  }
+
+  /// Decides whether the next notification is delivered twice. Thread-safe.
+  bool duplicate_next_notify() {
+    std::lock_guard lock(mu_);
+    if (!armed_ || options_.duplicate_notify_rate <= 0) return false;
+    return rng_.uniform() < options_.duplicate_notify_rate;
+  }
+
+  /// Arms/disarms injection (frame counting continues while disarmed, so a
+  /// fault-free warm-up phase keeps seeded runs comparable).
+  void arm(bool on) {
+    std::lock_guard lock(mu_);
+    armed_ = on;
+  }
+
+  uint64_t frames() const {
+    std::lock_guard lock(mu_);
+    return frames_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Options options_;
+  SplitMix64 rng_;
+  uint64_t frames_ = 0;
+  bool armed_ = true;
+};
+
+/// ClientChannel decorator injecting call-path faults. A severed channel
+/// destroys its inner channel immediately — for the in-process transport
+/// that runs the server's on_disconnect synchronously, for TCP it closes
+/// the socket — so server-side cleanup happens exactly as it would for a
+/// real dead connection; every later call fails until the owner (the
+/// reconnect supervisor or the test) builds a fresh channel.
+class FaultyChannel final : public ClientChannel {
+ public:
+  FaultyChannel(std::shared_ptr<ClientChannel> inner,
+                std::shared_ptr<FaultSchedule> schedule);
+
+  using ClientChannel::call;
+  Frame call(MsgType type, Buffer& payload) override;
+  void set_notify_handler(std::function<void(const Frame&)> fn) override;
+  uint64_t bytes_sent() const override;
+  uint64_t bytes_received() const override;
+  uint64_t session_epoch() const override;
+  ChannelFaultStats fault_stats() const override;
+
+  bool severed() const;
+
+ private:
+  void sever_locked();
+
+  mutable std::mutex mu_;
+  std::shared_ptr<ClientChannel> inner_;  // null once severed
+  std::shared_ptr<FaultSchedule> schedule_;
+  uint64_t bytes_sent_at_sever_ = 0;
+  uint64_t bytes_received_at_sever_ = 0;
+};
+
+/// ServerCore decorator injecting server-side faults: request handling
+/// delays and notification duplication/loss. (Response drops and severs
+/// are connection-level faults and live in FaultyChannel, which can tear
+/// the connection down; a core cannot.)
+class FaultyServerCore final : public ServerCore {
+ public:
+  struct Options {
+    /// Probability that a notification toward any client is dropped.
+    double drop_notify_rate = 0;
+  };
+
+  FaultyServerCore(ServerCore& inner, std::shared_ptr<FaultSchedule> schedule)
+      : FaultyServerCore(inner, std::move(schedule), Options()) {}
+  FaultyServerCore(ServerCore& inner, std::shared_ptr<FaultSchedule> schedule,
+                   Options options);
+
+  void on_connect(SessionId session, Notifier notify) override;
+  void on_disconnect(SessionId session) override;
+  Frame handle(SessionId session, const Frame& request) override;
+
+ private:
+  ServerCore& inner_;
+  std::shared_ptr<FaultSchedule> schedule_;
+  Options options_;
+  std::mutex rng_mu_;
+  SplitMix64 rng_;
+};
+
+}  // namespace iw

@@ -1,11 +1,14 @@
 #include "net/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 
 #include "util/logging.hpp"
@@ -69,7 +72,8 @@ bool read_exact(int fd, uint8_t* data, size_t n) {
     }
     if (r == 0) {
       if (got == 0) return false;
-      throw Error(ErrorCode::kIo, "connection closed mid-frame");
+      throw Error::transport(ErrorCode::kConnReset,
+                             "connection closed mid-frame");
     }
     got += static_cast<size_t>(r);
   }
@@ -101,7 +105,8 @@ bool recv_frame(int fd, Frame* frame, std::atomic<uint64_t>* bytes_counter) {
   frame->payload.resize(h.payload_size);
   if (h.payload_size > 0 &&
       !read_exact(fd, frame->payload.data(), h.payload_size)) {
-    throw Error(ErrorCode::kIo, "connection closed mid-frame");
+    throw Error::transport(ErrorCode::kConnReset,
+                           "connection closed mid-frame");
   }
   if (bytes_counter) {
     bytes_counter->fetch_add(kFrameHeaderSize + h.payload_size,
@@ -138,6 +143,53 @@ int make_listener(uint16_t port, uint16_t* bound_port) {
 }
 
 std::atomic<SessionId> g_next_tcp_session{1u << 20};
+
+/// "kAcquireWrite req#42 after 123ms" — the request context every transport
+/// throw out of TcpClientChannel::call carries, so a failure in a long
+/// multi-call operation identifies which call died and how long it waited.
+std::string call_context(MsgType type, uint32_t request_id,
+                         std::chrono::steady_clock::time_point start) {
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  return msg_type_name(type) + " req#" + std::to_string(request_id) +
+         " after " + std::to_string(elapsed_ms) + "ms";
+}
+
+/// Non-blocking connect with a poll()-based deadline, so a black-holed
+/// server address fails in bounded time instead of the OS default (minutes).
+void connect_with_timeout(int fd, const sockaddr_in& addr,
+                          uint32_t timeout_ms) {
+  if (timeout_ms == 0) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) < 0) {
+      throw_errno("connect");
+    }
+    return;
+  }
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc < 0 && errno != EINPROGRESS) throw_errno("connect");
+  if (rc < 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (ready == 0) {
+      throw Error::transport(ErrorCode::kTimedOut,
+                             "connect timed out after " +
+                                 std::to_string(timeout_ms) + "ms");
+    }
+    if (ready < 0) throw_errno("poll(connect)");
+    int err = 0;
+    socklen_t len = sizeof err;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      errno = err;
+      throw_errno("connect");
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+}
 
 }  // namespace
 
@@ -264,18 +316,19 @@ void TcpServer::shutdown() {
   }
 }
 
-TcpClientChannel::TcpClientChannel(uint16_t port) {
+TcpClientChannel::TcpClientChannel(uint16_t port, Options options)
+    : options_(options) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw_errno("socket");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    int err = errno;
+  try {
+    connect_with_timeout(fd_, addr, options_.connect_timeout_ms);
+  } catch (...) {
     ::close(fd_);
-    errno = err;
-    throw_errno("connect");
+    throw;
   }
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -302,6 +355,12 @@ void TcpClientChannel::receive_loop() {
         continue;
       }
       std::lock_guard lock(mu_);
+      if (abandoned_.erase(frame.request_id) > 0) {
+        // Late response to a call whose caller already hit its deadline —
+        // discard rather than park it in `responses_` forever.
+        frame = Frame{};
+        continue;
+      }
       responses_.emplace(frame.request_id, std::move(frame));
       cv_.notify_all();
       frame = Frame{};
@@ -315,11 +374,17 @@ void TcpClientChannel::receive_loop() {
 }
 
 Frame TcpClientChannel::call(MsgType type, Buffer& payload) {
+  const auto start = std::chrono::steady_clock::now();
   Frame request;
   request.type = type;
   {
     std::lock_guard lock(mu_);
-    if (closed_) throw Error(ErrorCode::kIo, "channel closed");
+    if (closed_) {
+      throw Error::transport(ErrorCode::kConnReset,
+                             "channel closed (" +
+                                 call_context(type, next_request_id_, start) +
+                                 ")");
+    }
     request.request_id = next_request_id_++;
   }
   // Vectored send straight from the caller's buffer: the payload is never
@@ -330,20 +395,40 @@ Frame TcpClientChannel::call(MsgType type, Buffer& payload) {
   IoChain chain;
   chain.add(header, sizeof header);
   chain.add(payload.slice());
-  {
+  try {
     std::lock_guard lock(write_mu_);
     write_all_vec(fd_, chain);
+  } catch (const Error& e) {
+    throw Error::transport(e.code(),
+                           std::string(e.what()) + " (sending " +
+                               call_context(type, request.request_id, start) +
+                               ")");
   }
   bytes_sent_.fetch_add(chain.total_bytes(), std::memory_order_relaxed);
   payload.clear();
 
   std::unique_lock lock(mu_);
-  cv_.wait(lock, [&] {
+  auto ready = [&] {
     return closed_ || responses_.count(request.request_id) > 0;
-  });
+  };
+  if (options_.call_timeout_ms == 0) {
+    cv_.wait(lock, ready);
+  } else if (!cv_.wait_for(
+                 lock, std::chrono::milliseconds(options_.call_timeout_ms),
+                 ready)) {
+    abandoned_.insert(request.request_id);
+    call_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    throw Error::transport(ErrorCode::kTimedOut,
+                           "call deadline exceeded (" +
+                               call_context(type, request.request_id, start) +
+                               ")");
+  }
   auto it = responses_.find(request.request_id);
   if (it == responses_.end()) {
-    throw Error(ErrorCode::kIo, "connection closed awaiting response");
+    throw Error::transport(ErrorCode::kConnReset,
+                           "connection closed awaiting response (" +
+                               call_context(type, request.request_id, start) +
+                               ")");
   }
   Frame response = std::move(it->second);
   responses_.erase(it);

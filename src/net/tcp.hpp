@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,8 +52,20 @@ class TcpServer {
 
 class TcpClientChannel final : public ClientChannel {
  public:
-  /// Connects to 127.0.0.1:`port`. Throws Error(kIo) on failure.
-  explicit TcpClientChannel(uint16_t port);
+  struct Options {
+    /// Deadline for one call() round trip, send to response. 0 disables
+    /// (unbounded blocking — only for tests that explicitly want it).
+    uint32_t call_timeout_ms = 30'000;
+    /// Deadline for establishing the connection (poll-based non-blocking
+    /// connect). 0 falls back to the OS default.
+    uint32_t connect_timeout_ms = 5'000;
+  };
+
+  /// Connects to 127.0.0.1:`port`. Throws a transport Error on failure
+  /// (kTimedOut when the connect deadline expires).
+  explicit TcpClientChannel(uint16_t port)
+      : TcpClientChannel(port, Options()) {}
+  TcpClientChannel(uint16_t port, Options options);
   ~TcpClientChannel() override;
 
   using ClientChannel::call;
@@ -60,10 +73,16 @@ class TcpClientChannel final : public ClientChannel {
   void set_notify_handler(std::function<void(const Frame&)> fn) override;
   uint64_t bytes_sent() const override { return bytes_sent_.load(); }
   uint64_t bytes_received() const override { return bytes_received_.load(); }
+  ChannelFaultStats fault_stats() const override {
+    ChannelFaultStats s;
+    s.call_timeouts = call_timeouts_.load(std::memory_order_relaxed);
+    return s;
+  }
 
  private:
   void receive_loop();
 
+  Options options_;
   int fd_ = -1;
   std::thread receiver_;
   std::mutex write_mu_;
@@ -73,12 +92,16 @@ class TcpClientChannel final : public ClientChannel {
   bool closed_ = false;
   uint32_t next_request_id_ = 1;
   std::map<uint32_t, Frame> responses_;
+  /// Request ids whose caller gave up (deadline); the receiver discards
+  /// their late responses instead of parking them in `responses_` forever.
+  std::set<uint32_t> abandoned_;
 
   std::mutex notify_mu_;
   std::function<void(const Frame&)> notify_;
 
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> call_timeouts_{0};
 };
 
 }  // namespace iw

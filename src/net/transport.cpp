@@ -6,7 +6,7 @@ void throw_error_frame(const Frame& frame) {
   BufReader r = frame.reader();
   std::string code_name = r.read_lp_string();
   std::string message = r.read_lp_string();
-  for (int i = 0; i <= static_cast<int>(ErrorCode::kInternal); ++i) {
+  for (int i = 0; i < kErrorCodeCount; ++i) {
     auto code = static_cast<ErrorCode>(i);
     if (code_name == error_code_name(code)) {
       throw Error(code, message);

@@ -21,6 +21,14 @@
 
 namespace iw {
 
+/// Failure-handling counters a channel maintains. Plain channels time out
+/// calls; the reconnecting decorator additionally reconnects and replays.
+struct ChannelFaultStats {
+  uint64_t reconnects = 0;     ///< successful re-establishments
+  uint64_t retried_calls = 0;  ///< calls replayed after a transport failure
+  uint64_t call_timeouts = 0;  ///< calls that hit their deadline
+};
+
 /// Client endpoint of a connection to one server.
 class ClientChannel {
  public:
@@ -48,6 +56,15 @@ class ClientChannel {
 
   virtual uint64_t bytes_sent() const = 0;
   virtual uint64_t bytes_received() const = 0;
+
+  /// Monotonic epoch of the underlying connection: starts at 1 and
+  /// increments every time the channel reconnects. A caller that caches
+  /// state derived from one connection (subscriptions, server-validated
+  /// versions) compares epochs to detect that it must revalidate.
+  virtual uint64_t session_epoch() const { return 1; }
+
+  /// Failure-handling counters (zero for channels that never retry).
+  virtual ChannelFaultStats fault_stats() const { return {}; }
 };
 
 /// Identifies one client connection within a server.

@@ -57,6 +57,7 @@ void SegmentServer::on_disconnect(SessionId session) {
         entry->writer = 0;
         entry->writer_cv.notify_all();
       }
+      entry->expired_writers.erase(session);
       entry->sessions.erase(session);
     }
   }
@@ -113,6 +114,37 @@ SegmentServer::SegmentSession& SegmentServer::seg_session(SegmentEntry& entry,
   SegmentSession ss;
   ss.notify = std::move(notify);
   return entry.sessions.emplace(id, std::move(ss)).first->second;
+}
+
+void SegmentServer::acquire_writer_locked(SegmentEntry& entry,
+                                          SessionId session,
+                                          std::unique_lock<std::mutex>& el) {
+  using clock = std::chrono::steady_clock;
+  const auto lease = std::chrono::milliseconds(options_.writer_lease_ms);
+  while (entry.writer != 0) {
+    if (options_.writer_lease_ms == 0) {
+      entry.writer_cv.wait(el);
+      continue;
+    }
+    if (clock::now() >= entry.lease_deadline) {
+      // The holder outlived its lease without renewing — it is presumed
+      // sick (stalled, partitioned, or dead without a clean disconnect).
+      // Reclaim the lock; its eventual release gets kLeaseExpired.
+      IW_LOG(kWarn) << "reclaiming expired writer lease on "
+                    << entry.store->name() << " from session "
+                    << entry.writer;
+      entry.expired_writers.insert(entry.writer);
+      entry.writer = 0;
+      ++entry.epoch;
+      stats_.lease_expirations.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    entry.writer_cv.wait_until(el, entry.lease_deadline);
+  }
+  entry.writer = session;
+  if (options_.writer_lease_ms != 0) entry.lease_deadline = clock::now() + lease;
+  // A session that legitimately re-acquires is no longer a stale holder.
+  entry.expired_writers.erase(session);
 }
 
 bool SegmentServer::is_stale(SegmentEntry& entry, const SegmentSession& ss,
@@ -209,6 +241,22 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
       break;
     }
 
+    case MsgType::kHello: {
+      // Session handshake from a reconnect-capable client: identifies the
+      // client across channel incarnations and announces its session epoch
+      // (1 = first connect, +1 per reconnect). The response tells the
+      // client how long its writer leases last so it can pace renewals.
+      uint64_t client_id = in.read_u64();
+      uint32_t epoch = in.read_u32();
+      if (epoch > 1) {
+        IW_LOG(kInfo) << "client " << client_id << " reconnected (epoch "
+                      << epoch << ") as session " << session;
+      }
+      resp.type = MsgType::kHelloResp;
+      payload.append_u32(options_.writer_lease_ms);
+      break;
+    }
+
     case MsgType::kOpenSegment: {
       std::string name = in.read_lp_string();
       bool create = in.read_u8() != 0;
@@ -228,6 +276,13 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
       SegmentEntry& entry = segment(name);
       auto graph = in.read_bytes(in.remaining());
       std::lock_guard el(entry.mu);
+      // Mid-critical-section activity proves the writer is alive: renew its
+      // lease so a long sequence of type registrations is not reclaimed.
+      if (entry.writer == session && options_.writer_lease_ms != 0) {
+        entry.lease_deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(options_.writer_lease_ms);
+      }
       uint32_t serial = entry.store->register_type(graph);
       // The registering client now knows this serial; extend its known
       // prefix when contiguous.
@@ -272,8 +327,7 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
       }
       // Waiting here blocks only this segment's entry lock; traffic on
       // other segments is unaffected.
-      entry.writer_cv.wait(el, [&] { return entry.writer == 0; });
-      entry.writer = session;
+      acquire_writer_locked(entry, session, el);
       SegmentSession& ss = seg_session(entry, session);
       resp.type = MsgType::kAcquireWriteResp;
       payload.append_u32(entry.store->next_block_serial());
@@ -292,6 +346,16 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
       SegmentEntry& entry = segment(name);
       std::lock_guard el(entry.mu);
       if (entry.writer != session) {
+        if (entry.expired_writers.erase(session) > 0) {
+          // The lease ran out and a waiter reclaimed the lock; the diff of
+          // this late release must not be applied (another writer may have
+          // committed on top of the reclaimed state).
+          stats_.stale_releases_rejected.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          throw Error(ErrorCode::kLeaseExpired,
+                      "writer lease on '" + name +
+                          "' expired and was reclaimed; release rejected");
+        }
         throw Error(ErrorCode::kState, "releasing write lock not held");
       }
       auto diff_bytes = in.read_bytes(in.remaining());
@@ -472,6 +536,9 @@ SegmentServer::Stats SegmentServer::stats() const {
       stats_.notifications_sent.load(std::memory_order_relaxed);
   s.checkpoints_written =
       stats_.checkpoints_written.load(std::memory_order_relaxed);
+  s.lease_expirations = stats_.lease_expirations.load(std::memory_order_relaxed);
+  s.stale_releases_rejected =
+      stats_.stale_releases_rejected.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -484,6 +551,12 @@ uint32_t SegmentServer::segment_version(const std::string& name) const {
   const SegmentEntry& entry = segment(name);
   std::lock_guard el(entry.mu);
   return entry.store->version();
+}
+
+uint32_t SegmentServer::segment_epoch(const std::string& name) const {
+  const SegmentEntry& entry = segment(name);
+  std::lock_guard el(entry.mu);
+  return entry.epoch;
 }
 
 }  // namespace iw::server

@@ -18,12 +18,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "net/transport.hpp"
 #include "server/segment_store.hpp"
@@ -38,6 +40,11 @@ class SegmentServer : public ServerCore {
     std::string checkpoint_dir;
     /// Checkpoint a segment every N versions (0 = only on demand).
     uint32_t checkpoint_every = 0;
+    /// Writer lease duration: a writer that holds a segment's lock longer
+    /// than this without renewing can be reclaimed by a waiting writer (the
+    /// late holder's release is then rejected with kLeaseExpired). 0
+    /// disables leases — writer locks are held until release/disconnect.
+    uint32_t writer_lease_ms = 10'000;
     /// Store tuning (diff cache, prediction, subblock size).
     SegmentStore::Options store;
   };
@@ -50,6 +57,8 @@ class SegmentServer : public ServerCore {
     uint64_t uptodate_responses = 0;
     uint64_t notifications_sent = 0;
     uint64_t checkpoints_written = 0;
+    uint64_t lease_expirations = 0;        ///< writer locks reclaimed
+    uint64_t stale_releases_rejected = 0;  ///< kLeaseExpired responses
   };
 
   SegmentServer();
@@ -75,6 +84,9 @@ class SegmentServer : public ServerCore {
   StoreStats segment_stats(const std::string& name) const;
   /// Current version of a segment (throws kNotFound).
   uint32_t segment_version(const std::string& name) const;
+  /// Lease-reclaim epoch of a segment: bumped each time an expired writer
+  /// lease is reclaimed from a stalled holder (throws kNotFound).
+  uint32_t segment_epoch(const std::string& name) const;
 
  private:
   /// One session's view of one segment. Guarded by the owning
@@ -94,6 +106,16 @@ class SegmentServer : public ServerCore {
     std::condition_variable writer_cv;  // signalled when `writer` drops to 0
     std::unique_ptr<SegmentStore> store;
     SessionId writer = 0;  // 0 = unlocked
+    /// When `writer` != 0 and leases are enabled: the instant after which a
+    /// waiting writer may reclaim the lock.
+    std::chrono::steady_clock::time_point lease_deadline{};
+    /// Sessions whose writer lease was reclaimed while they still believed
+    /// they held the lock; their eventual release is rejected with
+    /// kLeaseExpired (and the entry dropped) instead of kState.
+    std::unordered_set<SessionId> expired_writers;
+    /// Bumped on every lease reclaim so sick-writer recoveries are
+    /// observable (and, with checkpointed stores, diagnosable after).
+    uint32_t epoch = 0;
     uint32_t versions_since_checkpoint = 0;
     std::unordered_map<SessionId, SegmentSession> sessions;
   };
@@ -107,6 +129,8 @@ class SegmentServer : public ServerCore {
     std::atomic<uint64_t> uptodate_responses{0};
     std::atomic<uint64_t> notifications_sent{0};
     std::atomic<uint64_t> checkpoints_written{0};
+    std::atomic<uint64_t> lease_expirations{0};
+    std::atomic<uint64_t> stale_releases_rejected{0};
   };
 
   Frame dispatch(SessionId session, const Frame& request,
@@ -129,6 +153,11 @@ class SegmentServer : public ServerCore {
                      Buffer& payload);
   bool is_stale(SegmentEntry& entry, const SegmentSession& ss,
                 uint32_t client_version, CoherencePolicy policy) const;
+  /// Blocks until `session` owns the entry's writer lock, reclaiming an
+  /// expired lease from a stalled holder if one stands in the way. Caller
+  /// holds `el` (the entry's lock).
+  void acquire_writer_locked(SegmentEntry& entry, SessionId session,
+                             std::unique_lock<std::mutex>& el);
   /// Caller holds entry.mu.
   void checkpoint_segment_locked(SegmentEntry& entry);
 

@@ -14,13 +14,24 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kState: return "State";
     case ErrorCode::kUnimplemented: return "Unimplemented";
     case ErrorCode::kInternal: return "Internal";
+    case ErrorCode::kTimedOut: return "TimedOut";
+    case ErrorCode::kConnReset: return "ConnReset";
+    case ErrorCode::kBrokenPipe: return "BrokenPipe";
+    case ErrorCode::kLeaseExpired: return "LeaseExpired";
   }
   return "Unknown";
 }
 
 void throw_errno(const std::string& context) {
   int err = errno;
-  throw Error(ErrorCode::kIo, context + ": " + std::strerror(err));
+  ErrorCode code = ErrorCode::kIo;
+  switch (err) {
+    case ETIMEDOUT: code = ErrorCode::kTimedOut; break;
+    case ECONNRESET: code = ErrorCode::kConnReset; break;
+    case EPIPE: code = ErrorCode::kBrokenPipe; break;
+    default: break;
+  }
+  throw Error::transport(code, context + ": " + std::strerror(err));
 }
 
 }  // namespace iw

@@ -4,6 +4,14 @@
 // throw iw::Error, which carries a category so callers can dispatch without
 // string matching. Lookup-style APIs that can legitimately miss return
 // optional/pointer instead of throwing.
+//
+// Failure handling distinguishes two axes:
+//   * the code — what went wrong (kTimedOut, kConnReset, ...);
+//   * the origin — whether the error was raised by the local transport
+//     (is_transport()) or decoded from a server kError response frame.
+// A retry policy may only replay a request when the failure was a local
+// transport failure with a retryable code; a server-side kIo (say, a failed
+// checkpoint write) travels as an error frame and is never retried blindly.
 #pragma once
 
 #include <cstring>
@@ -22,7 +30,15 @@ enum class ErrorCode {
   kState,            ///< operation invalid in the current state (e.g. no lock)
   kUnimplemented,    ///< feature intentionally absent
   kInternal,         ///< invariant violation inside the library
+  kTimedOut,         ///< call deadline expired (ETIMEDOUT or client deadline)
+  kConnReset,        ///< peer reset/severed the connection (ECONNRESET)
+  kBrokenPipe,       ///< write to a closed connection (EPIPE)
+  kLeaseExpired,     ///< writer lease reclaimed; transaction must be retried
 };
+
+/// Number of ErrorCode values (for tables and wire-name decoding loops).
+inline constexpr int kErrorCodeCount =
+    static_cast<int>(ErrorCode::kLeaseExpired) + 1;
 
 /// Human-readable name of an ErrorCode ("NotFound", "Io", ...).
 const char* error_code_name(ErrorCode code) noexcept;
@@ -34,13 +50,42 @@ class Error : public std::runtime_error {
       : std::runtime_error(std::string(error_code_name(code)) + ": " + message),
         code_(code) {}
 
+  /// Builds an error raised by the local transport itself (socket failure,
+  /// call deadline, injected fault) as opposed to one decoded from a server
+  /// kError frame. Only transport errors are candidates for replay.
+  static Error transport(ErrorCode code, const std::string& message) {
+    Error e(code, message);
+    e.transport_ = true;
+    return e;
+  }
+
   ErrorCode code() const noexcept { return code_; }
+  bool is_transport() const noexcept { return transport_; }
 
  private:
   ErrorCode code_;
+  bool transport_ = false;
 };
 
-/// Throws Error(kIo) carrying the current errno and a context string.
+/// True when the error came from the local transport with a code that is
+/// safe to retry after tearing down and re-establishing the connection.
+inline bool is_retryable_transport(const Error& e) noexcept {
+  if (!e.is_transport()) return false;
+  switch (e.code()) {
+    case ErrorCode::kIo:
+    case ErrorCode::kTimedOut:
+    case ErrorCode::kConnReset:
+    case ErrorCode::kBrokenPipe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Throws a transport Error carrying the current errno and a context string.
+/// ETIMEDOUT, ECONNRESET, and EPIPE map to their dedicated codes so retry
+/// policies can tell a dead peer from, say, a disk failure; everything else
+/// is kIo.
 [[noreturn]] void throw_errno(const std::string& context);
 
 /// Internal invariant check; throws Error(kInternal) when `cond` is false.

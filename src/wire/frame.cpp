@@ -2,6 +2,34 @@
 
 namespace iw {
 
+std::string msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kError: return "kError";
+    case MsgType::kOpenSegment: return "kOpenSegment";
+    case MsgType::kOpenSegmentResp: return "kOpenSegmentResp";
+    case MsgType::kRegisterType: return "kRegisterType";
+    case MsgType::kRegisterTypeResp: return "kRegisterTypeResp";
+    case MsgType::kAcquireRead: return "kAcquireRead";
+    case MsgType::kAcquireReadResp: return "kAcquireReadResp";
+    case MsgType::kReleaseRead: return "kReleaseRead";
+    case MsgType::kAcquireWrite: return "kAcquireWrite";
+    case MsgType::kAcquireWriteResp: return "kAcquireWriteResp";
+    case MsgType::kReleaseWrite: return "kReleaseWrite";
+    case MsgType::kReleaseWriteResp: return "kReleaseWriteResp";
+    case MsgType::kSegmentInfo: return "kSegmentInfo";
+    case MsgType::kSegmentInfoResp: return "kSegmentInfoResp";
+    case MsgType::kSubscribe: return "kSubscribe";
+    case MsgType::kNotifyVersion: return "kNotifyVersion";
+    case MsgType::kPing: return "kPing";
+    case MsgType::kPingResp: return "kPingResp";
+    case MsgType::kAck: return "kAck";
+    case MsgType::kCloseSegment: return "kCloseSegment";
+    case MsgType::kHello: return "kHello";
+    case MsgType::kHelloResp: return "kHelloResp";
+  }
+  return "kMsg" + std::to_string(static_cast<int>(type));
+}
+
 void encode_frame(const Frame& frame, Buffer& out) {
   out.append_u8(static_cast<uint8_t>(frame.type));
   out.append_u32(frame.request_id);

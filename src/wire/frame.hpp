@@ -34,7 +34,13 @@ enum class MsgType : uint8_t {
   kPingResp = 17,
   kAck = 18,             ///< generic empty success response
   kCloseSegment = 19,    ///< lp segment: drop this session's segment state
+  kHello = 20,           ///< u64 client id, u32 session epoch (reconnects)
+  kHelloResp = 21,       ///< u32 writer lease ms (0 = leases disabled)
 };
+
+/// Human-readable name of a MsgType ("kAcquireWrite", ...) for error
+/// context; unknown values render as "kMsg<N>".
+std::string msg_type_name(MsgType type);
 
 /// One framed protocol message.
 struct Frame {

@@ -1,0 +1,288 @@
+// Chaos test: a deterministic multi-client workload driven through
+// injected transport faults (severs, truncated frames, dropped responses,
+// delays, duplicated/dropped notifications) must converge to exactly the
+// state of a fault-free oracle run of the same seed, with no leaked writer
+// locks — and a seeded faulty run must be bit-for-bit reproducible.
+//
+// The workload is built for at-least-once delivery: every block is named,
+// every write stores absolute values derived from the step number, and a
+// failed step is retried as a whole critical section. A release that was
+// applied-but-unacknowledged therefore converges (the retry finds the
+// block by name and rewrites the same values) instead of double-applying.
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "interweave/interweave.hpp"
+
+namespace iw {
+namespace {
+
+constexpr int kClients = 3;
+constexpr int kSteps = 120;
+constexpr uint32_t kUnits = 4;
+const char* const kUrl = "host/chaos";
+
+using Model = std::map<std::string, std::vector<int32_t>>;
+
+struct RunResult {
+  Model blocks;            // final committed state, by block name
+  uint32_t version = 0;    // final segment version
+  uint64_t reconnects = 0;
+  uint64_t retried_calls = 0;
+  uint64_t call_timeouts = 0;
+  uint64_t lease_expirations = 0;
+  uint64_t stale_releases = 0;
+
+  std::string fingerprint() const {
+    std::ostringstream out;
+    out << "v" << version << ";r" << reconnects << ";t" << retried_calls
+        << ";o" << call_timeouts << ";";
+    for (const auto& [name, values] : blocks) {
+      out << name << "=";
+      for (int32_t v : values) out << v << ",";
+      out << ";";
+    }
+    return out.str();
+  }
+};
+
+std::vector<int32_t> step_values(uint64_t seed, int step) {
+  std::vector<int32_t> v(kUnits);
+  for (uint32_t u = 0; u < kUnits; ++u) {
+    v[u] = static_cast<int32_t>(seed * 1'000'003 + step * 101 + u);
+  }
+  return v;
+}
+
+void fill_block(client::BlockHeader* blk, const std::vector<int32_t>& values) {
+  auto* data = reinterpret_cast<int32_t*>(const_cast<uint8_t*>(blk->data()));
+  for (uint32_t u = 0; u < kUnits; ++u) data[u] = values[u];
+}
+
+Model snapshot_of(Client& c, ClientSegment* seg) {
+  Model out;
+  c.read_lock(seg);
+  seg->heap().for_each_block([&](client::BlockHeader* blk) {
+    EXPECT_NE(blk->name, nullptr) << "chaos workload only creates named blocks";
+    if (blk->name == nullptr) return;
+    const auto* data = reinterpret_cast<const int32_t*>(blk->data());
+    out[*blk->name] = std::vector<int32_t>(data, data + kUnits);
+  });
+  c.read_unlock(seg);
+  return out;
+}
+
+// Out-parameter (rather than a return value) so ASSERT_* can bail out.
+void run_workload(uint64_t seed, bool faulty, RunResult* result) {
+  server::SegmentServer::Options sopts;
+  // Long relative to any injected stall: a lease reclaim during the run
+  // would mean a writer lock leaked, which the final stats assert against.
+  sopts.writer_lease_ms = 1'500;
+  server::SegmentServer inner(sopts);
+
+  FaultSchedule::Options server_fopts;
+  server_fopts.seed = seed ^ 0x5eed5eed;
+  auto server_schedule = std::make_shared<FaultSchedule>(server_fopts);
+  FaultyServerCore::Options score_opts;
+  score_opts.drop_notify_rate = 0.1;
+  FaultyServerCore faulty_core(inner, server_schedule, score_opts);
+  ServerCore& core = faulty ? static_cast<ServerCore&>(faulty_core)
+                            : static_cast<ServerCore&>(inner);
+
+  // One schedule per client, shared across that client's channel
+  // incarnations so the fault program survives reconnects.
+  std::vector<std::shared_ptr<FaultSchedule>> schedules;
+  for (int i = 0; i < kClients; ++i) {
+    FaultSchedule::Options fopts;
+    fopts.seed = seed * 31 + static_cast<uint64_t>(i);
+    fopts.sever_rate = 0.02;
+    fopts.truncate_rate = 0.01;
+    fopts.drop_response_rate = 0.03;
+    fopts.delay_rate = 0.05;
+    fopts.max_delay_ms = 2;
+    fopts.duplicate_notify_rate = 0.1;
+    auto schedule = std::make_shared<FaultSchedule>(fopts);
+    schedule->arm(false);  // fault-free warm-up while clients connect
+    schedules.push_back(std::move(schedule));
+  }
+
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<ClientSegment*> segs;
+  for (int i = 0; i < kClients; ++i) {
+    Client::Options copts;
+    copts.reconnect.initial_backoff_ms = 1;
+    copts.reconnect.max_backoff_ms = 8;
+    copts.reconnect.max_call_retries = 10;
+    copts.reconnect.jitter_seed = seed + static_cast<uint64_t>(i) + 1;
+    auto schedule = schedules[static_cast<size_t>(i)];
+    auto factory = [&core, schedule, faulty](const std::string&) {
+      std::shared_ptr<ClientChannel> ch =
+          std::make_shared<InProcChannel>(core);
+      if (faulty) ch = std::make_shared<FaultyChannel>(ch, schedule);
+      return ch;
+    };
+    clients.push_back(std::make_unique<Client>(factory, copts));
+    segs.push_back(clients.back()->open_segment(kUrl));
+  }
+  for (auto& s : schedules) s->arm(true);
+
+  const TypeDescriptor* arr = clients[0]->types().array_of(
+      clients[0]->types().primitive(PrimitiveKind::kInt32), kUnits);
+
+  SplitMix64 rng(seed);
+  Model model;
+  int next_block = 0;
+
+  for (int step = 0; step < kSteps; ++step) {
+    int who = static_cast<int>(rng.below(kClients));
+    Client& c = *clients[static_cast<size_t>(who)];
+    ClientSegment* seg = segs[static_cast<size_t>(who)];
+    uint64_t action = rng.below(10);
+    std::vector<int32_t> values = step_values(seed, step);
+
+    // Decide the step's full intent up front so every retry replays the
+    // identical mutation.
+    std::string target;
+    if (action < 3 || model.empty()) {
+      target = "b" + std::to_string(next_block++);  // alloc (or first op)
+    } else {
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.below(model.size())));
+      target = it->first;
+    }
+    enum class Op { kUpsert, kFree, kVerify } op = Op::kUpsert;
+    if (action < 3 || model.empty()) {
+      op = Op::kUpsert;
+    } else if (action < 8) {
+      op = Op::kUpsert;
+    } else if (action == 8) {
+      op = Op::kFree;
+    } else {
+      op = Op::kVerify;
+    }
+
+    for (int attempt = 0;; ++attempt) {
+      try {
+        if (op == Op::kVerify) {
+          Model seen = snapshot_of(c, seg);
+          ASSERT_EQ(seen.size(), model.size()) << "step " << step;
+          for (const auto& [name, vals] : model) {
+            auto it = seen.find(name);
+            ASSERT_NE(it, seen.end()) << "step " << step << " lost " << name;
+            ASSERT_EQ(it->second, vals) << "step " << step << " " << name;
+          }
+          break;
+        }
+        c.write_lock(seg);
+        client::BlockHeader* blk = seg->heap().find_by_name(target);
+        if (op == Op::kFree) {
+          // An applied-but-unacknowledged free leaves no block: done.
+          if (blk != nullptr) {
+            c.free_block(seg, const_cast<uint8_t*>(blk->data()));
+          }
+        } else {
+          // An applied-but-unacknowledged alloc leaves the block behind:
+          // find it instead of allocating a duplicate under the same name.
+          if (blk == nullptr) {
+            c.malloc_block(seg, arr, target);
+            blk = seg->heap().find_by_name(target);
+          }
+          fill_block(blk, values);
+        }
+        c.write_unlock(seg);
+        break;
+      } catch (const Error& e) {
+        ASSERT_LT(attempt, 8) << "seed " << seed << " step " << step << ": "
+                              << e.what();
+      }
+    }
+    if (op == Op::kUpsert) {
+      model[target] = values;
+    } else if (op == Op::kFree) {
+      model.erase(target);
+    }
+  }
+
+  // Every client converges on the oracle model.
+  for (int i = 0; i < kClients; ++i) {
+    Model seen = snapshot_of(*clients[static_cast<size_t>(i)],
+                             segs[static_cast<size_t>(i)]);
+    EXPECT_EQ(seen, model) << "client " << i << " diverged, seed " << seed;
+  }
+
+  // No leaked locks: every client can still complete a write cycle without
+  // waiting out a lease...
+  for (int i = 0; i < kClients; ++i) {
+    Client& c = *clients[static_cast<size_t>(i)];
+    for (int attempt = 0;; ++attempt) {
+      try {
+        c.write_lock(segs[static_cast<size_t>(i)]);
+        c.write_unlock(segs[static_cast<size_t>(i)]);
+        break;
+      } catch (const Error& e) {
+        ASSERT_LT(attempt, 8) << e.what();
+      }
+    }
+  }
+
+  result->blocks = model;
+  result->version = inner.segment_version(kUrl);
+  for (auto& c : clients) {
+    ClientStats stats = c->stats();
+    result->reconnects += stats.reconnects;
+    result->retried_calls += stats.retried_calls;
+    result->call_timeouts += stats.call_timeouts;
+  }
+  server::SegmentServer::Stats sstats = inner.stats();
+  result->lease_expirations = sstats.lease_expirations;
+  result->stale_releases = sstats.stale_releases_rejected;
+
+  // ...and no expiry-based reclaim ever fired: severed sessions were
+  // cleaned up by disconnect, not by waiting out the lease.
+  EXPECT_EQ(result->lease_expirations, 0u)
+      << "writer lock leaked, seed " << seed;
+  EXPECT_EQ(result->stale_releases, 0u);
+
+  // Clients are destroyed before the cores they talk to.
+  segs.clear();
+  clients.clear();
+}
+
+class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosTest, ConvergesAndIsReproducible) {
+  uint64_t seed = GetParam();
+
+  RunResult oracle;
+  run_workload(seed, /*faulty=*/false, &oracle);
+  EXPECT_EQ(oracle.reconnects, 0u);
+  EXPECT_EQ(oracle.retried_calls, 0u);
+  EXPECT_EQ(oracle.call_timeouts, 0u);
+
+  RunResult faulty;
+  run_workload(seed, /*faulty=*/true, &faulty);
+  // The workload must actually have been disturbed — otherwise this test
+  // proves nothing.
+  EXPECT_GT(faulty.reconnects + faulty.retried_calls + faulty.call_timeouts,
+            0u)
+      << "seed " << seed << " injected no faults";
+  // Faults must not change the outcome.
+  EXPECT_EQ(faulty.blocks, oracle.blocks) << "seed " << seed;
+
+  // Same seed, same program: the entire faulty run is reproducible.
+  RunResult again;
+  run_workload(seed, /*faulty=*/true, &again);
+  EXPECT_EQ(again.fingerprint(), faulty.fingerprint()) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Range<uint64_t>(1, 21));  // 20 seeds
+
+}  // namespace
+}  // namespace iw
