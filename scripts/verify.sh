@@ -4,7 +4,9 @@
 # arithmetic is exactly what -fsanitize=undefined is good at catching),
 # then the fault/lease/chaos suites under UBSan and TSan — the chaos
 # workload's reconnect/lease interleavings are exactly what -fsanitize=thread
-# is good at catching.
+# is good at catching — and finally a recovery soak: repeated crash/restart
+# cycles (the WAL crash matrix plus the restart-chaos workload) under UBSan,
+# so recovery's byte-slicing replay path is exercised many times in one run.
 #
 # Usage: scripts/verify.sh [build-dir] [ubsan-build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -29,6 +31,18 @@ UBSAN_OPTIONS=halt_on_error=1 \
     "$UBSAN_BUILD"/tests/wire_translate_test
 for t in fault_test lease_test chaos_test; do
   UBSAN_OPTIONS=halt_on_error=1 "$UBSAN_BUILD"/tests/"$t"
+done
+
+echo "== recovery soak: crash/restart cycles under UBSan =="
+# Each repetition re-runs the fork+SIGKILL crash matrix and the seeded
+# restart-chaos workload against freshly written journals/checkpoints.
+cmake --build "$UBSAN_BUILD" -j "$JOBS" --target wal_recovery_test
+SOAK="${IW_RECOVERY_SOAK:-5}"
+for _ in $(seq "$SOAK"); do
+  UBSAN_OPTIONS=halt_on_error=1 "$UBSAN_BUILD"/tests/wal_recovery_test \
+      --gtest_brief=1
+  UBSAN_OPTIONS=halt_on_error=1 "$UBSAN_BUILD"/tests/chaos_test \
+      --gtest_filter='Seeds/RestartChaosTest.*' --gtest_brief=1
 done
 
 echo "== fault/lease/chaos tests under TSan =="

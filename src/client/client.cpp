@@ -1083,6 +1083,7 @@ void Client::apply_diff_locked(ClientSegment* seg, BufReader& in) {
     throw Error(ErrorCode::kProtocol, "diff base does not match cached copy");
   }
   const bool full_sync = reader.from_version() == 0;
+  if (full_sync && seg->version_ != 0) ++stats_.full_resyncs;
 
   std::vector<DiffEntry> entries;
   entries.reserve(reader.entry_count());

@@ -73,6 +73,9 @@ struct ClientStats {
   uint64_t reconnects = 0;
   uint64_t retried_calls = 0;
   uint64_t call_timeouts = 0;
+  /// From-scratch diffs applied over an already-populated cache — the
+  /// signature of converging on a server that recovered behind us.
+  uint64_t full_resyncs = 0;
 };
 
 class Client;

@@ -1,9 +1,20 @@
 #include "net/fault.hpp"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 namespace iw {
+
+void wal_crash_now() noexcept {
+  // SIGKILL cannot be caught: state at the instant of death is exactly what
+  // a restarted server finds on disk. _exit is an unreachable backstop.
+  ::kill(::getpid(), SIGKILL);
+  ::_exit(137);
+}
 
 namespace {
 

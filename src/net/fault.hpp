@@ -160,6 +160,78 @@ class FaultyChannel final : public ClientChannel {
   uint64_t bytes_received_at_sever_ = 0;
 };
 
+/// Where inside one WAL append a crash is injected. The three points pin
+/// down the three distinct on-disk outcomes a real power cut can leave:
+///
+///   * kShortWrite   — the process dies after only part of the record
+///                     *header* reached the file: the log ends in fewer
+///                     bytes than a frame header (classic short write);
+///   * kMidRecord    — the header is complete but the process dies partway
+///                     through the payload: the length field promises more
+///                     bytes than exist, and the CRC cannot match;
+///   * kBeforeSync   — the record is fully written but the process dies
+///                     before fdatasync: the commit was never acknowledged,
+///                     so recovery may legitimately surface it or not.
+enum class WalCrashPoint : uint8_t {
+  kNone,
+  kShortWrite,
+  kMidRecord,
+  kBeforeSync,
+};
+
+/// Seeded crash program for durable-storage writers (the WAL), in the
+/// mould of FaultSchedule: fully deterministic, so the crash harness can
+/// fork a server, let it die at an exact append, and replay the identical
+/// run against a fault-free oracle. Either pin the crash to the Nth append
+/// (`crash_at_append`) or let a seeded draw pick appends at `crash_rate`.
+class WalCrashSchedule {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    /// 1-based append index at which to crash; 0 disables the fixed point.
+    uint64_t crash_at_append = 0;
+    /// Per-append crash probability in [0,1] (evaluated only when the
+    /// fixed point is disabled or already passed).
+    double crash_rate = 0;
+    WalCrashPoint point = WalCrashPoint::kNone;
+  };
+
+  explicit WalCrashSchedule(Options options)
+      : options_(options), rng_(options.seed) {}
+
+  /// Decides whether the WAL append now starting should crash, and where
+  /// inside the append. Thread-safe.
+  WalCrashPoint next_append() {
+    std::lock_guard lock(mu_);
+    uint64_t n = ++appends_;
+    if (options_.point == WalCrashPoint::kNone) return WalCrashPoint::kNone;
+    if (options_.crash_at_append != 0) {
+      return n == options_.crash_at_append ? options_.point
+                                           : WalCrashPoint::kNone;
+    }
+    if (options_.crash_rate > 0 && rng_.uniform() < options_.crash_rate) {
+      return options_.point;
+    }
+    return WalCrashPoint::kNone;
+  }
+
+  uint64_t appends() const {
+    std::lock_guard lock(mu_);
+    return appends_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Options options_;
+  SplitMix64 rng_;
+  uint64_t appends_ = 0;
+};
+
+/// Dies the way a power cut does: SIGKILL to self — no destructors, no
+/// atexit, no buffered-stream flushes. The WAL calls this at an armed
+/// WalCrashPoint; only ever reached inside a crash-harness child process.
+[[noreturn]] void wal_crash_now() noexcept;
+
 /// ServerCore decorator injecting server-side faults: request handling
 /// delays and notification duplication/loss. (Response drops and severs
 /// are connection-level faults and live in FaultyChannel, which can tear

@@ -2,7 +2,10 @@
 
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
+#include "util/endian.hpp"
+#include "util/fsync.hpp"
 #include "util/logging.hpp"
 
 namespace iw::server {
@@ -12,7 +15,7 @@ namespace {
 constexpr uint32_t kCheckpointMagic = 0x49575345;  // "IWSE"
 
 /// Segment names become file names; escape path separators.
-std::string encode_file_name(const std::string& name) {
+std::string encode_file_name(const std::string& name, const char* extension) {
   std::string out;
   for (char c : name) {
     if (c == '/' || c == '%' || c == '\\') {
@@ -23,7 +26,31 @@ std::string encode_file_name(const std::string& name) {
       out += c;
     }
   }
-  return out + ".iwseg";
+  return out + extension;
+}
+
+/// Inverse of encode_file_name on the stem (file name minus extension), so
+/// recovery can learn a segment's name from an orphan journal whose
+/// checkpoint is missing or quarantined.
+std::string decode_file_name(const std::string& stem) {
+  auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::string out;
+  for (size_t i = 0; i < stem.size(); ++i) {
+    int hi, lo;
+    if (stem[i] == '%' && i + 2 < stem.size() &&
+        (hi = hex(stem[i + 1])) >= 0 && (lo = hex(stem[i + 2])) >= 0) {
+      out += static_cast<char>(hi * 16 + lo);
+      i += 2;
+    } else {
+      out += stem[i];
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -78,9 +105,43 @@ SegmentServer::SegmentEntry* SegmentServer::find_segment(
   if (it == segments_.end()) {
     auto entry = std::make_unique<SegmentEntry>();
     entry->store = std::make_unique<SegmentStore>(name, options_.store);
+    // Journal the segment's birth before any client can commit to it. The
+    // entry is not yet published, so no entry lock is needed; segment
+    // creation is rare enough that the fsyncs under the directory lock do
+    // not matter.
+    if (wal_on()) open_fresh_wal(*entry, name);
     it = segments_.emplace(name, std::move(entry)).first;
   }
   return it->second.get();
+}
+
+bool SegmentServer::wal_on() const noexcept {
+  return options_.wal_enabled && !options_.checkpoint_dir.empty();
+}
+
+WriteAheadLog::Options SegmentServer::wal_options() {
+  WriteAheadLog::Options o;
+  o.sync = options_.wal_sync;
+  o.batch_interval_ms = options_.wal_batch_interval_ms;
+  o.counters = &wal_counters_;
+  o.crash = options_.wal_crash;
+  return o;
+}
+
+std::string SegmentServer::wal_file_path(const std::string& name) const {
+  namespace fs = std::filesystem;
+  return (fs::path(options_.checkpoint_dir) / encode_file_name(name, ".iwlog"))
+      .string();
+}
+
+void SegmentServer::open_fresh_wal(SegmentEntry& entry,
+                                   const std::string& name) {
+  entry.wal =
+      std::make_unique<WriteAheadLog>(wal_file_path(name), wal_options(), 0);
+  Buffer created;
+  created.append_lp_string(name);
+  entry.wal->append(WalRecordType::kSegmentCreate,
+                    {created.data(), created.size()});
 }
 
 SegmentServer::SegmentEntry& SegmentServer::segment(const std::string& name) {
@@ -283,7 +344,16 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
             std::chrono::steady_clock::now() +
             std::chrono::milliseconds(options_.writer_lease_ms);
       }
+      uint32_t types_before = entry.store->type_count();
       uint32_t serial = entry.store->register_type(graph);
+      if (entry.wal != nullptr && entry.store->type_count() != types_before) {
+        // A genuinely new type (not a dedup hit): recovery must know it
+        // before replaying any diff that references it.
+        uint8_t head[4];
+        store_be32(head, serial);
+        entry.wal->append(WalRecordType::kRegisterType, {head, sizeof head},
+                          graph);
+      }
       // The registering client now knows this serial; extend its known
       // prefix when contiguous.
       SegmentSession& ss = seg_session(entry, session);
@@ -359,6 +429,7 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
         throw Error(ErrorCode::kState, "releasing write lock not held");
       }
       auto diff_bytes = in.read_bytes(in.remaining());
+      uint32_t old_version = entry.store->version();
       uint32_t new_version;
       try {
         new_version = entry.store->apply_diff(diff_bytes);
@@ -367,6 +438,33 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
         entry.writer = 0;
         entry.writer_cv.notify_all();
         throw;
+      }
+      // Journal the commit *before* acknowledging it — apply first (it
+      // validates the diff so garbage never reaches the log), append
+      // second, ack last. A crash after the append is recoverable; a crash
+      // before it was never acknowledged.
+      if (entry.wal != nullptr && new_version != old_version) {
+        uint8_t head[4];
+        store_be32(head, new_version);
+        try {
+          entry.wal->append(WalRecordType::kCommit, {head, sizeof head},
+                            diff_bytes);
+        } catch (...) {
+          // The diff is applied in memory but missing from the journal, so
+          // the log alone can no longer reproduce this state. Drop the lock
+          // (the segment must not wedge), then re-anchor durability on a
+          // fresh snapshot; if that also fails the client's kIo answer
+          // honestly reports the commit as not durable.
+          entry.writer = 0;
+          entry.writer_cv.notify_all();
+          try {
+            checkpoint_segment_locked(entry);
+          } catch (...) {
+            IW_LOG(kWarn) << "checkpoint after failed journal append on "
+                          << name << " also failed";
+          }
+          throw;
+        }
       }
       entry.writer = 0;
       entry.writer_cv.notify_all();
@@ -470,17 +568,14 @@ void SegmentServer::checkpoint_segment_locked(SegmentEntry& entry) {
 
   namespace fs = std::filesystem;
   fs::path dir(options_.checkpoint_dir);
-  fs::path final_path = dir / encode_file_name(entry.store->name());
-  fs::path tmp_path = final_path;
-  tmp_path += ".tmp";
-  {
-    std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!f) throw Error(ErrorCode::kIo, "cannot write " + tmp_path.string());
-    f.write(reinterpret_cast<const char*>(out.data()),
-            static_cast<std::streamsize>(out.size()));
-    if (!f) throw Error(ErrorCode::kIo, "short write " + tmp_path.string());
-  }
-  fs::rename(tmp_path, final_path);
+  fs::path final_path = dir / encode_file_name(entry.store->name(), ".iwseg");
+  // tmp + fdatasync + rename + parent fsync: the snapshot is durable before
+  // it becomes visible under its final name.
+  write_file_durable(final_path.string(), {out.data(), out.size()});
+  // Only once the snapshot is durably in place may the journal records it
+  // supersedes be discarded. A crash between the rename and this truncate is
+  // benign: replay skips records at or below the snapshot's version.
+  if (entry.wal != nullptr) entry.wal->truncate_after_checkpoint();
   entry.versions_since_checkpoint = 0;
   stats_.checkpoints_written.fetch_add(1, std::memory_order_relaxed);
 }
@@ -493,37 +588,167 @@ void SegmentServer::checkpoint() {
   }
 }
 
+uint64_t SegmentServer::replay_wal_records(
+    const std::string& name, std::unique_ptr<SegmentStore>& store,
+    const WriteAheadLog::Replay& replay) {
+  uint64_t applied_end = 0;
+  uint64_t applied = 0;
+  for (const WriteAheadLog::Record& rec : replay.records) {
+    try {
+      BufReader in(rec.payload.data(), rec.payload.size());
+      switch (rec.type) {
+        case WalRecordType::kSegmentCreate: {
+          std::string recorded = in.read_lp_string();
+          if (recorded != name) {
+            throw Error(ErrorCode::kProtocol,
+                        "journal names segment '" + recorded + "'");
+          }
+          break;
+        }
+        case WalRecordType::kRegisterType: {
+          uint32_t serial = in.read_u32();
+          auto graph = in.read_bytes(in.remaining());
+          if (serial <= store->type_count()) break;  // already in snapshot
+          uint32_t got = store->register_type(graph);
+          if (got != serial) {
+            throw Error(ErrorCode::kProtocol,
+                        "type serial gap (journal " + std::to_string(serial) +
+                            ", store assigned " + std::to_string(got) + ")");
+          }
+          break;
+        }
+        case WalRecordType::kCommit: {
+          uint32_t version = in.read_u32();
+          auto diff = in.read_bytes(in.remaining());
+          // At or below the snapshot: the checkpoint already contains this
+          // commit (the crash-between-checkpoint-and-truncate window).
+          if (version <= store->version()) break;
+          uint32_t got = store->apply_diff(diff);
+          if (got != version) {
+            throw Error(ErrorCode::kProtocol,
+                        "version gap (journal v" + std::to_string(version) +
+                            ", store reached v" + std::to_string(got) + ")");
+          }
+          break;
+        }
+        case WalRecordType::kSegmentDestroy:
+          store = std::make_unique<SegmentStore>(name, options_.store);
+          break;
+      }
+    } catch (const std::exception& e) {
+      // A record that cannot be applied (version gap after a quarantined
+      // checkpoint, malformed payload) ends replay; everything after it
+      // depends on state we do not have. The prefix already applied is
+      // kept — the journal is truncated to match it.
+      IW_LOG(kWarn) << "journal replay for " << name << " stopped after "
+                    << applied << " records: " << e.what();
+      break;
+    }
+    applied_end = rec.end_offset;
+    ++applied;
+  }
+  stats_.wal_replayed_records.fetch_add(applied, std::memory_order_relaxed);
+  return applied_end;
+}
+
 void SegmentServer::recover() {
   if (options_.checkpoint_dir.empty()) return;
   namespace fs = std::filesystem;
   std::unique_lock dir(dir_mu_);
+  // Collect paths first: quarantining renames files, which must not race
+  // the directory iteration.
+  std::vector<fs::path> snapshots;
+  std::vector<fs::path> journals;
   for (const auto& dirent : fs::directory_iterator(options_.checkpoint_dir)) {
-    if (dirent.path().extension() != ".iwseg") continue;
-    std::ifstream f(dirent.path(), std::ios::binary);
-    if (!f) continue;
-    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
-                               std::istreambuf_iterator<char>());
-    BufReader in(bytes.data(), bytes.size());
-    if (in.read_u32() != kCheckpointMagic) {
-      IW_LOG(kWarn) << "skipping bad checkpoint " << dirent.path();
+    if (dirent.path().extension() == ".iwseg") {
+      snapshots.push_back(dirent.path());
+    } else if (dirent.path().extension() == ".iwlog") {
+      journals.push_back(dirent.path());
+    }
+  }
+
+  // Pass 1: load snapshots. A corrupt checkpoint (bad magic, truncation,
+  // flipped bits — deserialize validates throughout) is quarantined and
+  // recovery continues; one damaged file must not take down every segment.
+  for (const fs::path& path : snapshots) {
+    std::string name;
+    std::unique_ptr<SegmentStore> store;
+    try {
+      std::ifstream f(path, std::ios::binary);
+      if (!f) throw Error(ErrorCode::kIo, "cannot read " + path.string());
+      std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                 std::istreambuf_iterator<char>());
+      BufReader in(bytes.data(), bytes.size());
+      if (in.read_u32() != kCheckpointMagic) {
+        throw Error(ErrorCode::kProtocol, "bad checkpoint magic");
+      }
+      name = in.read_lp_string();
+      store = SegmentStore::deserialize(name, options_.store, in);
+    } catch (const Error& e) {
+      fs::path quarantine = path;
+      quarantine += ".corrupt";
+      std::error_code ec;
+      fs::rename(path, quarantine, ec);
+      IW_LOG(kWarn) << "quarantining corrupt checkpoint " << path << " ("
+                    << e.what() << ")"
+                    << (ec ? "; rename failed: " + ec.message() : "");
+      stats_.checkpoints_quarantined.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    std::string name = in.read_lp_string();
-    auto store = SegmentStore::deserialize(name, options_.store, in);
     auto it = segments_.find(name);
     if (it != segments_.end()) {
       // Replace the store in place: entry addresses must stay stable.
       std::lock_guard el(it->second->mu);
       it->second->store = std::move(store);
       it->second->versions_since_checkpoint = 0;
+      it->second->wal.reset();  // reopened against the journal below
     } else {
       auto entry = std::make_unique<SegmentEntry>();
       entry->store = std::move(store);
       segments_.emplace(std::move(name), std::move(entry));
     }
-    IW_LOG(kInfo) << "recovered segment "
-                  << dirent.path().filename().string();
+    IW_LOG(kInfo) << "recovered segment " << path.filename().string();
   }
+
+  // Pass 2: replay each journal's tail on top of its snapshot (or from
+  // scratch for a segment that was never checkpointed), then reopen the log
+  // for appending at exactly the applied prefix. A torn tail — the expected
+  // residue of a crash mid-append — is cut off, never an error.
+  for (const fs::path& path : journals) {
+    std::string name = decode_file_name(path.stem().string());
+    WriteAheadLog::Replay replay = WriteAheadLog::replay(path.string());
+    if (replay.torn_tail) {
+      IW_LOG(kWarn) << "journal " << path.filename().string()
+                    << " has a torn tail; truncating";
+    }
+    auto it = segments_.find(name);
+    if (it == segments_.end()) {
+      auto entry = std::make_unique<SegmentEntry>();
+      entry->store = std::make_unique<SegmentStore>(name, options_.store);
+      it = segments_.emplace(std::move(name), std::move(entry)).first;
+    }
+    SegmentEntry& entry = *it->second;
+    std::lock_guard el(entry.mu);
+    uint64_t resume =
+        replay_wal_records(it->first, entry.store, replay);
+    if (!wal_on()) continue;  // journal preserved but not extended
+    if (resume >= WriteAheadLog::kHeaderSize) {
+      entry.wal = std::make_unique<WriteAheadLog>(path.string(), wal_options(),
+                                                  resume);
+    } else {
+      open_fresh_wal(entry, it->first);
+    }
+  }
+
+  // Pass 3: segments recovered from a snapshot alone (pre-journal state, or
+  // a journal lost with its device) still need a live journal.
+  if (wal_on()) {
+    for (auto& [name, entry] : segments_) {
+      std::lock_guard el(entry->mu);
+      if (entry->wal == nullptr) open_fresh_wal(*entry, name);
+    }
+  }
+  stats_.recoveries_completed.fetch_add(1, std::memory_order_relaxed);
 }
 
 SegmentServer::Stats SegmentServer::stats() const {
@@ -539,6 +764,17 @@ SegmentServer::Stats SegmentServer::stats() const {
   s.lease_expirations = stats_.lease_expirations.load(std::memory_order_relaxed);
   s.stale_releases_rejected =
       stats_.stale_releases_rejected.load(std::memory_order_relaxed);
+  s.wal_records_appended =
+      wal_counters_.records_appended.load(std::memory_order_relaxed);
+  s.wal_bytes_appended =
+      wal_counters_.bytes_appended.load(std::memory_order_relaxed);
+  s.wal_fsyncs = wal_counters_.fsyncs.load(std::memory_order_relaxed);
+  s.wal_replayed_records =
+      stats_.wal_replayed_records.load(std::memory_order_relaxed);
+  s.recoveries_completed =
+      stats_.recoveries_completed.load(std::memory_order_relaxed);
+  s.checkpoints_quarantined =
+      stats_.checkpoints_quarantined.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -29,6 +29,7 @@
 
 #include "net/transport.hpp"
 #include "server/segment_store.hpp"
+#include "server/wal.hpp"
 #include "wire/coherence.hpp"
 
 namespace iw::server {
@@ -45,6 +46,19 @@ class SegmentServer : public ServerCore {
     /// late holder's release is then rejected with kLeaseExpired). 0
     /// disables leases — writer locks are held until release/disconnect.
     uint32_t writer_lease_ms = 10'000;
+    /// Per-segment write-ahead log (requires checkpoint_dir): every
+    /// committed diff is journaled before the commit is acknowledged, so
+    /// recovery replays acknowledged versions past the last checkpoint
+    /// instead of silently discarding them.
+    bool wal_enabled = true;
+    /// When the journal reaches the device (see WriteAheadLog::Sync):
+    /// kNone / kBatch (group commit) / kCommit (fdatasync per release).
+    WriteAheadLog::Sync wal_sync = WriteAheadLog::Sync::kBatch;
+    /// Group-commit flush interval for wal_sync == kBatch.
+    uint32_t wal_batch_interval_ms = 5;
+    /// Seeded crash injection inside WAL appends (crash-harness tests
+    /// only); null in production.
+    std::shared_ptr<WalCrashSchedule> wal_crash;
     /// Store tuning (diff cache, prediction, subblock size).
     SegmentStore::Options store;
   };
@@ -59,6 +73,14 @@ class SegmentServer : public ServerCore {
     uint64_t checkpoints_written = 0;
     uint64_t lease_expirations = 0;        ///< writer locks reclaimed
     uint64_t stale_releases_rejected = 0;  ///< kLeaseExpired responses
+    // Durability counters (write-ahead log + recovery), summed over every
+    // segment's journal.
+    uint64_t wal_records_appended = 0;
+    uint64_t wal_bytes_appended = 0;
+    uint64_t wal_fsyncs = 0;
+    uint64_t wal_replayed_records = 0;      ///< records applied by recover()
+    uint64_t recoveries_completed = 0;      ///< recover() invocations done
+    uint64_t checkpoints_quarantined = 0;   ///< corrupt *.iwseg set aside
   };
 
   SegmentServer();
@@ -117,6 +139,10 @@ class SegmentServer : public ServerCore {
     /// observable (and, with checkpointed stores, diagnosable after).
     uint32_t epoch = 0;
     uint32_t versions_since_checkpoint = 0;
+    /// Append-only diff journal; null when persistence is disabled. Guarded
+    /// by `mu` like the store, so append-before-ack and
+    /// truncate-on-checkpoint serialize naturally with commits.
+    std::unique_ptr<WriteAheadLog> wal;
     std::unordered_map<SessionId, SegmentSession> sessions;
   };
   struct PendingNotify {
@@ -131,6 +157,9 @@ class SegmentServer : public ServerCore {
     std::atomic<uint64_t> checkpoints_written{0};
     std::atomic<uint64_t> lease_expirations{0};
     std::atomic<uint64_t> stale_releases_rejected{0};
+    std::atomic<uint64_t> wal_replayed_records{0};
+    std::atomic<uint64_t> recoveries_completed{0};
+    std::atomic<uint64_t> checkpoints_quarantined{0};
   };
 
   Frame dispatch(SessionId session, const Frame& request,
@@ -161,7 +190,25 @@ class SegmentServer : public ServerCore {
   /// Caller holds entry.mu.
   void checkpoint_segment_locked(SegmentEntry& entry);
 
+  // --- durability plumbing ---
+  /// True when commits are journaled (checkpoint_dir set + wal_enabled).
+  bool wal_on() const noexcept;
+  WriteAheadLog::Options wal_options();
+  std::string wal_file_path(const std::string& name) const;
+  /// Opens a brand-new journal for `entry` (discarding any stale log file
+  /// left by an earlier incarnation) and records the segment's birth.
+  void open_fresh_wal(SegmentEntry& entry, const std::string& name);
+  /// Applies replayed journal records to `store` in order, stopping at the
+  /// first record that cannot be applied. Returns the end offset of the
+  /// last applied record (so the reopened log is truncated to exactly the
+  /// applied prefix) and counts applied records into the stats.
+  uint64_t replay_wal_records(const std::string& name,
+                              std::unique_ptr<SegmentStore>& store,
+                              const WriteAheadLog::Replay& replay);
+
   Options options_;
+  /// Aggregated append/fsync counters shared by every segment's journal.
+  WalCounters wal_counters_;
 
   /// Level 1: the segment directory. Read-mostly — shared for lookup,
   /// exclusive only to insert a new segment.

@@ -1,0 +1,153 @@
+#include "util/crc32c.hpp"
+
+#include <cstring>
+
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#endif
+
+namespace iw {
+
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+/// Slice-by-8 lookup tables, built once at first use. table[0] is the
+/// classic byte-at-a-time table; table[k] advances a byte that sits k
+/// positions deeper in the 8-byte word being folded.
+struct Tables {
+  uint32_t t[8][256];
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFF] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+/// Raw (non-finalized) software update.
+uint32_t update_sw(uint32_t crc, const uint8_t* p, size_t n) {
+  const Tables& tb = tables();
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    word = __builtin_bswap64(word);
+#endif
+    word ^= crc;
+    crc = tb.t[7][word & 0xFF] ^ tb.t[6][(word >> 8) & 0xFF] ^
+          tb.t[5][(word >> 16) & 0xFF] ^ tb.t[4][(word >> 24) & 0xFF] ^
+          tb.t[3][(word >> 32) & 0xFF] ^ tb.t[2][(word >> 40) & 0xFF] ^
+          tb.t[1][(word >> 48) & 0xFF] ^ tb.t[0][(word >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    --n;
+  }
+  return crc;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define IW_CRC32C_X86 1
+__attribute__((target("sse4.2"))) uint32_t update_hw(uint32_t crc,
+                                                     const uint8_t* p,
+                                                     size_t n) {
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --n;
+  }
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = __builtin_ia32_crc32di(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (n > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --n;
+  }
+  return crc;
+}
+
+bool hw_available() { return __builtin_cpu_supports("sse4.2"); }
+
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#define IW_CRC32C_ARM 1
+uint32_t update_hw(uint32_t crc, const uint8_t* p, size_t n) {
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __crc32cb(crc, *p++);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc = __crc32cd(crc, word);
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = __crc32cb(crc, *p++);
+    --n;
+  }
+  return crc;
+}
+
+bool hw_available() { return true; }  // compiled in => ISA guarantees it
+
+#else
+uint32_t update_hw(uint32_t crc, const uint8_t* p, size_t n) {
+  return update_sw(crc, p, n);
+}
+bool hw_available() { return false; }
+#endif
+
+using UpdateFn = uint32_t (*)(uint32_t, const uint8_t*, size_t);
+
+/// Dispatch decided once; no per-call CPUID.
+UpdateFn pick_update() { return hw_available() ? &update_hw : &update_sw; }
+
+UpdateFn dispatched() {
+  static const UpdateFn fn = pick_update();
+  return fn;
+}
+
+}  // namespace
+
+uint32_t crc32c_sw(uint32_t crc, const void* p, size_t n) {
+  return ~update_sw(~crc, static_cast<const uint8_t*>(p), n);
+}
+
+uint32_t crc32c_extend(uint32_t crc, const void* p, size_t n) {
+  return ~dispatched()(~crc, static_cast<const uint8_t*>(p), n);
+}
+
+uint32_t crc32c(const void* p, size_t n) { return crc32c_extend(0, p, n); }
+
+bool crc32c_hardware() { return hw_available(); }
+
+}  // namespace iw

@@ -1,0 +1,45 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum that frames
+// every write-ahead-log record.
+//
+// Two implementations behind one entry point: a portable slice-by-8 table
+// walk, and a hardware path using the dedicated CRC32C instructions when
+// they exist (SSE4.2 on x86-64, the CRC extension on ARMv8). Dispatch is
+// decided once at first use; callers never care which path ran, but
+// crc32c_hardware() reports it so tests can cross-check the two.
+//
+// The value returned is the standard finalized CRC-32C (initial value
+// 0xFFFFFFFF, final inversion), i.e. crc32c("123456789") == 0xE3069283 and
+// the RFC 3720 §B.4 known-answer vectors hold.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace iw {
+
+/// One-shot CRC-32C of `n` bytes.
+uint32_t crc32c(const void* p, size_t n);
+
+inline uint32_t crc32c(std::span<const uint8_t> s) {
+  return crc32c(s.data(), s.size());
+}
+
+/// Incremental form: feeds `n` more bytes into a previously returned
+/// (finalized) CRC. crc32c_extend(0, p, n) == crc32c(p, n), and
+/// crc32c_extend(crc32c(a), b) == crc32c(a ++ b).
+uint32_t crc32c_extend(uint32_t crc, const void* p, size_t n);
+
+inline uint32_t crc32c_extend(uint32_t crc, std::span<const uint8_t> s) {
+  return crc32c_extend(crc, s.data(), s.size());
+}
+
+/// Portable slice-by-8 implementation, always available; the public
+/// entry points use it when no hardware path exists. Exposed so tests can
+/// assert hardware and software agree on the same input.
+uint32_t crc32c_sw(uint32_t crc, const void* p, size_t n);
+
+/// True when the dispatched implementation uses CPU CRC32C instructions.
+bool crc32c_hardware();
+
+}  // namespace iw

@@ -1,0 +1,67 @@
+#include "util/fsync.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/error.hpp"
+
+namespace iw {
+
+void fdatasync_fd(int fd, const std::string& context) {
+  if (::fdatasync(fd) != 0) throw_errno("fdatasync(" + context + ")");
+}
+
+void fsync_parent_dir(const std::string& path_in_dir) {
+  std::filesystem::path p(path_in_dir);
+  std::filesystem::path dir =
+      std::filesystem::is_directory(p) ? p : p.parent_path();
+  if (dir.empty()) dir = ".";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw_errno("open(" + dir.string() + ")");
+  int rc = ::fsync(fd);
+  int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved;
+    throw_errno("fsync(" + dir.string() + ")");
+  }
+}
+
+void write_file_durable(const std::string& path,
+                        std::span<const uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open(" + tmp + ")");
+  const uint8_t* p = bytes.data();
+  size_t left = bytes.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      errno = saved;
+      throw_errno("write(" + tmp + ")");
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (::fdatasync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    errno = saved;
+    throw_errno("fdatasync(" + tmp + ")");
+  }
+  if (::close(fd) != 0) throw_errno("close(" + tmp + ")");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_errno("rename(" + tmp + " -> " + path + ")");
+  }
+  fsync_parent_dir(path);
+}
+
+}  // namespace iw

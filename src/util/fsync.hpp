@@ -1,0 +1,32 @@
+// Durable-write helpers shared by the checkpoint writer and the WAL.
+//
+// Durability on POSIX takes three distinct steps and it is easy to forget
+// one: the file's *data* must reach the device (fdatasync), a rename that
+// publishes the file must itself be made durable by syncing the containing
+// *directory*, and any of these can fail with an errno worth preserving.
+// These helpers centralize that discipline; all of them throw Error(kIo)
+// (via throw_errno, so the errno text survives) on failure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace iw {
+
+/// fdatasync(2) on an open descriptor. `context` names the file for the
+/// error message.
+void fdatasync_fd(int fd, const std::string& context);
+
+/// fsync(2) the directory containing `path_in_dir` (or `path_in_dir`
+/// itself when it is a directory), making a completed create/rename within
+/// it durable.
+void fsync_parent_dir(const std::string& path_in_dir);
+
+/// Atomically replaces `path` with `bytes`: writes `path + ".tmp"`,
+/// fdatasyncs it, renames over `path`, and fsyncs the directory. Either
+/// the old content or the new content survives a crash, never a mix.
+void write_file_durable(const std::string& path,
+                        std::span<const uint8_t> bytes);
+
+}  // namespace iw

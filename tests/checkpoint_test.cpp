@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <functional>
 
 #include "interweave/interweave.hpp"
 
@@ -131,7 +132,11 @@ TEST_F(Checkpoint, ClientAheadOfRecoveredServerResyncs) {
   // Server checkpoints at v2, then advances to v4; after a crash+recovery
   // it is back at v2 while a client cached v4. The client must converge to
   // the recovered state, including blocks that only existed after v2.
+  // (Journaling off: with the WAL enabled the "lost" versions would be
+  // replayed and the server would come back current — this test is about
+  // the degraded path.)
   auto options = server_options();
+  options.wal_enabled = false;
   auto server = std::make_unique<server::SegmentServer>(options);
   auto factory = [&](const std::string&) {
     return std::make_shared<InProcChannel>(*server);
@@ -186,6 +191,70 @@ TEST_F(Checkpoint, ClientAheadOfRecoveredServerResyncs) {
   r.read_u32();  // type count
 }
 
+// Shared setup for the corruption regressions: two segments, both
+// checkpointed, then one .iwseg damaged by `damage`. recover() must
+// quarantine the damaged file, keep the healthy segment, and not throw.
+void corrupt_checkpoint_regression(
+    const fs::path& dir, server::SegmentServer::Options options,
+    const std::function<void(const fs::path&)>& damage) {
+  {
+    server::SegmentServer server(options);
+    Client c([&](const std::string&) {
+      return std::make_shared<InProcChannel>(server);
+    });
+    const TypeDescriptor* arr =
+        c.types().array_of(c.types().primitive(PrimitiveKind::kInt32), 64);
+    for (const char* name : {"host/victim", "host/healthy"}) {
+      ClientSegment* seg = c.open_segment(name);
+      c.write_lock(seg);
+      auto* data = static_cast<int32_t*>(c.malloc_block(seg, arr, "d"));
+      data[0] = 7;
+      c.write_unlock(seg);
+    }
+    server.checkpoint();
+  }
+  damage(dir / "host%2Fvictim.iwseg");
+
+  server::SegmentServer revived(options);
+  revived.recover();  // must not throw
+  EXPECT_EQ(revived.stats().checkpoints_quarantined, 1u);
+  EXPECT_TRUE(fs::exists(dir / "host%2Fvictim.iwseg.corrupt"));
+  EXPECT_FALSE(fs::exists(dir / "host%2Fvictim.iwseg"));
+  EXPECT_EQ(revived.segment_version("host/healthy"), 2u);
+  // The victim's journal was truncated at checkpoint time, so its data is
+  // gone — but the segment comes back empty (at a fresh store's initial
+  // version, via the journal's name) rather than wedging the server.
+  EXPECT_EQ(revived.segment_version("host/victim"), 1u);
+
+  // The healthy segment still serves correct data.
+  Client c([&](const std::string&) {
+    return std::make_shared<InProcChannel>(revived);
+  });
+  ClientSegment* seg = c.open_segment("host/healthy", false);
+  c.read_lock(seg);
+  auto* blk = seg->heap().find_by_name("d");
+  ASSERT_NE(blk, nullptr);
+  EXPECT_EQ(reinterpret_cast<const int32_t*>(blk->data())[0], 7);
+  c.read_unlock(seg);
+}
+
+TEST_F(Checkpoint, TruncatedCheckpointQuarantined) {
+  corrupt_checkpoint_regression(dir_, server_options(), [](const fs::path& p) {
+    fs::resize_file(p, fs::file_size(p) / 2);
+  });
+}
+
+TEST_F(Checkpoint, BitFlippedCheckpointQuarantined) {
+  corrupt_checkpoint_regression(dir_, server_options(), [](const fs::path& p) {
+    // Flip bits in the name-length field just past the magic: the header no
+    // longer parses, which is how structural bit rot presents.
+    std::fstream f(p, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(4);
+    f.put(static_cast<char>(0xFF));
+  });
+}
+
 TEST_F(Checkpoint, CorruptCheckpointSkipped) {
   auto options = server_options();
   fs::create_directories(dir_);
@@ -211,13 +280,19 @@ TEST_F(Checkpoint, SegmentNamesAreEscapedInFileNames) {
   c.write_unlock(seg);
   server.checkpoint();
 
-  int files = 0;
+  int snapshots = 0, journals = 0;
   for (const auto& e : fs::directory_iterator(dir_)) {
-    EXPECT_EQ(e.path().extension(), ".iwseg");
+    if (e.path().extension() == ".iwseg") {
+      ++snapshots;
+    } else if (e.path().extension() == ".iwlog") {
+      ++journals;
+    } else {
+      ADD_FAILURE() << "unexpected file " << e.path();
+    }
     EXPECT_EQ(e.path().string().find('%') != std::string::npos, true);
-    ++files;
   }
-  EXPECT_EQ(files, 1);
+  EXPECT_EQ(snapshots, 1);
+  EXPECT_EQ(journals, 1);
 
   server::SegmentServer revived(server_options());
   revived.recover();
