@@ -17,11 +17,35 @@
 // by construction (the CPU is saturated either way; sharding then shows up
 // in tail latency, not throughput).
 //
+// A second mode measures connection scaling on the epoll reactor:
+//
+//   server_scaling --connections N [--seconds S]
+//
+// N concurrent connections (default 1000) against one server: a small set
+// of writer channels committing to 32 shared segments, and raw-socket
+// reader connections that subscribe to a segment and fire bursts of
+// pipelined requests (pings plus periodic cold whole-block reads) in one
+// write. Bursts exercise both halves of frame coalescing — the reactor
+// decodes a burst from one recv and flushes all its responses in one
+// sendmsg — and writer commits fan NotifyVersion frames into the same
+// connections. Reported as JSON: requests/sec, burst round-trip p50/p99,
+// connections-per-core, and frames-per-syscall from the server's reactor
+// counters.
+//
 // Usage: server_scaling [cycles-per-thread]   (default 2000)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -192,10 +216,386 @@ RunResult run_config(bool sharded, int threads, int cycles) {
   return r;
 }
 
+// --- connection scaling over the epoll reactor ----------------------------
+
+constexpr int kConnSegments = 32;
+constexpr uint32_t kConnUnits = 256;      // int32 units per block (1 KiB)
+constexpr uint32_t kConnRunUnits = 64;    // units per writer commit (256 B)
+constexpr int kBurstPings = 8;            // pipelined pings per reader burst
+
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string conn_segment(int index) {
+  return "bench/conn" + std::to_string(index % kConnSegments);
+}
+
+/// Minimal blocking raw connection with an incremental frame parser — the
+/// reader side of the bench deliberately speaks the wire format directly so
+/// it can pipeline a whole burst in one write.
+struct RawConn {
+  int fd = -1;
+  std::vector<uint8_t> buf;
+  size_t pos = 0;
+
+  explicit RawConn(uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("socket");
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      throw std::runtime_error(std::string("connect: ") +
+                               std::strerror(errno));
+    }
+  }
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void send_all(const Buffer& bytes) {
+    const uint8_t* p = bytes.data();
+    size_t n = bytes.size();
+    while (n > 0) {
+      ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+      if (w <= 0) throw std::runtime_error("send");
+      p += static_cast<size_t>(w);
+      n -= static_cast<size_t>(w);
+    }
+  }
+
+  Frame read_frame() {
+    for (;;) {
+      if (buf.size() - pos >= kFrameHeaderSize) {
+        FrameHeader h = decode_frame_header(buf.data() + pos);
+        if (buf.size() - pos >= kFrameHeaderSize + h.payload_size) {
+          Frame f;
+          f.type = h.type;
+          f.request_id = h.request_id;
+          const uint8_t* body = buf.data() + pos + kFrameHeaderSize;
+          f.payload.assign(body, body + h.payload_size);
+          pos += kFrameHeaderSize + h.payload_size;
+          if (pos == buf.size()) {
+            buf.clear();
+            pos = 0;
+          }
+          return f;
+        }
+      }
+      if (pos > 0 && buf.size() > (64u << 10)) {
+        buf.erase(buf.begin(), buf.begin() + static_cast<long>(pos));
+        pos = 0;
+      }
+      uint8_t chunk[16 << 10];
+      ssize_t r = ::recv(fd, chunk, sizeof chunk, 0);
+      if (r <= 0) throw std::runtime_error("recv");
+      buf.insert(buf.end(), chunk, chunk + r);
+    }
+  }
+};
+
+Buffer encode_req(MsgType type, uint32_t request_id, const Buffer& payload) {
+  Frame f;
+  f.type = type;
+  f.request_id = request_id;
+  f.payload.assign(payload.data(), payload.data() + payload.size());
+  Buffer out;
+  encode_frame(f, out);
+  return out;
+}
+
+struct ConnScalingShared {
+  uint16_t port = 0;
+  std::vector<uint32_t> serials;   // seeded block serial per segment
+  std::vector<uint32_t> versions;  // version after seeding per segment
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> notifications{0};
+  std::atomic<uint64_t> errors{0};
+};
+
+/// Seeds every shared segment with one named 1 KiB block.
+void seed_conn_segments(ConnScalingShared* sh) {
+  TcpClientChannel ch(sh->port);
+  TypeRegistry scratch(Platform::native().rules);
+  for (int s = 0; s < kConnSegments; ++s) {
+    std::string seg = conn_segment(s);
+    call(ch, MsgType::kOpenSegment, [&](Buffer& p) {
+      p.append_lp_string(seg);
+      p.append_u8(1);
+    });
+    call(ch, MsgType::kRegisterType, [&](Buffer& p) {
+      p.append_lp_string(seg);
+      TypeCodec::encode_graph(
+          scratch.array_of(scratch.primitive(PrimitiveKind::kInt32),
+                           kConnUnits),
+          p);
+    });
+    Frame acq = call(ch, MsgType::kAcquireWrite, [&](Buffer& p) {
+      p.append_lp_string(seg);
+      p.append_u32(1);
+    });
+    uint32_t serial = acq.reader().read_u32();
+    Frame rel = call(ch, MsgType::kReleaseWrite, [&](Buffer& p) {
+      p.append_lp_string(seg);
+      DiffWriter w(p, 1, 2);
+      w.begin_block(serial, diff_flags::kNew | diff_flags::kWhole, 1, "d");
+      w.begin_run(0, kConnUnits);
+      for (uint32_t i = 0; i < kConnUnits; ++i) p.append_u32(i);
+      w.end_block();
+      w.finish();
+    });
+    sh->serials.push_back(serial);
+    sh->versions.push_back(rel.reader().read_u32());
+  }
+}
+
+/// One writer channel committing small runs to its segment; every commit
+/// fans a NotifyVersion to the segment's subscribed reader connections.
+void conn_writer_loop(ConnScalingShared* sh, int index) {
+  try {
+    std::string seg = conn_segment(index);
+    TcpClientChannel ch(sh->port);
+    ch.set_notify_handler([sh](const Frame&) {
+      sh->notifications.fetch_add(1, std::memory_order_relaxed);
+    });
+    call(ch, MsgType::kOpenSegment, [&](Buffer& p) {
+      p.append_lp_string(seg);
+      p.append_u8(0);
+    });
+    call(ch, MsgType::kSubscribe,
+         [&](Buffer& p) { p.append_lp_string(seg); });
+    uint32_t version = sh->versions[static_cast<size_t>(index)];
+    uint32_t serial = sh->serials[static_cast<size_t>(index)];
+    sh->ready.fetch_add(1);
+    // Coarse poll: with ~1,000 parked threads on few cores, a tight sleep
+    // loop here would starve the threads still connecting.
+    while (!sh->go.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    uint64_t iter = 0;
+    while (!sh->stop.load(std::memory_order_acquire)) {
+      call(ch, MsgType::kAcquireWrite, [&](Buffer& p) {
+        p.append_lp_string(seg);
+        p.append_u32(version);
+      });
+      Frame rel = call(ch, MsgType::kReleaseWrite, [&](Buffer& p) {
+        p.append_lp_string(seg);
+        DiffWriter w(p, version, version + 1);
+        w.begin_block(serial, 0);
+        uint32_t at = static_cast<uint32_t>(iter * kConnRunUnits) %
+                      kConnUnits;
+        w.begin_run(at, kConnRunUnits);
+        for (uint32_t i = 0; i < kConnRunUnits; ++i) {
+          p.append_u32(static_cast<uint32_t>(iter));
+        }
+        w.end_block();
+        w.finish();
+      });
+      version = rel.reader().read_u32();
+      sh->requests.fetch_add(2, std::memory_order_relaxed);
+      ++iter;
+      uint64_t jitter_us = mix64(static_cast<uint64_t>(index) * 7919 + iter) %
+                           20'000;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(40'000 + jitter_us));
+    }
+  } catch (const std::exception&) {
+    sh->errors.fetch_add(1, std::memory_order_relaxed);
+    sh->ready.fetch_add(1);  // never wedge the start barrier
+  }
+}
+
+/// One reader connection: subscribes to its segment, then fires bursts of
+/// kBurstPings pipelined pings (every 4th burst also a cold whole-block
+/// AcquireRead) in a single write and times the whole burst round trip.
+void conn_reader_loop(ConnScalingShared* sh, int index,
+                      std::vector<uint64_t>* burst_ns) {
+  using Clock = std::chrono::steady_clock;
+  try {
+    std::string seg = conn_segment(index);
+    RawConn conn(sh->port);
+    Buffer open_payload;
+    open_payload.append_lp_string(seg);
+    open_payload.append_u8(0);
+    conn.send_all(encode_req(MsgType::kOpenSegment, 1, open_payload));
+    Buffer sub_payload;
+    sub_payload.append_lp_string(seg);
+    conn.send_all(encode_req(MsgType::kSubscribe, 2, sub_payload));
+    for (int got = 0; got < 2;) {
+      if (conn.read_frame().request_id != 0) ++got;
+    }
+    sh->ready.fetch_add(1);
+    // Coarse poll: with ~1,000 parked threads on few cores, a tight sleep
+    // loop here would starve the threads still connecting.
+    while (!sh->go.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    uint64_t iter = 0;
+    uint32_t next_id = 10;
+    while (!sh->stop.load(std::memory_order_acquire)) {
+      Buffer burst;
+      int expected = kBurstPings;
+      uint32_t first_id = next_id;
+      for (int i = 0; i < kBurstPings; ++i) {
+        Buffer one = encode_req(MsgType::kPing, next_id++, Buffer());
+        burst.append(one.data(), one.size());
+      }
+      if (iter % 4 == 0) {
+        Buffer rp;
+        rp.append_lp_string(seg);
+        rp.append_u32(0);  // cold: server collects the whole block
+        rp.append_u8(static_cast<uint8_t>(CoherenceModel::kFull));
+        rp.append_u64(0);
+        Buffer one = encode_req(MsgType::kAcquireRead, next_id++, rp);
+        burst.append(one.data(), one.size());
+        ++expected;
+      }
+      auto start = Clock::now();
+      conn.send_all(burst);
+      for (int got = 0; got < expected;) {
+        Frame f = conn.read_frame();
+        if (f.request_id == 0) {
+          sh->notifications.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (f.request_id >= first_id) ++got;
+      }
+      burst_ns->push_back(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               start)
+              .count()));
+      sh->requests.fetch_add(static_cast<uint64_t>(expected),
+                             std::memory_order_relaxed);
+      ++iter;
+      uint64_t jitter_us =
+          mix64(static_cast<uint64_t>(index) * 104'729 + iter) % 10'000;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(20'000 + jitter_us));
+    }
+  } catch (const std::exception&) {
+    sh->errors.fetch_add(1, std::memory_order_relaxed);
+    sh->ready.fetch_add(1);
+  }
+}
+
+int run_connection_scaling(int connections, double seconds) {
+  // ~2 fds per connection (client + server end) plus slack.
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) == 0) {
+    rlim_t want = static_cast<rlim_t>(connections) * 2 + 512;
+    if (lim.rlim_cur < want && want <= lim.rlim_max) {
+      lim.rlim_cur = want;
+      ::setrlimit(RLIMIT_NOFILE, &lim);
+    }
+  }
+
+  server::SegmentServer core;
+  TcpServer server(core, 0);
+  ConnScalingShared sh;
+  sh.port = server.port();
+  seed_conn_segments(&sh);
+
+  int writers = std::min(connections, kConnSegments);
+  int readers = connections - writers;
+  std::vector<std::vector<uint64_t>> bursts(
+      static_cast<size_t>(readers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(connections));
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back(conn_writer_loop, &sh, w);
+  }
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back(conn_reader_loop, &sh, writers + r,
+                         &bursts[static_cast<size_t>(r)]);
+  }
+  while (sh.ready.load() < connections) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  ReactorStats before = server.stats();
+  auto start = std::chrono::steady_clock::now();
+  sh.go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<long>(seconds * 1000)));
+  sh.stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  ReactorStats after = server.stats();
+  server.shutdown();
+
+  std::vector<uint64_t> all;
+  for (auto& b : bursts) all.insert(all.end(), b.begin(), b.end());
+  std::sort(all.begin(), all.end());
+  auto pct = [&](double q) {
+    if (all.empty()) return 0.0;
+    size_t idx = std::min(
+        all.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(all.size())));
+    return static_cast<double>(all[idx]) / 1000.0;  // ns -> us
+  };
+
+  unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  uint64_t frames_sent = after.frames_sent - before.frames_sent;
+  uint64_t sendmsg_calls = after.sendmsg_calls - before.sendmsg_calls;
+  double frames_per_syscall =
+      static_cast<double>(frames_sent) /
+      static_cast<double>(std::max<uint64_t>(1, sendmsg_calls));
+  std::printf(
+      "[\n  {\"bench\": \"connection_scaling\", \"connections\": %d, "
+      "\"cores\": %u, \"connections_per_core\": %.0f, \"seconds\": %.2f, "
+      "\"requests\": %llu, \"requests_per_sec\": %.0f, "
+      "\"burst_p50_us\": %.1f, \"burst_p99_us\": %.1f, "
+      "\"frames_sent\": %llu, \"sendmsg_calls\": %llu, "
+      "\"frames_per_syscall\": %.2f, \"frames_batched\": %llu, "
+      "\"epoll_wakeups\": %llu, \"recv_calls\": %llu, "
+      "\"notifications\": %llu, \"backpressure_stalls\": %llu, "
+      "\"worker_queue_depth_max\": %llu, \"workers_spawned\": %llu, "
+      "\"errors\": %llu}\n]\n",
+      connections, cores, static_cast<double>(connections) / cores, elapsed,
+      static_cast<unsigned long long>(sh.requests.load()),
+      static_cast<double>(sh.requests.load()) / elapsed, pct(0.50), pct(0.99),
+      static_cast<unsigned long long>(frames_sent),
+      static_cast<unsigned long long>(sendmsg_calls), frames_per_syscall,
+      static_cast<unsigned long long>(after.frames_batched),
+      static_cast<unsigned long long>(after.epoll_wakeups),
+      static_cast<unsigned long long>(after.recv_calls),
+      static_cast<unsigned long long>(sh.notifications.load()),
+      static_cast<unsigned long long>(after.backpressure_stalls),
+      static_cast<unsigned long long>(after.worker_queue_depth_max),
+      static_cast<unsigned long long>(after.workers_spawned),
+      static_cast<unsigned long long>(sh.errors.load()));
+  return sh.errors.load() == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace iw
 
 int main(int argc, char** argv) {
+  int connections = 0;
+  double bench_seconds = 5.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc) {
+      connections = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      bench_seconds = std::atof(argv[++i]);
+    }
+  }
+  if (connections > 0) {
+    return iw::run_connection_scaling(connections, bench_seconds);
+  }
+
   int cycles = argc > 1 ? std::atoi(argv[1]) : 2000;
   unsigned cores = std::thread::hardware_concurrency();
   std::printf("[\n");

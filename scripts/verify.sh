@@ -4,9 +4,13 @@
 # arithmetic is exactly what -fsanitize=undefined is good at catching),
 # then the fault/lease/chaos suites under UBSan and TSan — the chaos
 # workload's reconnect/lease interleavings are exactly what -fsanitize=thread
-# is good at catching — and finally a recovery soak: repeated crash/restart
-# cycles (the WAL crash matrix plus the restart-chaos workload) under UBSan,
-# so recovery's byte-slicing replay path is exercised many times in one run.
+# is good at catching — plus the reactor transport suite (partial frames,
+# burst coalescing, backpressure, worker-pool elasticity) under both
+# sanitizers and the chaos/lease suites again over TCP, so the epoll
+# reactor's cross-thread outbox/retirement protocol is raced under TSan.
+# Finally a recovery soak: repeated crash/restart cycles (the WAL crash
+# matrix plus the restart-chaos workload) under UBSan, so recovery's
+# byte-slicing replay path is exercised many times in one run.
 #
 # Usage: scripts/verify.sh [build-dir] [ubsan-build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -26,12 +30,18 @@ echo "== differential translation + fault/lease/chaos tests under UBSan =="
 cmake -B "$UBSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DIW_SANITIZE=undefined
 cmake --build "$UBSAN_BUILD" -j "$JOBS" \
-      --target wire_translate_test fault_test lease_test chaos_test
+      --target wire_translate_test fault_test lease_test chaos_test \
+      reactor_test
 UBSAN_OPTIONS=halt_on_error=1 \
     "$UBSAN_BUILD"/tests/wire_translate_test
-for t in fault_test lease_test chaos_test; do
+for t in fault_test lease_test chaos_test reactor_test; do
   UBSAN_OPTIONS=halt_on_error=1 "$UBSAN_BUILD"/tests/"$t"
 done
+echo "== chaos/lease suites over the reactor transport under UBSan =="
+IW_CHAOS_TRANSPORT=tcp UBSAN_OPTIONS=halt_on_error=1 \
+    "$UBSAN_BUILD"/tests/chaos_test --gtest_filter='Seeds/ChaosTest.*'
+IW_LEASE_TRANSPORT=tcp UBSAN_OPTIONS=halt_on_error=1 \
+    "$UBSAN_BUILD"/tests/lease_test
 
 echo "== recovery soak: crash/restart cycles under UBSan =="
 # Each repetition re-runs the fork+SIGKILL crash matrix and the seeded
@@ -49,9 +59,14 @@ echo "== fault/lease/chaos tests under TSan =="
 cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DIW_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j "$JOBS" \
-      --target fault_test lease_test chaos_test
-for t in fault_test lease_test chaos_test; do
+      --target fault_test lease_test chaos_test reactor_test
+for t in fault_test lease_test chaos_test reactor_test; do
   TSAN_OPTIONS=halt_on_error=1 "$TSAN_BUILD"/tests/"$t"
 done
+echo "== chaos/lease suites over the reactor transport under TSan =="
+IW_CHAOS_TRANSPORT=tcp TSAN_OPTIONS=halt_on_error=1 \
+    "$TSAN_BUILD"/tests/chaos_test --gtest_filter='Seeds/ChaosTest.*'
+IW_LEASE_TRANSPORT=tcp TSAN_OPTIONS=halt_on_error=1 \
+    "$TSAN_BUILD"/tests/lease_test
 
 echo "== verify.sh: all green =="

@@ -71,7 +71,16 @@ Client::Client(ChannelFactory factory, Options options)
                      rules.byte_order == native.byte_order;
 }
 
-Client::~Client() = default;
+Client::~Client() {
+  // Channels own receiver threads that call back into note_version() with
+  // `this` captured; destroy them (joining those threads) before default
+  // member destruction tears down latest_versions_/notify_mu_ underneath a
+  // late notification. Each ClientSegment also holds a shared_ptr to its
+  // channel, so segments_ must go first or the channels (and their
+  // receiver threads) would outlive this clear via those references.
+  segments_.clear();
+  channels_.clear();
+}
 
 // ------------------------------------------------------------------ wiring
 

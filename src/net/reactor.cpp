@@ -1,0 +1,715 @@
+#include "net/reactor.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hpp"
+#include "wire/frame.hpp"
+
+namespace iw {
+
+namespace {
+
+/// Frames coalesced into one sendmsg. Each frame contributes two iovec
+/// slices (header, payload), so this stays far below IOV_MAX.
+constexpr size_t kMaxFramesPerSendmsg = 64;
+
+/// Worker-side flush trigger: responses accumulated past this many bytes
+/// are flushed even though more decoded frames are waiting, so a long
+/// request burst cannot balloon the outbox unboundedly between flushes.
+constexpr size_t kWorkerFlushBytes = 256u << 10;
+
+/// A worker retires itself after this long idle, once the pool has shrunk
+/// back to its base size (elastic workers are for blocked-handler bursts,
+/// not steady state).
+constexpr auto kWorkerIdleRetire = std::chrono::seconds(2);
+
+std::atomic<SessionId> g_next_reactor_session{1u << 20};
+
+int make_listener(uint16_t port, uint16_t* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("bind");
+  }
+  // Deep backlog: a connection-scaling client may dial hundreds of
+  // sockets at once, and a SYN dropped on backlog overflow costs a full
+  // retransmit timeout (the kernel clamps this to somaxconn).
+  if (::listen(fd, 4096) < 0) {
+    int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("listen");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+struct Reactor::AtomicStats {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_closed{0};
+  std::atomic<uint64_t> epoll_wakeups{0};
+  std::atomic<uint64_t> frames_received{0};
+  std::atomic<uint64_t> frames_sent{0};
+  std::atomic<uint64_t> frames_batched{0};
+  std::atomic<uint64_t> sendmsg_calls{0};
+  std::atomic<uint64_t> recv_calls{0};
+  std::atomic<uint64_t> worker_queue_depth_max{0};
+  std::atomic<uint64_t> workers_spawned{0};
+  std::atomic<uint64_t> backpressure_stalls{0};
+  std::atomic<uint64_t> accept_backoffs{0};
+
+  void bump_queue_depth(uint64_t depth) {
+    uint64_t cur = worker_queue_depth_max.load(std::memory_order_relaxed);
+    while (depth > cur && !worker_queue_depth_max.compare_exchange_weak(
+                              cur, depth, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// One connection's session state machine. The reactor thread owns the
+/// read side (rdbuf) exclusively; everything else is guarded by `mu`,
+/// which is a leaf lock — nothing else is ever acquired under it, so the
+/// notifier path (called under a segment entry lock) cannot deadlock.
+struct Reactor::Conn {
+  /// One encoded response/notification awaiting flush.
+  struct OutFrame {
+    uint8_t header[kFrameHeaderSize];
+    std::vector<uint8_t> payload;
+  };
+
+  std::mutex mu;  // guards fd lifecycle, inbox, outbox, and flags below
+  int fd = -1;    // -1 once closed by retire()
+  SessionId session = 0;
+
+  // Read side: reactor thread only, no lock needed.
+  std::vector<uint8_t> rdbuf;
+
+  std::deque<Frame> inbox;  // decoded requests awaiting a worker
+  bool scheduled = false;   // queued on (or being drained by) a worker
+  bool eof = false;         // peer closed, read failed, or protocol error
+  bool dead = false;        // write side failed; responses undeliverable
+  bool disconnected = false;  // core_.on_disconnect already ran
+
+  std::deque<OutFrame> outbox;
+  size_t out_bytes = 0;     // total unsent bytes across outbox
+  size_t out_head_off = 0;  // bytes of outbox.front() already on the wire
+  bool want_epollout = false;
+  bool read_paused = false;  // EPOLLIN dropped while the outbox drains
+};
+
+Reactor::Reactor(ServerCore& core, uint16_t port, Options options)
+    : core_(core), options_(options), stats_(std::make_unique<AtomicStats>()) {
+  if (options_.workers <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    options_.workers = static_cast<int>(std::clamp(hw, 2u, 8u));
+  }
+  options_.max_workers = std::max(options_.max_workers, options_.workers);
+  options_.write_low_watermark =
+      std::min(options_.write_low_watermark, options_.write_high_watermark);
+
+  listen_fd_ = make_listener(port, &port_);
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0 || timer_fd_ < 0) {
+    int err = errno;
+    for (int fd : {listen_fd_, epoll_fd_, wake_fd_, timer_fd_}) {
+      if (fd >= 0) ::close(fd);
+    }
+    errno = err;
+    throw_errno("reactor setup");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  ev.data.fd = timer_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &ev);
+
+  {
+    std::lock_guard lock(pool_mu_);
+    for (int i = 0; i < options_.workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+      ++live_workers_;
+      stats_->workers_spawned.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  reactor_thread_ = std::thread([this] { reactor_loop(); });
+}
+
+Reactor::~Reactor() { shutdown(); }
+
+void Reactor::wake_reactor() {
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void Reactor::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    stopping_.store(true, std::memory_order_release);
+    wake_reactor();
+    // The reactor thread runs the drain: it closes the listener, shuts
+    // every socket down (so blocked-in-core handlers unblock via their
+    // peers' disconnects), processes the resulting EOFs, and exits once
+    // the last connection has been retired.
+    if (reactor_thread_.joinable()) reactor_thread_.join();
+    {
+      std::lock_guard lock(pool_mu_);
+      pool_stopping_ = true;
+    }
+    pool_cv_.notify_all();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    for (int fd : {epoll_fd_, wake_fd_, timer_fd_}) {
+      if (fd >= 0) ::close(fd);
+    }
+  });
+}
+
+ReactorStats Reactor::stats() const {
+  ReactorStats s;
+  s.connections_accepted = stats_->connections_accepted.load();
+  s.connections_closed = stats_->connections_closed.load();
+  s.epoll_wakeups = stats_->epoll_wakeups.load();
+  s.frames_received = stats_->frames_received.load();
+  s.frames_sent = stats_->frames_sent.load();
+  s.frames_batched = stats_->frames_batched.load();
+  s.sendmsg_calls = stats_->sendmsg_calls.load();
+  s.recv_calls = stats_->recv_calls.load();
+  s.worker_queue_depth_max = stats_->worker_queue_depth_max.load();
+  s.workers_spawned = stats_->workers_spawned.load();
+  s.backpressure_stalls = stats_->backpressure_stalls.load();
+  s.accept_backoffs = stats_->accept_backoffs.load();
+  return s;
+}
+
+// --- reactor thread -------------------------------------------------------
+
+void Reactor::reactor_loop() {
+  bool draining = false;
+  epoll_event events[128];
+  for (;;) {
+    int n = ::epoll_wait(epoll_fd_, events, 128, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      IW_LOG(kWarn) << "epoll_wait: " << std::strerror(errno);
+      return;
+    }
+    stats_->epoll_wakeups.fetch_add(1, std::memory_order_relaxed);
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t buf;
+        while (::read(wake_fd_, &buf, sizeof buf) > 0) {
+        }
+        continue;
+      }
+      if (fd == timer_fd_) {
+        uint64_t expirations;
+        while (::read(timer_fd_, &expirations, sizeof expirations) > 0) {
+        }
+        resume_listener();
+        continue;
+      }
+      if (fd == listen_fd_) {
+        if (!draining) handle_accept();
+        continue;
+      }
+      std::shared_ptr<Conn> conn;
+      {
+        std::lock_guard lock(conns_mu_);
+        auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;  // retired earlier in this batch
+        conn = it->second;
+      }
+      if (events[i].events & (EPOLLOUT)) handle_writable(conn);
+      if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+        handle_readable(conn);
+      }
+    }
+    // Retire connections whose teardown was requested by workers. Only
+    // this thread touches epoll registration and closes fds, so a stale
+    // epoll event can never race a descriptor being reused.
+    std::vector<std::shared_ptr<Conn>> retire_now;
+    {
+      std::lock_guard lock(retire_mu_);
+      retire_now.swap(retire_queue_);
+    }
+    for (auto& conn : retire_now) retire(conn);
+
+    if (stopping_.load(std::memory_order_acquire) && !draining) {
+      draining = true;
+      if (listen_fd_ >= 0) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      std::vector<std::shared_ptr<Conn>> all;
+      {
+        std::lock_guard lock(conns_mu_);
+        for (auto& [_, c] : conns_) all.push_back(c);
+      }
+      // Shut every socket down before waiting on any teardown: a worker
+      // can be blocked in the core waiting for a writer lock that only
+      // drops when the holder's connection disconnects.
+      for (auto& conn : all) {
+        std::lock_guard lock(conn->mu);
+        if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+      }
+    }
+    if (draining) {
+      std::lock_guard lock(conns_mu_);
+      if (conns_.empty()) return;
+    }
+  }
+}
+
+void Reactor::pause_listener() {
+  if (listener_paused_ || listen_fd_ < 0) return;
+  listener_paused_ = true;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  itimerspec spec{};
+  spec.it_value.tv_sec = options_.accept_backoff_ms / 1000;
+  spec.it_value.tv_nsec =
+      static_cast<long>(options_.accept_backoff_ms % 1000) * 1'000'000L;
+  if (spec.it_value.tv_sec == 0 && spec.it_value.tv_nsec == 0) {
+    spec.it_value.tv_nsec = 1'000'000L;
+  }
+  ::timerfd_settime(timer_fd_, 0, &spec, nullptr);
+  stats_->accept_backoffs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Reactor::resume_listener() {
+  if (!listener_paused_ || listen_fd_ < 0) return;
+  listener_paused_ = false;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+}
+
+void Reactor::handle_accept() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Out of descriptors: pause the listener and retry on a timer
+        // instead of spinning on a failure that cannot clear instantly.
+        IW_LOG(kWarn) << "accept: " << std::strerror(errno)
+                      << "; backing off " << options_.accept_backoff_ms
+                      << "ms";
+        pause_listener();
+        return;
+      }
+      if (errno == ECONNABORTED || errno == EPROTO) continue;
+      IW_LOG(kWarn) << "accept: " << std::strerror(errno);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->session = g_next_reactor_session.fetch_add(1);
+    {
+      std::lock_guard lock(conns_mu_);
+      conns_.emplace(fd, conn);
+    }
+    stats_->connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    core_.on_connect(conn->session, [this, conn](const Frame& frame) {
+      enqueue_frame(conn, frame);
+      flush(conn);
+    });
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+void Reactor::handle_readable(const std::shared_ptr<Conn>& conn) {
+  // The reactor thread is the only reader and the only closer, so the fd
+  // can be used lock-free here; retire() only runs on this thread.
+  const int fd = conn->fd;
+  if (fd < 0) return;
+  bool eof = false;
+  uint8_t chunk[64 * 1024];
+  for (;;) {
+    ssize_t r = ::recv(fd, chunk, sizeof chunk, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      eof = true;  // ECONNRESET and friends: same teardown as EOF
+      break;
+    }
+    stats_->recv_calls.fetch_add(1, std::memory_order_relaxed);
+    if (r == 0) {
+      eof = true;
+      break;
+    }
+    conn->rdbuf.insert(conn->rdbuf.end(), chunk, chunk + r);
+    if (static_cast<size_t>(r) < sizeof chunk) break;  // drained the socket
+  }
+
+  // Decode every complete frame in the buffer; keep the partial tail.
+  size_t off = 0;
+  std::vector<Frame> decoded;
+  while (conn->rdbuf.size() - off >= kFrameHeaderSize) {
+    FrameHeader h;
+    try {
+      h = decode_frame_header(conn->rdbuf.data() + off);
+    } catch (const Error& e) {
+      IW_LOG(kDebug) << "protocol error from session " << conn->session
+                     << ": " << e.what();
+      eof = true;  // poisoned stream: tear the connection down
+      break;
+    }
+    if (conn->rdbuf.size() - off - kFrameHeaderSize < h.payload_size) break;
+    Frame frame;
+    frame.type = h.type;
+    frame.request_id = h.request_id;
+    const uint8_t* p = conn->rdbuf.data() + off + kFrameHeaderSize;
+    frame.payload.assign(p, p + h.payload_size);
+    decoded.push_back(std::move(frame));
+    off += kFrameHeaderSize + h.payload_size;
+  }
+  if (off > 0) {
+    conn->rdbuf.erase(conn->rdbuf.begin(),
+                      conn->rdbuf.begin() + static_cast<ptrdiff_t>(off));
+  }
+  if (!decoded.empty()) {
+    stats_->frames_received.fetch_add(decoded.size(),
+                                      std::memory_order_relaxed);
+  }
+  if (decoded.empty() && !eof) return;
+
+  bool need_schedule = false;
+  {
+    std::lock_guard lock(conn->mu);
+    for (auto& f : decoded) conn->inbox.push_back(std::move(f));
+    if (eof) conn->eof = true;
+    if (!conn->scheduled) {
+      conn->scheduled = true;
+      need_schedule = true;
+    }
+  }
+  if (eof && fd >= 0) {
+    // Stop watching a half-closed socket; writes may still proceed.
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+  if (need_schedule) schedule(conn);
+}
+
+void Reactor::handle_writable(const std::shared_ptr<Conn>& conn) {
+  flush(conn);
+}
+
+void Reactor::request_retire(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard lock(retire_mu_);
+    retire_queue_.push_back(conn);
+  }
+  wake_reactor();
+}
+
+void Reactor::retire(const std::shared_ptr<Conn>& conn) {
+  int fd;
+  {
+    std::lock_guard lock(conn->mu);
+    fd = conn->fd;
+    conn->fd = -1;
+    conn->outbox.clear();
+    conn->out_bytes = 0;
+  }
+  if (fd >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    std::lock_guard lock(conns_mu_);
+    conns_.erase(fd);
+  }
+  stats_->connections_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+// --- worker pool ----------------------------------------------------------
+
+void Reactor::schedule(const std::shared_ptr<Conn>& conn) {
+  bool spawn = false;
+  {
+    std::lock_guard lock(pool_mu_);
+    ready_.push_back(conn);
+    stats_->bump_queue_depth(ready_.size());
+    // Elastic growth: every existing worker is busy — typically blocked
+    // inside a writer-lock acquire — so queued frames (possibly the very
+    // release that would unblock them) must not wait for one to free up.
+    if (idle_workers_ == 0 && live_workers_ < options_.max_workers &&
+        !pool_stopping_) {
+      workers_.emplace_back([this] { worker_loop(); });
+      ++live_workers_;
+      stats_->workers_spawned.fetch_add(1, std::memory_order_relaxed);
+      spawn = true;
+    }
+  }
+  if (!spawn) pool_cv_.notify_one();
+}
+
+void Reactor::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Conn> conn;
+    {
+      std::unique_lock lock(pool_mu_);
+      ++idle_workers_;
+      bool timed_out = !pool_cv_.wait_for(lock, kWorkerIdleRetire, [this] {
+        return pool_stopping_ || !ready_.empty();
+      });
+      --idle_workers_;
+      if (timed_out) {
+        // Shrink the elastic pool back toward its base size.
+        if (live_workers_ > options_.workers) {
+          --live_workers_;
+          return;
+        }
+        continue;
+      }
+      if (ready_.empty()) {
+        if (pool_stopping_) {
+          --live_workers_;
+          return;
+        }
+        continue;
+      }
+      conn = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    process(conn);
+  }
+}
+
+void Reactor::process(const std::shared_ptr<Conn>& conn) {
+  for (;;) {
+    Frame request;
+    bool run_disconnect = false;
+    {
+      std::lock_guard lock(conn->mu);
+      if (conn->inbox.empty() || conn->dead) {
+        conn->inbox.clear();
+        if ((conn->eof || conn->dead) && !conn->disconnected) {
+          conn->disconnected = true;
+          run_disconnect = true;
+        } else {
+          conn->scheduled = false;
+          return;
+        }
+      } else {
+        request = std::move(conn->inbox.front());
+        conn->inbox.pop_front();
+      }
+    }
+    if (run_disconnect) {
+      flush(conn);  // last chance for already-queued responses
+      core_.on_disconnect(conn->session);
+      request_retire(conn);
+      std::lock_guard lock(conn->mu);
+      conn->scheduled = false;
+      return;
+    }
+    // An AcquireWrite can block for a long time on a contended writer
+    // lock; push completed responses out first so the old transport's
+    // response-before-next-request ordering is preserved where it can be
+    // observed.
+    bool flush_now = request.type == MsgType::kAcquireWrite;
+    if (flush_now) flush(conn);
+    Frame response;
+    try {
+      response = core_.handle(conn->session, request);
+    } catch (const Error& e) {
+      response = make_error_frame(e);
+    } catch (const std::exception& e) {
+      response = make_error_frame(Error(ErrorCode::kInternal, e.what()));
+    }
+    response.request_id = request.request_id;
+    enqueue_frame(conn, std::move(response));
+    bool inbox_empty;
+    size_t out_bytes;
+    {
+      std::lock_guard lock(conn->mu);
+      inbox_empty = conn->inbox.empty();
+      out_bytes = conn->out_bytes;
+    }
+    // Coalesce: while more requests are already decoded, let responses
+    // pile up and ride one sendmsg when the burst is drained (or the
+    // outbox grows past the flush threshold).
+    if (inbox_empty || out_bytes >= kWorkerFlushBytes) flush(conn);
+  }
+}
+
+// --- write path -----------------------------------------------------------
+
+void Reactor::enqueue_frame(const std::shared_ptr<Conn>& conn,
+                            const Frame& frame) {
+  // Copy up front: notification frames are shared across many sessions.
+  Frame copy;
+  copy.type = frame.type;
+  copy.request_id = frame.request_id;
+  copy.payload = frame.payload;
+  enqueue_frame(conn, std::move(copy));
+}
+
+void Reactor::enqueue_frame(const std::shared_ptr<Conn>& conn, Frame&& frame) {
+  std::lock_guard lock(conn->mu);
+  if (conn->fd < 0 || conn->dead) return;  // connection is going away
+  Conn::OutFrame out;
+  encode_frame_header(frame.type, frame.request_id, frame.payload.size(),
+                      out.header);
+  out.payload = std::move(frame.payload);
+  conn->out_bytes += kFrameHeaderSize + out.payload.size();
+  conn->outbox.push_back(std::move(out));
+  update_read_interest(conn);
+}
+
+/// Recomputes the connection's read interest from its outbox size, with
+/// hysteresis. Caller holds conn->mu. Backpressure: a slow reader's outbox
+/// crossing the high watermark pauses reads until the flush path drains it
+/// below the low watermark.
+void Reactor::update_read_interest(const std::shared_ptr<Conn>& conn) {
+  if (conn->fd < 0 || conn->eof) return;
+  bool pause = conn->read_paused
+                   ? conn->out_bytes > options_.write_low_watermark
+                   : conn->out_bytes >= options_.write_high_watermark;
+  if (pause == conn->read_paused) return;
+  conn->read_paused = pause;
+  if (pause) {
+    stats_->backpressure_stalls.fetch_add(1, std::memory_order_relaxed);
+  }
+  epoll_event ev{};
+  ev.events = (conn->read_paused ? 0u : EPOLLIN) |
+              (conn->want_epollout ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void Reactor::flush(const std::shared_ptr<Conn>& conn) {
+  bool fatal = false;
+  {
+    std::lock_guard lock(conn->mu);
+    while (!conn->outbox.empty() && conn->fd >= 0) {
+      iovec iov[2 * kMaxFramesPerSendmsg];
+      size_t niov = 0;
+      size_t nframes = 0;
+      for (const auto& f : conn->outbox) {
+        if (nframes == kMaxFramesPerSendmsg) break;
+        size_t skip = nframes == 0 ? conn->out_head_off : 0;
+        size_t hdr_take = kFrameHeaderSize > skip ? kFrameHeaderSize - skip : 0;
+        if (hdr_take > 0) {
+          iov[niov].iov_base =
+              const_cast<uint8_t*>(f.header + (kFrameHeaderSize - hdr_take));
+          iov[niov].iov_len = hdr_take;
+          ++niov;
+        }
+        size_t pay_skip = skip > kFrameHeaderSize ? skip - kFrameHeaderSize : 0;
+        if (f.payload.size() > pay_skip) {
+          iov[niov].iov_base =
+              const_cast<uint8_t*>(f.payload.data() + pay_skip);
+          iov[niov].iov_len = f.payload.size() - pay_skip;
+          ++niov;
+        }
+        ++nframes;
+      }
+      if (niov == 0) {  // fully-sent head (zero-payload edge); pop it
+        conn->outbox.pop_front();
+        conn->out_head_off = 0;
+        continue;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = niov;
+      ssize_t w = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          if (!conn->want_epollout) {
+            conn->want_epollout = true;
+            epoll_event ev{};
+            ev.events = (conn->read_paused || conn->eof ? 0u : EPOLLIN) |
+                        EPOLLOUT;
+            ev.data.fd = conn->fd;
+            ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+          }
+          break;
+        }
+        // Peer is gone: responses are undeliverable. Tear down via the
+        // worker path so on_disconnect runs exactly once.
+        conn->dead = true;
+        conn->outbox.clear();
+        conn->out_bytes = 0;
+        conn->out_head_off = 0;
+        fatal = true;
+        break;
+      }
+      stats_->sendmsg_calls.fetch_add(1, std::memory_order_relaxed);
+      if (nframes > 1) {
+        stats_->frames_batched.fetch_add(nframes, std::memory_order_relaxed);
+      }
+      size_t rem = static_cast<size_t>(w);
+      conn->out_bytes -= rem;
+      while (rem > 0 && !conn->outbox.empty()) {
+        const auto& head = conn->outbox.front();
+        size_t head_total = kFrameHeaderSize + head.payload.size();
+        size_t head_left = head_total - conn->out_head_off;
+        if (rem >= head_left) {
+          rem -= head_left;
+          conn->outbox.pop_front();
+          conn->out_head_off = 0;
+          stats_->frames_sent.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          conn->out_head_off += rem;
+          rem = 0;
+        }
+      }
+    }
+    if (conn->outbox.empty() && conn->want_epollout && conn->fd >= 0) {
+      conn->want_epollout = false;
+      epoll_event ev{};
+      ev.events = conn->read_paused || conn->eof ? 0u : EPOLLIN;
+      ev.data.fd = conn->fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+    }
+    update_read_interest(conn);
+    if (fatal && !conn->scheduled) {
+      conn->scheduled = true;
+    } else {
+      fatal = false;
+    }
+  }
+  if (fatal) schedule(conn);
+}
+
+}  // namespace iw

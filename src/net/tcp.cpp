@@ -17,22 +17,27 @@ namespace iw {
 
 namespace {
 
-void write_all(int fd, const uint8_t* data, size_t n) {
+/// Sends every byte of `data`; returns how many send() syscalls it took.
+size_t write_all(int fd, const uint8_t* data, size_t n) {
+  size_t syscalls = 0;
   while (n > 0) {
     ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       throw_errno("send");
     }
+    ++syscalls;
     data += w;
     n -= static_cast<size_t>(w);
   }
+  return syscalls;
 }
 
 /// Vectored equivalent of write_all: sends every slice of `chain` in order
 /// via sendmsg, so a frame header and its payload go out in one syscall
-/// without being glued into a contiguous copy first.
-void write_all_vec(int fd, const IoChain& chain) {
+/// without being glued into a contiguous copy first. Returns the syscall
+/// count.
+size_t write_all_vec(int fd, const IoChain& chain) {
   iovec iov[IoChain::kMaxSlices];
   size_t count = chain.count();
   for (size_t i = 0; i < count; ++i) {
@@ -40,6 +45,7 @@ void write_all_vec(int fd, const IoChain& chain) {
     iov[i].iov_len = chain.slices()[i].len;
   }
   size_t idx = 0;
+  size_t syscalls = 0;
   while (idx < count) {
     msghdr msg{};
     msg.msg_iov = iov + idx;
@@ -49,6 +55,7 @@ void write_all_vec(int fd, const IoChain& chain) {
       if (errno == EINTR) continue;
       throw_errno("sendmsg");
     }
+    ++syscalls;
     size_t rem = static_cast<size_t>(w);
     while (idx < count && rem >= iov[idx].iov_len) {
       rem -= iov[idx].iov_len;
@@ -59,6 +66,7 @@ void write_all_vec(int fd, const IoChain& chain) {
       iov[idx].iov_len -= rem;
     }
   }
+  return syscalls;
 }
 
 /// Reads exactly n bytes; returns false on clean EOF at a frame boundary.
@@ -80,21 +88,6 @@ bool read_exact(int fd, uint8_t* data, size_t n) {
   return true;
 }
 
-void send_frame(int fd, std::mutex& write_mu, const Frame& frame,
-                std::atomic<uint64_t>* bytes_counter) {
-  uint8_t header[kFrameHeaderSize];
-  encode_frame_header(frame.type, frame.request_id, frame.payload.size(),
-                      header);
-  IoChain chain;
-  chain.add(header, sizeof header);
-  chain.add(frame.payload.data(), frame.payload.size());
-  std::lock_guard lock(write_mu);
-  write_all_vec(fd, chain);
-  if (bytes_counter) {
-    bytes_counter->fetch_add(chain.total_bytes(), std::memory_order_relaxed);
-  }
-}
-
 /// Returns false on clean EOF.
 bool recv_frame(int fd, Frame* frame, std::atomic<uint64_t>* bytes_counter) {
   uint8_t header[kFrameHeaderSize];
@@ -114,35 +107,6 @@ bool recv_frame(int fd, Frame* frame, std::atomic<uint64_t>* bytes_counter) {
   }
   return true;
 }
-
-int make_listener(uint16_t port, uint16_t* bound_port) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw_errno("socket");
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    int err = errno;
-    ::close(fd);
-    errno = err;
-    throw_errno("bind");
-  }
-  if (::listen(fd, 64) < 0) {
-    int err = errno;
-    ::close(fd);
-    errno = err;
-    throw_errno("listen");
-  }
-  socklen_t len = sizeof addr;
-  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
-  *bound_port = ntohs(addr.sin_port);
-  return fd;
-}
-
-std::atomic<SessionId> g_next_tcp_session{1u << 20};
 
 /// "kAcquireWrite req#42 after 123ms" — the request context every transport
 /// throw out of TcpClientChannel::call carries, so a failure in a long
@@ -193,133 +157,27 @@ void connect_with_timeout(int fd, const sockaddr_in& addr,
 
 }  // namespace
 
-// With the sharded server, notifications for one segment can fire while the
-// connection is being torn down by its serve thread; the write mutex
-// therefore guards the fd's lifecycle (not just write interleaving) so a
-// late notification can never hit a closed — possibly reused — descriptor.
-struct TcpServer::Connection {
-  std::mutex write_mu;  // guards fd lifecycle and frame writes
-  int fd = -1;          // -1 once closed
-  SessionId session = 0;
-  std::thread thread;
+// --- server ---------------------------------------------------------------
 
-  void send(const Frame& frame) {
-    uint8_t header[kFrameHeaderSize];
-    encode_frame_header(frame.type, frame.request_id, frame.payload.size(),
-                        header);
-    IoChain chain;
-    chain.add(header, sizeof header);
-    chain.add(frame.payload.data(), frame.payload.size());
-    std::lock_guard lock(write_mu);
-    if (fd < 0) throw Error(ErrorCode::kIo, "connection closed");
-    write_all_vec(fd, chain);
-  }
-  void shutdown_socket() {
-    std::lock_guard lock(write_mu);
-    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
-  }
-  void close_socket() {
-    std::lock_guard lock(write_mu);
-    if (fd >= 0) {
-      ::close(fd);
-      fd = -1;
-    }
-  }
-};
+TcpServer::TcpServer(ServerCore& core, uint16_t port)
+    : TcpServer(core, port, Options()) {}
 
-TcpServer::TcpServer(ServerCore& core, uint16_t port) : core_(core) {
-  listen_fd_ = make_listener(port, &port_);
-  accept_thread_ = std::thread([this] { accept_loop(); });
-}
+TcpServer::TcpServer(ServerCore& core, uint16_t port, Options options)
+    : reactor_(std::make_unique<Reactor>(core, port, options)) {}
 
 TcpServer::~TcpServer() { shutdown(); }
 
-void TcpServer::accept_loop() {
-  for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listener closed during shutdown
-    }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    auto conn = std::make_shared<Connection>();
-    conn->fd = fd;
-    conn->session = g_next_tcp_session.fetch_add(1);
-    {
-      std::lock_guard lock(mu_);
-      if (stopping_) {
-        ::close(fd);
-        return;
-      }
-      connections_.push_back(conn);
-    }
-    core_.on_connect(conn->session, [conn](const Frame& frame) {
-      try {
-        conn->send(frame);
-      } catch (const Error&) {
-        // Connection is going away; the serve loop will clean up.
-      }
-    });
-    conn->thread = std::thread([this, conn] { serve(conn); });
-  }
-}
+void TcpServer::shutdown() { reactor_->shutdown(); }
 
-void TcpServer::serve(std::shared_ptr<Connection> conn) {
-  // The fd value is fixed for the connection's lifetime and this thread is
-  // the only closer, so the blocking recv path reads it lock-free.
-  const int fd = conn->fd;
-  try {
-    Frame request;
-    while (recv_frame(fd, &request, nullptr)) {
-      Frame response;
-      try {
-        response = core_.handle(conn->session, request);
-      } catch (const Error& e) {
-        response = make_error_frame(e);
-      } catch (const std::exception& e) {
-        response = make_error_frame(Error(ErrorCode::kInternal, e.what()));
-      }
-      response.request_id = request.request_id;
-      conn->send(response);
-    }
-  } catch (const Error& e) {
-    IW_LOG(kDebug) << "tcp connection error: " << e.what();
-  }
-  // Disconnect before closing: the core drops the session's notifier (and
-  // any writer locks) first, so the window where a stale notifier targets a
-  // closed connection is as small as possible — and send() rejects it.
-  core_.on_disconnect(conn->session);
-  conn->close_socket();
-}
-
-void TcpServer::shutdown() {
-  std::vector<std::shared_ptr<Connection>> conns;
-  {
-    std::lock_guard lock(mu_);
-    if (stopping_) return;
-    stopping_ = true;
-    conns = connections_;
-  }
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // Shut every socket down before joining any thread: a serve thread can be
-  // blocked in the core waiting for a writer lock that only drops when the
-  // holder's connection disconnects, so tear-down must reach all
-  // connections before the first join.
-  for (auto& conn : conns) {
-    conn->shutdown_socket();
-  }
-  for (auto& conn : conns) {
-    if (conn->thread.joinable()) conn->thread.join();
-  }
-}
+// --- client ---------------------------------------------------------------
 
 TcpClientChannel::TcpClientChannel(uint16_t port, Options options)
     : options_(options) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw_errno("socket");
+  // Socket options before connect, so they apply from the first byte.
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -330,8 +188,6 @@ TcpClientChannel::TcpClientChannel(uint16_t port, Options options)
     ::close(fd_);
     throw;
   }
-  int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   receiver_ = std::thread([this] { receive_loop(); });
 }
 
@@ -342,6 +198,7 @@ TcpClientChannel::~TcpClientChannel() {
 }
 
 void TcpClientChannel::receive_loop() {
+  std::string reason = "connection closed by server";
   try {
     Frame frame;
     while (recv_frame(fd_, &frame, &bytes_received_)) {
@@ -367,10 +224,128 @@ void TcpClientChannel::receive_loop() {
     }
   } catch (const Error& e) {
     IW_LOG(kDebug) << "tcp receive loop: " << e.what();
+    reason = e.what();
+  } catch (const std::exception& e) {
+    // A non-Error exception (allocation failure, a throwing notify
+    // handler) must still drain every in-flight call, not kill the
+    // process via an escaped thread exception.
+    IW_LOG(kWarn) << "tcp receive loop: " << e.what();
+    reason = e.what();
   }
-  std::lock_guard lock(mu_);
-  closed_ = true;
+  fail_channel(Error::transport(ErrorCode::kConnReset, reason));
+}
+
+void TcpClientChannel::fail_channel(const Error& reason) {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    close_reason_ = reason.what();
+  }
   cv_.notify_all();
+  // Wake callers parked in the send path too: a flusher lingering on a
+  // batch window must cut it short, and once the socket is dead new
+  // batches would only block.
+  send_cv_.notify_all();
+}
+
+void TcpClientChannel::send_frame_coalesced(const uint8_t* header,
+                                            const Buffer& payload) {
+  const size_t frame_bytes = kFrameHeaderSize + payload.size();
+  std::unique_lock lock(send_mu_);
+  if (send_error_) throw *send_error_;
+
+  // Fast path: queue empty, no flusher, no linger window — vectored send
+  // straight from the caller's buffer, zero copy, exactly the old
+  // single-writer behaviour.
+  if (!send_flusher_active_ && send_pending_.empty() &&
+      options_.batch_window_us == 0) {
+    send_flusher_active_ = true;
+    lock.unlock();
+    std::optional<Error> err;
+    size_t syscalls = 0;
+    try {
+      IoChain chain;
+      chain.add(header, kFrameHeaderSize);
+      chain.add(payload.slice());
+      syscalls = write_all_vec(fd_, chain);
+    } catch (const Error& e) {
+      err = e;
+    }
+    lock.lock();
+    send_flusher_active_ = false;
+    if (err) {
+      send_error_ = err;
+      send_cv_.notify_all();
+      throw *err;
+    }
+    send_cv_.notify_all();  // frames queued meanwhile need a new flusher
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    send_syscalls_.fetch_add(syscalls, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(frame_bytes, std::memory_order_relaxed);
+    return;
+  }
+
+  // Slow path: queue the frame, then either carry the batch ourselves or
+  // wait for the active flusher to carry it for us.
+  send_pending_.append(header, kFrameHeaderSize);
+  send_pending_.append(payload.data(), payload.size());
+  send_queued_pos_ += frame_bytes;
+  ++send_pending_frames_;
+  const uint64_t my_end = send_queued_pos_;
+  send_cv_.notify_all();  // a lingering flusher may now have a full batch
+
+  for (;;) {
+    if (send_flushed_pos_ >= my_end) return;  // someone flushed my frame
+    if (send_error_) throw *send_error_;
+    if (!send_flusher_active_) {
+      send_flusher_active_ = true;
+      if (options_.batch_window_us > 0) {
+        // Group commit: linger briefly so a burst of concurrent callers
+        // lands in this batch instead of the next syscall.
+        send_cv_.wait_for(
+            lock, std::chrono::microseconds(options_.batch_window_us), [&] {
+              return send_pending_.size() >= options_.batch_max_bytes ||
+                     send_error_.has_value();
+            });
+        if (send_error_) {
+          send_flusher_active_ = false;
+          send_cv_.notify_all();
+          throw *send_error_;
+        }
+      }
+      Buffer batch = std::move(send_pending_);
+      send_pending_ = Buffer();
+      const uint64_t batch_frames = send_pending_frames_;
+      send_pending_frames_ = 0;
+      const uint64_t batch_end = send_flushed_pos_ + batch.size();
+      lock.unlock();
+      std::optional<Error> err;
+      size_t syscalls = 0;
+      try {
+        syscalls = write_all(fd_, batch.data(), batch.size());
+      } catch (const Error& e) {
+        err = e;
+      }
+      lock.lock();
+      send_flusher_active_ = false;
+      if (err) {
+        send_error_ = err;
+        send_cv_.notify_all();
+        throw *err;
+      }
+      send_flushed_pos_ = batch_end;
+      frames_sent_.fetch_add(batch_frames, std::memory_order_relaxed);
+      send_syscalls_.fetch_add(syscalls, std::memory_order_relaxed);
+      if (batch_frames > 1) {
+        frames_batched_.fetch_add(batch_frames, std::memory_order_relaxed);
+      }
+      bytes_sent_.fetch_add(batch.size(), std::memory_order_relaxed);
+      send_cv_.notify_all();
+      // Loop: my frame was in this batch, so the next check returns.
+    } else {
+      send_cv_.wait(lock);
+    }
+  }
 }
 
 Frame TcpClientChannel::call(MsgType type, Buffer& payload) {
@@ -380,31 +355,24 @@ Frame TcpClientChannel::call(MsgType type, Buffer& payload) {
   {
     std::lock_guard lock(mu_);
     if (closed_) {
-      throw Error::transport(ErrorCode::kConnReset,
-                             "channel closed (" +
-                                 call_context(type, next_request_id_, start) +
-                                 ")");
+      throw Error::transport(
+          ErrorCode::kConnReset,
+          "channel closed: " + close_reason_ + " (" +
+              call_context(type, next_request_id_, start) + ")");
     }
     request.request_id = next_request_id_++;
   }
-  // Vectored send straight from the caller's buffer: the payload is never
-  // copied into a contiguous frame, and the caller keeps its capacity.
   uint8_t header[kFrameHeaderSize];
   encode_frame_header(request.type, request.request_id, payload.size(),
                       header);
-  IoChain chain;
-  chain.add(header, sizeof header);
-  chain.add(payload.slice());
   try {
-    std::lock_guard lock(write_mu_);
-    write_all_vec(fd_, chain);
+    send_frame_coalesced(header, payload);
   } catch (const Error& e) {
     throw Error::transport(e.code(),
                            std::string(e.what()) + " (sending " +
                                call_context(type, request.request_id, start) +
                                ")");
   }
-  bytes_sent_.fetch_add(chain.total_bytes(), std::memory_order_relaxed);
   payload.clear();
 
   std::unique_lock lock(mu_);
@@ -426,7 +394,8 @@ Frame TcpClientChannel::call(MsgType type, Buffer& payload) {
   auto it = responses_.find(request.request_id);
   if (it == responses_.end()) {
     throw Error::transport(ErrorCode::kConnReset,
-                           "connection closed awaiting response (" +
+                           "connection closed awaiting response: " +
+                               close_reason_ + " (" +
                                call_context(type, request.request_id, start) +
                                ")");
   }

@@ -1,53 +1,62 @@
 // TCP transport: real sockets for running clients and servers as separate
 // processes (or separate threads with genuine network framing).
 //
-// TcpServer owns a listening socket plus one service thread per accepted
-// connection; each connection is one session of the ServerCore.
-// TcpClientChannel owns the client end: calls are multiplexed by request id
-// and a dedicated receiver thread demultiplexes responses from
-// notifications (request_id == 0).
+// TcpServer fronts the epoll Reactor (net/reactor.hpp): nonblocking
+// sockets, per-connection session state machines, a small elastic worker
+// pool calling into the ServerCore, and response/notification frames
+// coalesced into one sendmsg per flush. The constructor/shutdown API is
+// unchanged from the thread-per-connection era, so every existing caller
+// and test runs unmodified on the event-driven core.
+//
+// TcpClientChannel owns the client end: calls are multiplexed by request
+// id and a dedicated receiver thread demultiplexes responses from
+// notifications (request_id == 0). Concurrent callers' request frames are
+// coalesced: whoever finds no flush in progress becomes the flusher and
+// sends every queued frame in one syscall (optionally lingering
+// `batch_window_us` to let a burst accumulate), so many small lock/commit
+// RPCs from a busy process ride one send.
 #pragma once
 
 #include <condition_variable>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/reactor.hpp"
 #include "net/transport.hpp"
 
 namespace iw {
 
 class TcpServer {
  public:
+  using Options = Reactor::Options;
+
   /// Starts listening on 127.0.0.1:`port` (0 = ephemeral) and serving
   /// `core`. Throws Error(kIo) when the socket cannot be bound.
   TcpServer(ServerCore& core, uint16_t port);
+  TcpServer(ServerCore& core, uint16_t port, Options options);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
   /// Actual bound port (useful with port 0).
-  uint16_t port() const noexcept { return port_; }
+  uint16_t port() const noexcept { return reactor_->port(); }
 
   /// Stops accepting, closes all connections, joins threads.
   void shutdown();
 
- private:
-  struct Connection;
-  void accept_loop();
-  void serve(std::shared_ptr<Connection> conn);
+  /// Transport-level counters (epoll wakeups, frames per sendmsg,
+  /// backpressure stalls, worker-pool high-water marks) — the same
+  /// atomic-snapshot idiom as SegmentServer::stats().
+  ReactorStats stats() const { return reactor_->stats(); }
 
-  ServerCore& core_;
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
-  std::thread accept_thread_;
-  std::mutex mu_;
-  bool stopping_ = false;
-  std::vector<std::shared_ptr<Connection>> connections_;
+ private:
+  std::unique_ptr<Reactor> reactor_;
 };
 
 class TcpClientChannel final : public ClientChannel {
@@ -59,6 +68,22 @@ class TcpClientChannel final : public ClientChannel {
     /// Deadline for establishing the connection (poll-based non-blocking
     /// connect). 0 falls back to the OS default.
     uint32_t connect_timeout_ms = 5'000;
+    /// Small-write aggregation window in microseconds. 0 (default) still
+    /// coalesces naturally concurrent calls — frames queued while another
+    /// thread is mid-send ride that thread's next syscall — but never
+    /// delays a lone call. > 0 makes the flushing thread linger that long
+    /// so bursts from many threads accumulate into one send (group
+    /// commit); bounded by batch_max_bytes.
+    uint32_t batch_window_us = 0;
+    /// Pending bytes that cut a batch window short and force a flush.
+    size_t batch_max_bytes = 64 * 1024;
+  };
+
+  /// Aggregation counters for the send path (relaxed-atomic snapshot).
+  struct BatchStats {
+    uint64_t frames_sent = 0;     ///< request frames written
+    uint64_t send_syscalls = 0;   ///< send() calls that carried them
+    uint64_t frames_batched = 0;  ///< frames that shared a syscall
   };
 
   /// Connects to 127.0.0.1:`port`. Throws a transport Error on failure
@@ -78,18 +103,44 @@ class TcpClientChannel final : public ClientChannel {
     s.call_timeouts = call_timeouts_.load(std::memory_order_relaxed);
     return s;
   }
+  BatchStats batch_stats() const {
+    BatchStats s;
+    s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+    s.send_syscalls = send_syscalls_.load(std::memory_order_relaxed);
+    s.frames_batched = frames_batched_.load(std::memory_order_relaxed);
+    return s;
+  }
 
  private:
   void receive_loop();
+  /// Queues one encoded frame and sees it onto the wire: either becomes
+  /// the flusher (sending every queued byte in one syscall) or waits for
+  /// the active flusher to carry it. Throws the transport error that
+  /// killed the send, to every affected caller.
+  void send_frame_coalesced(const uint8_t* header, const Buffer& payload);
+  /// Marks the channel dead with `reason` and wakes every waiter — callers
+  /// blocked on responses and callers parked in the send path.
+  void fail_channel(const Error& reason);
 
   Options options_;
   int fd_ = -1;
   std::thread receiver_;
-  std::mutex write_mu_;
+
+  // Send-side aggregation. Absolute stream positions (bytes ever queued /
+  // bytes ever flushed) let a caller wait precisely for its own frame.
+  std::mutex send_mu_;
+  std::condition_variable send_cv_;
+  Buffer send_pending_;
+  uint64_t send_queued_pos_ = 0;   ///< stream position after send_pending_
+  uint64_t send_flushed_pos_ = 0;  ///< stream position on the wire
+  uint64_t send_pending_frames_ = 0;
+  bool send_flusher_active_ = false;
+  std::optional<Error> send_error_;
 
   std::mutex mu_;
   std::condition_variable cv_;
   bool closed_ = false;
+  std::string close_reason_;
   uint32_t next_request_id_ = 1;
   std::map<uint32_t, Frame> responses_;
   /// Request ids whose caller gave up (deadline); the receiver discards
@@ -102,6 +153,9 @@ class TcpClientChannel final : public ClientChannel {
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> bytes_received_{0};
   std::atomic<uint64_t> call_timeouts_{0};
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<uint64_t> send_syscalls_{0};
+  std::atomic<uint64_t> frames_batched_{0};
 };
 
 }  // namespace iw

@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <memory>
 #include <thread>
 
 #include "interweave/interweave.hpp"
@@ -20,6 +22,28 @@ using std::chrono::steady_clock;
 Frame raw_call(ClientChannel& ch, MsgType type, Buffer payload) {
   return ch.call(type, std::move(payload));
 }
+
+/// Transport under test: in-proc by default; IW_LEASE_TRANSPORT=tcp runs
+/// the identical suite over real sockets and the epoll reactor server, so
+/// lease reclaim / stale-release semantics are exercised end to end on the
+/// wire (disconnect = genuine EOF, blocking acquires occupy real workers).
+struct Harness {
+  explicit Harness(ServerCore& core) : core_(&core) {
+    if (const char* t = std::getenv("IW_LEASE_TRANSPORT");
+        t != nullptr && std::string(t) == "tcp") {
+      tcp_ = std::make_unique<TcpServer>(core, 0);
+    }
+  }
+  std::shared_ptr<ClientChannel> channel() {
+    if (tcp_ != nullptr) {
+      return std::make_shared<TcpClientChannel>(tcp_->port());
+    }
+    return std::make_shared<InProcChannel>(*core_);
+  }
+
+  ServerCore* core_;
+  std::unique_ptr<TcpServer> tcp_;
+};
 
 Buffer open_payload(const std::string& url) {
   Buffer p;
@@ -48,16 +72,17 @@ TEST(LeaseTest, WaiterReclaimsExpiredLease) {
   server::SegmentServer server(opts);
   const std::string url = "host/lease";
 
-  InProcChannel a(server);
-  InProcChannel b(server);
-  raw_call(a, MsgType::kOpenSegment, open_payload(url));
-  raw_call(b, MsgType::kOpenSegment, open_payload(url));
+  Harness h(server);
+  auto a = h.channel();
+  auto b = h.channel();
+  raw_call(*a, MsgType::kOpenSegment, open_payload(url));
+  raw_call(*b, MsgType::kOpenSegment, open_payload(url));
 
-  raw_call(a, MsgType::kAcquireWrite, acquire_write_payload(url));
+  raw_call(*a, MsgType::kAcquireWrite, acquire_write_payload(url));
   // A now stalls (no release, no renewal traffic). B must get the lock
   // once the lease runs out — roughly one lease period, not forever.
   auto start = steady_clock::now();
-  raw_call(b, MsgType::kAcquireWrite, acquire_write_payload(url));
+  raw_call(*b, MsgType::kAcquireWrite, acquire_write_payload(url));
   auto waited = std::chrono::duration_cast<milliseconds>(
       steady_clock::now() - start);
   EXPECT_GE(waited.count(), 50);  // B really blocked on the lease
@@ -70,7 +95,7 @@ TEST(LeaseTest, WaiterReclaimsExpiredLease) {
   // a generic state error, and definitely not an applied diff.
   uint32_t version_before = server.segment_version(url);
   try {
-    raw_call(a, MsgType::kReleaseWrite, empty_release_payload(url, 0));
+    raw_call(*a, MsgType::kReleaseWrite, empty_release_payload(url, 0));
     FAIL() << "stale release should be rejected";
   } catch (const Error& e) {
     EXPECT_EQ(static_cast<int>(e.code()),
@@ -84,7 +109,7 @@ TEST(LeaseTest, WaiterReclaimsExpiredLease) {
   EXPECT_THROW(
       {
         try {
-          raw_call(a, MsgType::kReleaseWrite, empty_release_payload(url, 0));
+          raw_call(*a, MsgType::kReleaseWrite, empty_release_payload(url, 0));
         } catch (const Error& e) {
           EXPECT_EQ(static_cast<int>(e.code()),
                     static_cast<int>(ErrorCode::kState));
@@ -94,7 +119,7 @@ TEST(LeaseTest, WaiterReclaimsExpiredLease) {
       Error);
 
   // B still holds a valid lock and can release normally.
-  raw_call(b, MsgType::kReleaseWrite, empty_release_payload(url, 0));
+  raw_call(*b, MsgType::kReleaseWrite, empty_release_payload(url, 0));
 }
 
 TEST(LeaseTest, DisconnectBeatsLeaseExpiry) {
@@ -103,15 +128,16 @@ TEST(LeaseTest, DisconnectBeatsLeaseExpiry) {
   server::SegmentServer server(opts);
   const std::string url = "host/dead-holder";
 
-  auto a = std::make_unique<InProcChannel>(server);
+  Harness h(server);
+  auto a = h.channel();
   raw_call(*a, MsgType::kOpenSegment, open_payload(url));
   raw_call(*a, MsgType::kAcquireWrite, acquire_write_payload(url));
 
-  InProcChannel b(server);
-  raw_call(b, MsgType::kOpenSegment, open_payload(url));
+  auto b = h.channel();
+  raw_call(*b, MsgType::kOpenSegment, open_payload(url));
   std::atomic<bool> acquired{false};
   std::thread waiter([&] {
-    raw_call(b, MsgType::kAcquireWrite, acquire_write_payload(url));
+    raw_call(*b, MsgType::kAcquireWrite, acquire_write_payload(url));
     acquired.store(true);
   });
   std::this_thread::sleep_for(milliseconds(50));
@@ -121,7 +147,7 @@ TEST(LeaseTest, DisconnectBeatsLeaseExpiry) {
   waiter.join();
   EXPECT_TRUE(acquired.load());
   EXPECT_EQ(server.stats().lease_expirations, 0u);
-  raw_call(b, MsgType::kReleaseWrite, empty_release_payload(url, 0));
+  raw_call(*b, MsgType::kReleaseWrite, empty_release_payload(url, 0));
 }
 
 TEST(LeaseTest, RenewalKeepsSlowWriterAlive) {
@@ -130,16 +156,17 @@ TEST(LeaseTest, RenewalKeepsSlowWriterAlive) {
   server::SegmentServer server(opts);
   const std::string url = "host/renewal";
 
-  InProcChannel a(server);
-  InProcChannel b(server);
-  raw_call(a, MsgType::kOpenSegment, open_payload(url));
-  raw_call(b, MsgType::kOpenSegment, open_payload(url));
-  raw_call(a, MsgType::kAcquireWrite, acquire_write_payload(url));
+  Harness h(server);
+  auto a = h.channel();
+  auto b = h.channel();
+  raw_call(*a, MsgType::kOpenSegment, open_payload(url));
+  raw_call(*b, MsgType::kOpenSegment, open_payload(url));
+  raw_call(*a, MsgType::kAcquireWrite, acquire_write_payload(url));
 
   std::atomic<bool> a_released{false};
   std::atomic<bool> b_acquired_after_release{false};
   std::thread waiter([&] {
-    raw_call(b, MsgType::kAcquireWrite, acquire_write_payload(url));
+    raw_call(*b, MsgType::kAcquireWrite, acquire_write_payload(url));
     b_acquired_after_release.store(a_released.load());
   });
 
@@ -152,16 +179,16 @@ TEST(LeaseTest, RenewalKeepsSlowWriterAlive) {
     p.append_lp_string(url);
     TypeCodec::encode_graph(
         reg.array_of(reg.primitive(PrimitiveKind::kInt32), 2 + i), p);
-    raw_call(a, MsgType::kRegisterType, std::move(p));
+    raw_call(*a, MsgType::kRegisterType, std::move(p));
   }
   a_released.store(true);
-  raw_call(a, MsgType::kReleaseWrite, empty_release_payload(url, 0));
+  raw_call(*a, MsgType::kReleaseWrite, empty_release_payload(url, 0));
 
   waiter.join();
   EXPECT_TRUE(b_acquired_after_release.load());
   EXPECT_EQ(server.stats().lease_expirations, 0u);
   EXPECT_EQ(server.segment_epoch(url), 0u);
-  raw_call(b, MsgType::kReleaseWrite, empty_release_payload(url, 0));
+  raw_call(*b, MsgType::kReleaseWrite, empty_release_payload(url, 0));
 }
 
 // Full client-level recovery from lease expiry: the stalled client's
@@ -171,9 +198,8 @@ TEST(LeaseTest, ClientRecoversFromExpiredLease) {
   server::SegmentServer::Options sopts;
   sopts.writer_lease_ms = 80;
   server::SegmentServer server(sopts);
-  auto factory = [&](const std::string&) {
-    return std::make_shared<InProcChannel>(server);
-  };
+  Harness h(server);
+  auto factory = [&](const std::string&) { return h.channel(); };
 
   Client a(factory);
   Client b(factory);
