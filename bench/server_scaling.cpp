@@ -32,6 +32,18 @@
 // connections-per-core, and frames-per-syscall from the server's reactor
 // counters.
 //
+// A third mode measures the hot-segment read workload lock caching targets:
+//
+//   server_scaling --hot-read [--readers N] [--seconds S]
+//
+// N reader clients spin on read critical sections over one shared kFull
+// segment while a writer commits every ~250 ms, run once with client-side
+// lock caching on and once off. Reported as JSON: lock RPCs per critical
+// section (the headline number — off pays 1.0, on amortizes one RPC across
+// every CS between commits), CS/sec, CS latency p50/p99, the server's
+// revocation counters, and the writer's worst-case acquire latency (bounded
+// by the revocation deadline).
+//
 // Usage: server_scaling [cycles-per-thread]   (default 2000)
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -51,6 +63,7 @@
 #include <thread>
 #include <vector>
 
+#include "interweave/interweave.hpp"
 #include "net/tcp.hpp"
 #include "server/server.hpp"
 #include "types/registry.hpp"
@@ -579,18 +592,222 @@ int run_connection_scaling(int connections, double seconds) {
   return sh.errors.load() == 0 ? 0 : 1;
 }
 
+// --- hot-segment read scaling (distributed lock caching) ------------------
+
+constexpr uint32_t kHotUnits = 4;  // one int32[4] block: the segment is hot,
+                                   // not big — lock traffic dominates.
+
+struct HotReadResult {
+  uint64_t critical_sections = 0;
+  double requests_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t lock_rpcs = 0;
+  double lock_rpcs_per_cs = 0.0;
+  uint64_t lock_cache_hits = 0;
+  uint64_t revokes_sent = 0;
+  uint64_t revokes_acked = 0;
+  uint64_t revokes_expired = 0;
+  uint64_t writer_commits = 0;
+  double writer_acquire_max_us = 0.0;
+};
+
+/// One hot-read run: `readers` full clients spin on read critical sections
+/// over a single shared kFull segment while a writer commits every ~250 ms.
+/// With caching off every critical section pays one kAcquireRead RPC (the
+/// client never sends a kReleaseRead for an unmodified kFull read, so the
+/// honest baseline is 1.0 RPC per CS, not 2.0). With caching on, one RPC is
+/// amortized across every CS between writer commits; the commits trigger
+/// revocations whose acks bound the writer's acquire latency.
+HotReadResult run_hot_read(bool caching, int readers, double seconds) {
+  server::SegmentServer core;  // default revocation deadline: 2000 ms
+  TcpServer server(core, 0);
+  const uint16_t port = server.port();
+  auto factory = [port](const std::string&) {
+    return std::make_shared<TcpClientChannel>(port);
+  };
+  const std::string url = "bench/hot";
+  const std::string mip = url + "#a#0";
+
+  Client writer(factory);
+  ClientSegment* wseg = writer.open_segment(url);
+  const TypeDescriptor* arr = writer.types().array_of(
+      writer.types().primitive(PrimitiveKind::kInt32), kHotUnits);
+  writer.write_lock(wseg);
+  auto* seeded = static_cast<int32_t*>(writer.malloc_block(wseg, arr, "a"));
+  for (uint32_t i = 0; i < kHotUnits; ++i) seeded[i] = 1;
+  writer.write_unlock(wseg);
+
+  Client::Options ropts;
+  ropts.cache_read_locks = caching;
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<ClientSegment*> segs;
+  for (int i = 0; i < readers; ++i) {
+    clients.push_back(std::make_unique<Client>(factory, ropts));
+    segs.push_back(clients.back()->open_segment(url, false));
+  }
+
+  constexpr size_t kMaxSamples = 1u << 20;
+  std::atomic<bool> stop{false};
+  std::vector<uint64_t> cs_counts(static_cast<size_t>(readers), 0);
+  std::vector<std::vector<uint64_t>> lat(static_cast<size_t>(readers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(readers));
+  for (int i = 0; i < readers; ++i) {
+    threads.emplace_back([&, i] {
+      Client& c = *clients[static_cast<size_t>(i)];
+      ClientSegment* seg = segs[static_cast<size_t>(i)];
+      auto& samples = lat[static_cast<size_t>(i)];
+      samples.reserve(kMaxSamples / 4);
+      uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto t0 = std::chrono::steady_clock::now();
+        c.read_lock(seg);
+        auto* p = static_cast<volatile int32_t*>(c.mip_to_ptr(mip));
+        if (p != nullptr) (void)p[0];
+        c.read_unlock(seg);
+        auto t1 = std::chrono::steady_clock::now();
+        // Cached hits run in the millions per second; sample 1-in-16 so the
+        // latency vector stays bounded over a multi-second run.
+        if ((n & 15u) == 0 && samples.size() < kMaxSamples) {
+          samples.push_back(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()));
+        }
+        ++n;
+      }
+      cs_counts[static_cast<size_t>(i)] = n;
+    });
+  }
+
+  // Writer: one commit every ~250 ms. Under caching each commit revokes
+  // every reader's cached lock, so write_lock's latency is the revocation
+  // round-trip — it must stay under the server's revocation deadline.
+  uint64_t commits = 0;
+  uint64_t acquire_max_ns = 0;
+  auto t_start = std::chrono::steady_clock::now();
+  auto t_end = t_start + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(seconds));
+  while (std::chrono::steady_clock::now() < t_end) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    auto a0 = std::chrono::steady_clock::now();
+    writer.write_lock(wseg);
+    auto a1 = std::chrono::steady_clock::now();
+    auto* blk = wseg->heap().find_by_name("a");
+    auto* d =
+        reinterpret_cast<int32_t*>(const_cast<uint8_t*>(blk->data()));
+    d[0] += 1;
+    writer.write_unlock(wseg);
+    ++commits;
+    acquire_max_ns = std::max(
+        acquire_max_ns,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(a1 - a0)
+                .count()));
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t_start)
+                       .count();
+
+  HotReadResult r;
+  std::vector<uint64_t> all;
+  for (int i = 0; i < readers; ++i) {
+    r.critical_sections += cs_counts[static_cast<size_t>(i)];
+    auto s = clients[static_cast<size_t>(i)]->stats();
+    r.lock_rpcs += s.read_lock_server_calls;
+    r.lock_cache_hits += s.lock_cache_hits;
+    all.insert(all.end(), lat[static_cast<size_t>(i)].begin(),
+               lat[static_cast<size_t>(i)].end());
+  }
+  std::sort(all.begin(), all.end());
+  auto pct = [&](double q) {
+    if (all.empty()) return 0.0;
+    size_t idx = std::min(
+        all.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(all.size())));
+    return static_cast<double>(all[idx]) / 1000.0;  // ns -> us
+  };
+  r.requests_per_sec = static_cast<double>(r.critical_sections) / elapsed;
+  r.p50_us = pct(0.50);
+  r.p99_us = pct(0.99);
+  r.lock_rpcs_per_cs =
+      r.critical_sections == 0
+          ? 0.0
+          : static_cast<double>(r.lock_rpcs) /
+                static_cast<double>(r.critical_sections);
+  auto ss = core.stats();
+  r.revokes_sent = ss.revokes_sent;
+  r.revokes_acked = ss.revokes_acked;
+  r.revokes_expired = ss.revokes_expired;
+  r.writer_commits = commits;
+  r.writer_acquire_max_us = static_cast<double>(acquire_max_ns) / 1000.0;
+  return r;
+}
+
+int run_hot_read_main(int readers, double seconds) {
+  HotReadResult on = run_hot_read(true, readers, seconds);
+  HotReadResult off = run_hot_read(false, readers, seconds);
+  std::printf("[\n");
+  bool first = true;
+  for (bool caching : {true, false}) {
+    const HotReadResult& r = caching ? on : off;
+    std::printf(
+        "%s  {\"bench\": \"hot_read\", \"lock_caching\": \"%s\", "
+        "\"readers\": %d, \"seconds\": %.1f, "
+        "\"critical_sections\": %llu, \"requests_per_sec\": %.0f, "
+        "\"p50_us\": %.2f, \"p99_us\": %.2f, "
+        "\"lock_rpcs\": %llu, \"lock_rpcs_per_cs\": %.4f, "
+        "\"lock_cache_hits\": %llu, \"revokes_sent\": %llu, "
+        "\"revokes_acked\": %llu, \"revokes_expired\": %llu, "
+        "\"writer_commits\": %llu, \"writer_acquire_max_us\": %.0f}",
+        first ? "" : ",\n", caching ? "on" : "off", readers, seconds,
+        static_cast<unsigned long long>(r.critical_sections),
+        r.requests_per_sec, r.p50_us, r.p99_us,
+        static_cast<unsigned long long>(r.lock_rpcs), r.lock_rpcs_per_cs,
+        static_cast<unsigned long long>(r.lock_cache_hits),
+        static_cast<unsigned long long>(r.revokes_sent),
+        static_cast<unsigned long long>(r.revokes_acked),
+        static_cast<unsigned long long>(r.revokes_expired),
+        static_cast<unsigned long long>(r.writer_commits),
+        r.writer_acquire_max_us);
+    first = false;
+  }
+  std::printf(
+      ",\n  {\"bench\": \"hot_read\", \"readers\": %d, "
+      "\"rpc_reduction\": %.1f, \"throughput_ratio_on_vs_off\": %.1f}\n]\n",
+      readers,
+      off.lock_rpcs_per_cs / std::max(on.lock_rpcs_per_cs, 1e-9),
+      on.requests_per_sec / std::max(off.requests_per_sec, 1.0));
+  return 0;
+}
+
 }  // namespace
 }  // namespace iw
 
 int main(int argc, char** argv) {
   int connections = 0;
   double bench_seconds = 5.0;
+  bool hot_read = false;
+  int readers = 4;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc) {
       connections = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
       bench_seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--hot-read") == 0) {
+      hot_read = true;
+    } else if (std::strcmp(argv[i], "--readers") == 0 && i + 1 < argc) {
+      readers = std::atoi(argv[++i]);
     }
+  }
+  if (hot_read) {
+    // The env override would force both runs to one setting; the bench owns
+    // the caching toggle.
+    ::unsetenv("IW_LOCK_CACHE");
+    return iw::run_hot_read_main(readers, bench_seconds);
   }
   if (connections > 0) {
     return iw::run_connection_scaling(connections, bench_seconds);

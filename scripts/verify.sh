@@ -8,6 +8,9 @@
 # burst coalescing, backpressure, worker-pool elasticity) under both
 # sanitizers and the chaos/lease suites again over TCP, so the epoll
 # reactor's cross-thread outbox/retirement protocol is raced under TSan.
+# The lock-cache suite and an IW_LOCK_CACHE=1 chaos lane run under both
+# sanitizers too: revocation acks ride a background worker thread racing
+# lock acquires, releases, and channel teardown — TSan bait by design.
 # Finally a recovery soak: repeated crash/restart cycles (the WAL crash
 # matrix plus the restart-chaos workload) under UBSan, so recovery's
 # byte-slicing replay path is exercised many times in one run.
@@ -31,10 +34,10 @@ cmake -B "$UBSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DIW_SANITIZE=undefined
 cmake --build "$UBSAN_BUILD" -j "$JOBS" \
       --target wire_translate_test fault_test lease_test chaos_test \
-      reactor_test
+      reactor_test lock_cache_test
 UBSAN_OPTIONS=halt_on_error=1 \
     "$UBSAN_BUILD"/tests/wire_translate_test
-for t in fault_test lease_test chaos_test reactor_test; do
+for t in fault_test lease_test chaos_test reactor_test lock_cache_test; do
   UBSAN_OPTIONS=halt_on_error=1 "$UBSAN_BUILD"/tests/"$t"
 done
 echo "== chaos/lease suites over the reactor transport under UBSan =="
@@ -42,6 +45,9 @@ IW_CHAOS_TRANSPORT=tcp UBSAN_OPTIONS=halt_on_error=1 \
     "$UBSAN_BUILD"/tests/chaos_test --gtest_filter='Seeds/ChaosTest.*'
 IW_LEASE_TRANSPORT=tcp UBSAN_OPTIONS=halt_on_error=1 \
     "$UBSAN_BUILD"/tests/lease_test
+echo "== chaos suite with cached reader locks under UBSan =="
+IW_LOCK_CACHE=1 UBSAN_OPTIONS=halt_on_error=1 \
+    "$UBSAN_BUILD"/tests/chaos_test --gtest_filter='Seeds/ChaosTest.*'
 
 echo "== recovery soak: crash/restart cycles under UBSan =="
 # Each repetition re-runs the fork+SIGKILL crash matrix and the seeded
@@ -59,8 +65,8 @@ echo "== fault/lease/chaos tests under TSan =="
 cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DIW_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j "$JOBS" \
-      --target fault_test lease_test chaos_test reactor_test
-for t in fault_test lease_test chaos_test reactor_test; do
+      --target fault_test lease_test chaos_test reactor_test lock_cache_test
+for t in fault_test lease_test chaos_test reactor_test lock_cache_test; do
   TSAN_OPTIONS=halt_on_error=1 "$TSAN_BUILD"/tests/"$t"
 done
 echo "== chaos/lease suites over the reactor transport under TSan =="
@@ -68,5 +74,8 @@ IW_CHAOS_TRANSPORT=tcp TSAN_OPTIONS=halt_on_error=1 \
     "$TSAN_BUILD"/tests/chaos_test --gtest_filter='Seeds/ChaosTest.*'
 IW_LEASE_TRANSPORT=tcp TSAN_OPTIONS=halt_on_error=1 \
     "$TSAN_BUILD"/tests/lease_test
+echo "== chaos suite with cached reader locks under TSan =="
+IW_LOCK_CACHE=1 TSAN_OPTIONS=halt_on_error=1 \
+    "$TSAN_BUILD"/tests/chaos_test --gtest_filter='Seeds/ChaosTest.*'
 
 echo "== verify.sh: all green =="

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdlib>
 #include <cstring>
 #include <unordered_set>
 
@@ -69,9 +70,32 @@ Client::Client(ChannelFactory factory, Options options)
   const LayoutRules native = Platform::native().rules;
   native_pointers_ = rules.size[kPtrIdx] == native.size[kPtrIdx] &&
                      rules.byte_order == native.byte_order;
+  // Lock caching needs the hello handshake, which only the reconnect
+  // supervisor performs; the environment variable overrides the option in
+  // both directions so test lanes can force either mode.
+  bool cache = options_.cache_read_locks;
+  if (const char* env = std::getenv("IW_LOCK_CACHE")) {
+    cache = std::string_view(env) != "0";
+  }
+  lock_cache_enabled_ = cache && options_.auto_reconnect;
+  options_.reconnect.announce_lock_caching = lock_cache_enabled_;
+  if (lock_cache_enabled_) {
+    revoke_ack_worker_ = std::thread([this] { revoke_ack_loop(); });
+  }
 }
 
 Client::~Client() {
+  // Stop the ack worker first: it holds channel references and issues
+  // calls; it must be gone before the channel maps below are torn down.
+  // Un-acked revokes are surrendered by the disconnect that follows.
+  if (revoke_ack_worker_.joinable()) {
+    {
+      std::lock_guard cl(lock_cache_mu_);
+      revoke_ack_stop_ = true;
+    }
+    revoke_ack_cv_.notify_all();
+    revoke_ack_worker_.join();
+  }
   // Channels own receiver threads that call back into note_version() with
   // `this` captured; destroy them (joining those threads) before default
   // member destruction tears down latest_versions_/notify_mu_ underneath a
@@ -108,13 +132,25 @@ std::shared_ptr<ClientChannel> Client::channel_for(const std::string& url) {
   if (channel == nullptr) {
     throw Error(ErrorCode::kNotFound, "no server for host '" + host + "'");
   }
-  channel->set_notify_handler([this](const Frame& frame) {
-    if (frame.type != MsgType::kNotifyVersion) return;
+  // Weak capture: a shared_ptr would be a reference cycle (the handler
+  // lives inside the channel), and a raw pointer could dangle if a late
+  // notification raced channel teardown. lock() either pins the channel
+  // for the ack or observes it already dying, in which case the disconnect
+  // surrenders the cached lock without our help.
+  std::weak_ptr<ClientChannel> weak = channel;
+  channel->set_notify_handler([this, weak](const Frame& frame) {
     try {
-      BufReader r = frame.reader();
-      std::string url = r.read_lp_string();
-      uint32_t version = r.read_u32();
-      note_version(url, version);
+      if (frame.type == MsgType::kNotifyVersion) {
+        BufReader r = frame.reader();
+        std::string url = r.read_lp_string();
+        uint32_t version = r.read_u32();
+        note_version(url, version);
+      } else if (frame.type == MsgType::kRevokeRead) {
+        BufReader r = frame.reader();
+        std::string url = r.read_lp_string();
+        uint32_t gen = r.remaining() >= 4 ? r.read_u32() : 0;
+        handle_revoke(url, gen, weak);
+      }
     } catch (const Error&) {
       // Malformed notification: ignore; polling still keeps us correct.
     }
@@ -135,6 +171,65 @@ void Client::note_version(const std::string& url, uint32_t version) {
   // older checkpoint and we must resynchronize.
   std::lock_guard lock(notify_mu_);
   latest_versions_[url] = version;
+}
+
+void Client::handle_revoke(const std::string& url, uint32_t gen,
+                           const std::weak_ptr<ClientChannel>& ch) {
+  bool ack_now = false;
+  {
+    std::lock_guard cl(lock_cache_mu_);
+    auto it = lock_cache_.find(url);
+    if (it == lock_cache_.end() || it->second.active == 0) {
+      // Idle (or nothing cached — a duplicate or raced revoke): release
+      // immediately. An ack for a lock we no longer hold is harmless; the
+      // server ignores acks whose generation doesn't match a pending
+      // revocation.
+      lock_cache_.erase(url);
+      if (std::shared_ptr<ClientChannel> strong = ch.lock()) {
+        revoke_ack_queue_.push_back({url, gen, std::move(strong)});
+        ack_now = true;
+      }
+    } else {
+      // Readers are inside the critical section: defer the release (and
+      // the ack) to the last reader's unlock.
+      it->second.revoked = true;
+      it->second.revoke_gen = gen;
+    }
+  }
+  if (ack_now) revoke_ack_cv_.notify_one();
+}
+
+void Client::revoke_ack_loop() {
+  std::unique_lock cl(lock_cache_mu_);
+  for (;;) {
+    revoke_ack_cv_.wait(cl, [this] {
+      return revoke_ack_stop_ || !revoke_ack_queue_.empty();
+    });
+    if (revoke_ack_stop_) return;
+    RevokeAck ack = std::move(revoke_ack_queue_.front());
+    revoke_ack_queue_.pop_front();
+    cl.unlock();
+    try {
+      Buffer payload;
+      payload.append_lp_string(ack.url);
+      payload.append_u32(ack.gen);
+      ack.channel->call(MsgType::kRevokeAck, std::move(payload));
+      revokes_acked_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const Error&) {
+      // Channel died: the disconnect (or reconnect's new session)
+      // surrenders the cached lock server-side without our help.
+    }
+    // Drop the channel reference outside the lock: if it is the last one,
+    // the channel (and its threads) are destroyed here, on a thread that
+    // can safely join them.
+    ack.channel.reset();
+    cl.lock();
+  }
+}
+
+void Client::forget_cached_lock(const std::string& url) {
+  std::lock_guard cl(lock_cache_mu_);
+  lock_cache_.erase(url);
 }
 
 // ---------------------------------------------------------------- segments
@@ -236,6 +331,9 @@ void Client::close_segment(ClientSegment* segment) {
     segment->channel_->call(MsgType::kCloseSegment, std::move(payload));
   } catch (const Error&) {
   }
+  // kCloseSegment dropped our per-segment server state, cached lock
+  // included.
+  forget_cached_lock(segment->url_);
   // The heap destructor unregisters every subsegment and unmaps its pages.
   segments_.erase(segment->url_);
 }
@@ -526,7 +624,10 @@ void Client::revalidate_if_reconnected_locked(ClientSegment* seg) {
   // and sent-type prefix are gone (the server tolerantly resends type
   // definitions), and any notifications sent while we were dark were lost —
   // so notification-derived freshness is void until the next round trip.
+  // The cached read lock died with the session too (on_disconnect dropped
+  // it), and any revoke sent while we were dark was lost with it.
   seg->needs_revalidation_ = true;
+  forget_cached_lock(seg->url_);
   {
     std::lock_guard nl(notify_mu_);
     latest_versions_.erase(seg->url_);
@@ -556,6 +657,7 @@ void Client::recover_failed_release_locked(ClientSegment* seg) {
   seg->version_ = 0;  // next lock pulls a full sync and sweeps dead blocks
   seg->needs_revalidation_ = true;
   mip_cache_block_ = nullptr;
+  forget_cached_lock(seg->url_);
   std::lock_guard nl(notify_mu_);
   latest_versions_.erase(seg->url_);
 }
@@ -593,13 +695,43 @@ void Client::read_lock(ClientSegment* seg) {
   std::lock_guard lock(mu_);
   if (seg->read_locks_ > 0 || seg->write_locked_) {
     ++seg->read_locks_;  // nested; already coherent
+    if (lock_cache_enabled_) {
+      // Sub-let: another local thread enters under the lock (cached or
+      // live) the first one brought in — no server involvement.
+      std::lock_guard cl(lock_cache_mu_);
+      auto it = lock_cache_.find(seg->url_);
+      if (it != lock_cache_.end() && it->second.active > 0) {
+        ++it->second.active;
+        sublet_grants_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     return;
   }
   revalidate_if_reconnected_locked(seg);
+  if (lock_cache_enabled_) {
+    std::lock_guard cl(lock_cache_mu_);
+    auto it = lock_cache_.find(seg->url_);
+    // A cached, unrevoked lock makes the repeat acquire free. Under Full
+    // coherence the cached data is provably current — a committing writer
+    // would have had to revoke us first — so the coherence predicate is
+    // implied; other models still consult read_needs_server_locked.
+    if (it != lock_cache_.end() && it->second.cached && !it->second.revoked &&
+        (seg->policy_.model == CoherenceModel::kFull ||
+         !read_needs_server_locked(seg))) {
+      ++it->second.active;
+      lock_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      ++stats_.read_lock_local_hits;
+      ++seg->read_locks_;
+      return;
+    }
+  }
   if (!read_needs_server_locked(seg)) {
     ++stats_.read_lock_local_hits;
     ++seg->read_locks_;
     return;
+  }
+  if (lock_cache_enabled_) {
+    lock_cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
   ++stats_.read_lock_server_calls;
   Buffer payload;
@@ -610,6 +742,18 @@ void Client::read_lock(ClientSegment* seg) {
   Frame resp = seg->channel_->call(MsgType::kAcquireRead, std::move(payload));
   BufReader r = resp.reader();
   apply_update_locked(seg, r);
+  // Trailing grant byte (present only when this session negotiated lock
+  // caching): the server registered us as a cached holder — or refused,
+  // implicitly surrendering any stale registration.
+  if (lock_cache_enabled_ && r.remaining() >= 1) {
+    const bool granted = r.read_u8() != 0;
+    std::lock_guard cl(lock_cache_mu_);
+    if (granted) {
+      lock_cache_[seg->url_] = LockCacheEntry{true, false, 1};
+    } else {
+      lock_cache_.erase(seg->url_);
+    }
+  }
   seg->needs_revalidation_ = false;
   seg->last_update_ns_ = monotonic_ns();
   note_version(seg->url_, seg->version_);
@@ -622,6 +766,24 @@ void Client::read_unlock(ClientSegment* seg) {
     throw Error(ErrorCode::kState, "read unlock without read lock");
   }
   --seg->read_locks_;
+  if (!lock_cache_enabled_) return;
+  bool ack = false;
+  {
+    std::lock_guard cl(lock_cache_mu_);
+    auto it = lock_cache_.find(seg->url_);
+    if (it == lock_cache_.end()) return;
+    if (it->second.active > 0) --it->second.active;
+    if (it->second.revoked && it->second.active == 0) {
+      // Deferred revoke: the last local reader just left the critical
+      // section, so honour it now (the worker sends the ack — the waiting
+      // writer is unblocked by it, not by this thread).
+      uint32_t gen = it->second.revoke_gen;
+      lock_cache_.erase(it);
+      revoke_ack_queue_.push_back({seg->url_, gen, seg->channel_});
+      ack = true;
+    }
+  }
+  if (ack) revoke_ack_cv_.notify_one();
 }
 
 void Client::write_lock(ClientSegment* seg) {
@@ -659,6 +821,9 @@ void Client::write_lock(ClientSegment* seg) {
   seg->write_locked_ = true;
   seg->new_blocks_.clear();
   seg->freed_serials_.clear();
+  // The write lock subsumes our cached read lock server-side; the cache
+  // registration is gone, so the local mirror must go too.
+  forget_cached_lock(seg->url_);
   begin_tracking_locked(seg);
 }
 

@@ -13,11 +13,14 @@
 // byte order, alignment and pointer width.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -44,6 +47,12 @@ enum class TrackingMode : uint8_t {
 struct ClientStats {
   uint64_t read_lock_server_calls = 0;
   uint64_t read_lock_local_hits = 0;  ///< satisfied without communication
+
+  // Distributed lock caching (reader locks retained across release).
+  uint64_t lock_cache_hits = 0;    ///< acquires satisfied by a cached lock
+  uint64_t lock_cache_misses = 0;  ///< acquires that paid the RPC anyway
+  uint64_t revokes_acked = 0;      ///< kRevokeRead callbacks honoured
+  uint64_t sublet_grants = 0;      ///< extra local threads under one lock
   uint64_t updates_applied = 0;
   uint64_t diffs_collected = 0;
   uint64_t word_diff_ns = 0;
@@ -158,6 +167,12 @@ class Client {
     bool last_block_prediction = true;
     /// Subscribe to server version notifications (adaptive polling).
     bool subscribe_notifications = true;
+    /// Retain reader locks across read_unlock and satisfy repeat acquires
+    /// from the cache with zero RPCs, honouring server kRevokeRead
+    /// callbacks. Needs auto_reconnect (the hello handshake negotiates it);
+    /// the IW_LOCK_CACHE environment variable overrides this ("0" off,
+    /// anything else on).
+    bool cache_read_locks = true;
     /// Wrap every channel in a ReconnectingChannel: transport failures tear
     /// the connection down, reconnect with backoff under a new session
     /// epoch, and re-send idempotent calls. Disable for tests that drive
@@ -257,11 +272,19 @@ class Client {
       s.retried_calls += f.retried_calls;
       s.call_timeouts += f.call_timeouts;
     }
+    s.lock_cache_hits = lock_cache_hits_.load(std::memory_order_relaxed);
+    s.lock_cache_misses = lock_cache_misses_.load(std::memory_order_relaxed);
+    s.revokes_acked = revokes_acked_.load(std::memory_order_relaxed);
+    s.sublet_grants = sublet_grants_.load(std::memory_order_relaxed);
     return s;
   }
   void reset_stats() noexcept {
     stats_ = ClientStats{};
     registry_.reset_translation_stats();
+    lock_cache_hits_.store(0, std::memory_order_relaxed);
+    lock_cache_misses_.store(0, std::memory_order_relaxed);
+    revokes_acked_.store(0, std::memory_order_relaxed);
+    sublet_grants_.store(0, std::memory_order_relaxed);
   }
   /// Total bytes across all channels (bandwidth accounting).
   uint64_t bytes_sent() const;
@@ -297,6 +320,22 @@ class Client {
   void* mip_to_ptr_locked(std::string_view mip);
   uint32_t latest_known_version(const std::string& url) const;
   void note_version(const std::string& url, uint32_t version);
+  /// kRevokeRead arrived for `url`: surrender the cached lock immediately
+  /// when no local reader holds it, else mark it for release (and ack) at
+  /// critical-section exit. Runs on notification threads — must not take
+  /// mu_ and must not issue RPCs itself; it enqueues the ack for
+  /// revoke_ack_loop(). `ch` is the channel the ack goes out on.
+  void handle_revoke(const std::string& url, uint32_t gen,
+                     const std::weak_ptr<ClientChannel>& ch);
+  /// Dedicated ack thread: sends kRevokeAck for each queued revoke,
+  /// swallowing transport errors (a dead connection surrenders the cached
+  /// lock via on_disconnect anyway). Acks are RPCs that can block, fail,
+  /// and tear the channel down for reconnection — none of which may happen
+  /// on a channel's own notification thread, so this worker owns them all.
+  void revoke_ack_loop();
+  /// Drops any cached read lock state for `url` without acking (used when
+  /// the server-side session is already gone: reconnect, close, recovery).
+  void forget_cached_lock(const std::string& url);
   BlockHeader* next_block_in_memory(BlockHeader* block) const;
   const TypeDescriptor* type_by_serial(ClientSegment* seg,
                                        uint32_t serial) const;
@@ -323,6 +362,40 @@ class Client {
   // by notify_mu_ only (the notify handler must not take mu_).
   mutable std::mutex notify_mu_;
   std::unordered_map<std::string, uint32_t> latest_versions_;
+
+  /// One cached reader lock per segment URL.
+  struct LockCacheEntry {
+    bool cached = false;   ///< server granted and has not revoked/expired
+    bool revoked = false;  ///< revoke received while readers are inside
+    int active = 0;        ///< local readers currently inside under it
+    uint32_t revoke_gen = 0;  ///< generation of the deferred revoke, echoed
+                              ///< in the ack sent at critical-section exit
+  };
+  /// Leaf lock (after mu_ in the ordering; notify handlers take it alone).
+  mutable std::mutex lock_cache_mu_;
+  std::unordered_map<std::string, LockCacheEntry> lock_cache_;
+  /// cache_read_locks resolved against IW_LOCK_CACHE and auto_reconnect.
+  bool lock_cache_enabled_ = false;
+  // Lock-cache counters are atomics, not ClientStats fields: the revoke
+  // path bumps them without mu_.
+  std::atomic<uint64_t> lock_cache_hits_{0};
+  std::atomic<uint64_t> lock_cache_misses_{0};
+  std::atomic<uint64_t> revokes_acked_{0};
+  std::atomic<uint64_t> sublet_grants_{0};
+  /// Pending kRevokeAck sends, drained by revoke_ack_worker_. Guarded by
+  /// lock_cache_mu_ (the enqueue sites already hold it). The shared_ptr
+  /// keeps the channel alive until the ack lands; if the worker ends up
+  /// holding the last reference, the channel is destroyed on the worker
+  /// thread — never on its own notification thread.
+  struct RevokeAck {
+    std::string url;
+    uint32_t gen = 0;  ///< server's revocation generation, echoed back
+    std::shared_ptr<ClientChannel> channel;
+  };
+  std::deque<RevokeAck> revoke_ack_queue_;
+  std::condition_variable revoke_ack_cv_;
+  bool revoke_ack_stop_ = false;
+  std::thread revoke_ack_worker_;
 
   ClientStats stats_;
 };

@@ -35,9 +35,19 @@ void ReconnectingChannel::connect_locked() {
     Buffer hello;
     hello.append_u64(client_id_);
     hello.append_u32(static_cast<uint32_t>(epoch_));
+    hello.append_u8(options_.announce_lock_caching ? 1 : 0);
     Frame resp = ch->call(MsgType::kHello, std::move(hello));
     BufReader r = resp.reader();
     server_lease_ms_ = r.read_u32();
+    // Trailing feature bits + revocation deadline are absent from
+    // pre-lock-caching servers; their absence means "no revocation".
+    lock_caching_ok_ = false;
+    server_revoke_deadline_ms_ = 0;
+    if (r.remaining() >= 1) {
+      uint8_t features = r.read_u8();
+      lock_caching_ok_ = options_.announce_lock_caching && (features & 1) != 0;
+      if (r.remaining() >= 4) server_revoke_deadline_ms_ = r.read_u32();
+    }
   }
   inner_ = std::move(ch);
 }
@@ -48,9 +58,14 @@ void ReconnectingChannel::reconnect_locked(
   if (inner_ != nullptr) {
     dead_bytes_sent_ += inner_->bytes_sent();
     dead_bytes_received_ += inner_->bytes_received();
-    // Destroying the channel is the disconnect: the server's on_disconnect
+    // shutdown() before dropping the reference: the server's on_disconnect
     // releases any writer lock the dead session held, which is what makes
-    // re-sending an acquire on the new session safe.
+    // re-sending an acquire on the new session safe — and it must happen
+    // *now*, not when the last shared_ptr dies. The background revoke-ack
+    // worker can pin the old channel with an in-flight call; deferring the
+    // disconnect to its schedule would leave a zombie session holding
+    // locks and receiving notifications for a scheduling-dependent while.
+    inner_->shutdown();
     inner_.reset();
   }
   Error last = Error::transport(ErrorCode::kIo, "reconnect never attempted");
@@ -80,6 +95,25 @@ void ReconnectingChannel::reconnect_locked(
 }
 
 Frame ReconnectingChannel::call(MsgType type, Buffer& payload) {
+  // Revoke acks are fire-and-forget: one attempt on whatever channel is
+  // live, no reconnect and no retry/timeout accounting. They run on the
+  // client's background ack worker, so entering the reconnect machinery
+  // here would bump reconnects_/retried_calls_ at thread-scheduling whim —
+  // and the chaos suite asserts those counters are bit-reproducible per
+  // seed. Dropping the ack is safe: the server retires a cached-read
+  // registration implicitly on disconnect, on a denied re-acquire, or at
+  // the revocation deadline.
+  if (type == MsgType::kRevokeAck) {
+    std::shared_ptr<ClientChannel> inner;
+    {
+      std::lock_guard lock(mu_);
+      inner = inner_;
+    }
+    if (inner == nullptr) {
+      throw Error::transport(ErrorCode::kIo, "no channel for revoke ack");
+    }
+    return inner->call(type, payload);
+  }
   // Replaying a release is unsafe: a response lost after the server applied
   // the diff would be re-applied against a moved base version, and the
   // disconnect already dropped the lock either way. Everything else is
@@ -139,6 +173,16 @@ uint64_t ReconnectingChannel::session_epoch() const {
 uint32_t ReconnectingChannel::server_lease_ms() const {
   std::lock_guard lock(mu_);
   return server_lease_ms_;
+}
+
+bool ReconnectingChannel::supports_lock_caching() const {
+  std::lock_guard lock(mu_);
+  return lock_caching_ok_;
+}
+
+uint32_t ReconnectingChannel::server_revoke_deadline_ms() const {
+  std::lock_guard lock(mu_);
+  return server_revoke_deadline_ms_;
 }
 
 ChannelFaultStats ReconnectingChannel::fault_stats() const {

@@ -47,6 +47,10 @@ class ReconnectingChannel final : public ClientChannel {
     /// Send kHello (client id + session epoch) after every connect; the
     /// response carries the server's writer-lease duration.
     bool hello_on_connect = true;
+    /// Announce client-side lock caching in the hello feature bits; the
+    /// negotiation succeeds only if the server answers that it revokes
+    /// (see supports_lock_caching()).
+    bool announce_lock_caching = false;
   };
 
   /// Builds the underlying channel; called once at construction and again
@@ -70,6 +74,11 @@ class ReconnectingChannel final : public ClientChannel {
   /// Writer-lease duration announced by the server in kHelloResp (0 when
   /// leases are disabled or hello_on_connect is off).
   uint32_t server_lease_ms() const;
+  /// True when both sides negotiated lock caching on the current
+  /// connection.
+  bool supports_lock_caching() const override;
+  /// Revocation deadline announced by the server (0 = unknown/disabled).
+  uint32_t server_revoke_deadline_ms() const;
 
  private:
   /// Replaces inner_ with a fresh connection, bumps the epoch, replays the
@@ -87,6 +96,8 @@ class ReconnectingChannel final : public ClientChannel {
   uint64_t client_id_;
   uint64_t epoch_ = 0;  // connect_locked() makes the first connection epoch 1
   uint32_t server_lease_ms_ = 0;
+  bool lock_caching_ok_ = false;
+  uint32_t server_revoke_deadline_ms_ = 0;
   /// Byte counters of dead channel incarnations, folded in at teardown so
   /// bandwidth accounting survives reconnects.
   uint64_t dead_bytes_sent_ = 0;

@@ -34,9 +34,15 @@ void FaultyChannel::sever_locked() {
   if (inner_ == nullptr) return;
   bytes_sent_at_sever_ = inner_->bytes_sent();
   bytes_received_at_sever_ = inner_->bytes_received();
-  // Destroying the inner channel is the disconnect: in-proc it invokes the
-  // core's on_disconnect in this thread; TCP closes the socket and the
-  // server's serve loop cleans up.
+  // shutdown() makes the disconnect happen *here*, on the severing thread —
+  // not whenever the last shared_ptr dies. The client's background ack
+  // worker may pin the channel with an in-flight kRevokeAck; without the
+  // explicit shutdown the server-side session (still subscribed, still a
+  // revocation target) would outlive the sever by a scheduling-dependent
+  // interval and leak notifications into the post-reconnect run, breaking
+  // seeded reproducibility. In-proc the core observes on_disconnect before
+  // this returns; TCP closes the socket and the serve loop cleans up.
+  inner_->shutdown();
   inner_.reset();
 }
 
@@ -45,9 +51,22 @@ bool FaultyChannel::severed() const {
   return inner_ == nullptr;
 }
 
+void FaultyChannel::shutdown() noexcept {
+  std::lock_guard lock(mu_);
+  sever_locked();
+}
+
 Frame FaultyChannel::call(MsgType type, Buffer& payload) {
   std::shared_ptr<ClientChannel> inner;
-  FaultAction action = schedule_->next_for_call(type);
+  // kRevokeAck is issued by the client's background ack thread, not by the
+  // application's call sequence: drawing a fault action for it here would
+  // interleave RNG draws with the foreground calls in scheduling-dependent
+  // order and break the seeded run's bit-reproducibility. Ack-failure
+  // modes (expiry, disconnect surrender) are exercised deterministically
+  // by the targeted lock-cache tests; under chaos an ack still fails when
+  // the channel is already severed.
+  FaultAction action;
+  if (type != MsgType::kRevokeAck) action = schedule_->next_for_call(type);
   {
     std::lock_guard lock(mu_);
     if (inner_ == nullptr) throw_severed(type);
@@ -132,7 +151,12 @@ void FaultyServerCore::on_connect(SessionId session, Notifier notify) {
     return;
   }
   inner_.on_connect(session, [this, notify](const Frame& frame) {
-    {
+    // kRevokeRead is an acked protocol message riding the notification
+    // stream, not a best-effort hint like kNotifyVersion: the transports
+    // deliver it in order or kill the connection (whose disconnect then
+    // surrenders the cached lock). Silently dropping it would model a
+    // failure no real transport produces.
+    if (frame.type != MsgType::kRevokeRead) {
       std::lock_guard lock(rng_mu_);
       if (rng_.uniform() < options_.drop_notify_rate) return;
     }

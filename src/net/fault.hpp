@@ -150,6 +150,10 @@ class FaultyChannel final : public ClientChannel {
 
   bool severed() const;
 
+  /// Forwards to the inner channel (decorators must not swallow a forced
+  /// disconnect) and marks this channel severed.
+  void shutdown() noexcept override;
+
  private:
   void sever_locked();
 

@@ -20,9 +20,17 @@ InProcChannel::InProcChannel(ServerCore& core)
   });
 }
 
-InProcChannel::~InProcChannel() { core_.on_disconnect(session_); }
+InProcChannel::~InProcChannel() { shutdown(); }
+
+void InProcChannel::shutdown() noexcept {
+  if (!down_.exchange(true)) core_.on_disconnect(session_);
+}
 
 Frame InProcChannel::call(MsgType type, Buffer& payload) {
+  if (down_.load(std::memory_order_acquire)) {
+    throw Error::transport(ErrorCode::kConnReset,
+                           "connection closed (" + msg_type_name(type) + ")");
+  }
   Frame request;
   request.type = type;
   request.request_id = next_request_id_.fetch_add(1);

@@ -31,9 +31,16 @@ class InProcChannel final : public ClientChannel {
   uint64_t bytes_sent() const override { return bytes_sent_.load(); }
   uint64_t bytes_received() const override { return bytes_received_.load(); }
 
+  /// Disconnects the session from the core immediately (idempotent). A
+  /// decorator that simulates a connection drop calls this so the server
+  /// observes the disconnect on the severing thread even while another
+  /// thread's in-flight call still pins this object alive.
+  void shutdown() noexcept override;
+
  private:
   ServerCore& core_;
   SessionId session_;
+  std::atomic<bool> down_{false};
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> bytes_received_{0};
   std::atomic<uint32_t> next_request_id_{1};

@@ -350,7 +350,11 @@ void Reactor::handle_accept() {
       flush(conn);
     });
     epoll_event ev{};
-    ev.events = EPOLLIN;
+    // Edge-triggered: one wakeup per readiness *transition*, not one per
+    // epoll_wait while data sits buffered. handle_readable must therefore
+    // drain to EAGAIN, and every MOD below keeps EPOLLET set (a MOD also
+    // re-arms the edge, redelivering an event if the fd is still ready).
+    ev.events = EPOLLIN | EPOLLET;
     ev.data.fd = fd;
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
   }
@@ -362,7 +366,13 @@ void Reactor::handle_readable(const std::shared_ptr<Conn>& conn) {
   const int fd = conn->fd;
   if (fd < 0) return;
   bool eof = false;
+  bool rearm = false;
   uint8_t chunk[64 * 1024];
+  // Edge-triggered read: drain until EAGAIN — the kernel will not repeat
+  // this event while data sits buffered. A chunk budget keeps one firehose
+  // connection from starving the rest of the loop; on exhaustion the MOD
+  // below re-arms the edge so epoll redelivers immediately.
+  int budget = 16;
   for (;;) {
     ssize_t r = ::recv(fd, chunk, sizeof chunk, 0);
     if (r < 0) {
@@ -377,7 +387,20 @@ void Reactor::handle_readable(const std::shared_ptr<Conn>& conn) {
       break;
     }
     conn->rdbuf.insert(conn->rdbuf.end(), chunk, chunk + r);
-    if (static_cast<size_t>(r) < sizeof chunk) break;  // drained the socket
+    if (--budget == 0) {
+      rearm = true;
+      break;
+    }
+  }
+  if (rearm && !eof) {
+    std::lock_guard lock(conn->mu);
+    if (conn->fd >= 0 && !conn->eof) {
+      epoll_event ev{};
+      ev.events = (conn->read_paused ? 0u : EPOLLIN) |
+                  (conn->want_epollout ? EPOLLOUT : 0u) | EPOLLET;
+      ev.data.fd = conn->fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+    }
   }
 
   // Decode every complete frame in the buffer; keep the partial tail.
@@ -610,8 +633,10 @@ void Reactor::update_read_interest(const std::shared_ptr<Conn>& conn) {
     stats_->backpressure_stalls.fetch_add(1, std::memory_order_relaxed);
   }
   epoll_event ev{};
+  // The MOD re-arms the edge: resuming a paused read redelivers an EPOLLIN
+  // event if bytes arrived while reads were off.
   ev.events = (conn->read_paused ? 0u : EPOLLIN) |
-              (conn->want_epollout ? EPOLLOUT : 0u);
+              (conn->want_epollout ? EPOLLOUT : 0u) | EPOLLET;
   ev.data.fd = conn->fd;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
 }
@@ -659,7 +684,7 @@ void Reactor::flush(const std::shared_ptr<Conn>& conn) {
             conn->want_epollout = true;
             epoll_event ev{};
             ev.events = (conn->read_paused || conn->eof ? 0u : EPOLLIN) |
-                        EPOLLOUT;
+                        EPOLLOUT | EPOLLET;
             ev.data.fd = conn->fd;
             ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
           }
@@ -698,7 +723,8 @@ void Reactor::flush(const std::shared_ptr<Conn>& conn) {
     if (conn->outbox.empty() && conn->want_epollout && conn->fd >= 0) {
       conn->want_epollout = false;
       epoll_event ev{};
-      ev.events = conn->read_paused || conn->eof ? 0u : EPOLLIN;
+      ev.events =
+          (conn->read_paused || conn->eof ? 0u : EPOLLIN) | EPOLLET;
       ev.data.fd = conn->fd;
       ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
     }

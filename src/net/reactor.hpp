@@ -4,10 +4,14 @@
 // Threading model (three roles):
 //
 //   * The reactor thread owns epoll, the listening socket, and every
-//     connection's *read* side. It accepts, reads into per-connection ring
-//     buffers, decodes complete frames, and schedules the connection onto
-//     the worker pool. It never calls into the ServerCore, so a slow or
-//     blocking request handler can never stall accept/read progress.
+//     connection's *read* side. Connections are registered edge-triggered
+//     (EPOLLET): one wakeup per readiness transition, with reads drained
+//     to EAGAIN — a burst of frames costs one epoll_wait return, not one
+//     per level-triggered poll while bytes sit buffered. It accepts, reads
+//     into per-connection ring buffers, decodes complete frames, and
+//     schedules the connection onto the worker pool. It never calls into
+//     the ServerCore, so a slow or blocking request handler can never
+//     stall accept/read progress.
 //   * Worker threads pop scheduled connections and drain their decoded
 //     frame queues through ServerCore::handle (whose per-segment locking
 //     makes concurrent workers safe). One connection is processed by at

@@ -17,7 +17,10 @@
 // RPCs from a busy process ride one send.
 #pragma once
 
+#include <sys/socket.h>
+
 #include <condition_variable>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -98,6 +101,13 @@ class TcpClientChannel final : public ClientChannel {
   void set_notify_handler(std::function<void(const Frame&)> fn) override;
   uint64_t bytes_sent() const override { return bytes_sent_.load(); }
   uint64_t bytes_received() const override { return bytes_received_.load(); }
+
+  /// Half-closes the socket so the server sees EOF and reaps the session
+  /// promptly, even while another thread's in-flight call still pins this
+  /// object. The receiver/dispatcher threads wind down as on destruction;
+  /// the destructor (which repeats the shutdown harmlessly) still joins
+  /// them.
+  void shutdown() noexcept override { ::shutdown(fd_, SHUT_RDWR); }
   ChannelFaultStats fault_stats() const override {
     ChannelFaultStats s;
     s.call_timeouts = call_timeouts_.load(std::memory_order_relaxed);
@@ -147,8 +157,27 @@ class TcpClientChannel final : public ClientChannel {
   /// their late responses instead of parking them in `responses_` forever.
   std::set<uint32_t> abandoned_;
 
-  std::mutex notify_mu_;
-  std::function<void(const Frame&)> notify_;
+  /// Notifications decoupled from the receiver thread: the receiver only
+  /// enqueues; notify_dispatcher_ delivers. The state lives behind a
+  /// shared_ptr because a notify handler can transitively destroy this
+  /// channel (a failed call inside the handler makes the reconnect
+  /// supervisor tear it down); the destructor then detaches the dispatcher
+  /// instead of self-joining, and the detached loop exits against state
+  /// that outlives the channel.
+  struct NotifyState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Frame> queue;
+    std::function<void(const Frame&)> handler;
+    bool stop = false;
+  };
+  std::shared_ptr<NotifyState> notify_state_;
+  std::thread notify_dispatcher_;
+  /// Drains state->queue, invoking the installed handler outside every
+  /// channel lock. Running on its own thread (not the receiver's) lets a
+  /// handler issue calls on this channel — the receiver stays free to
+  /// deliver their responses. Touches only `state`, never the channel.
+  static void notify_dispatch_loop(std::shared_ptr<NotifyState> state);
 
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> bytes_received_{0};

@@ -50,8 +50,11 @@ class ClientChannel {
   }
 
   /// Installs the handler invoked for unsolicited notifications. May be
-  /// invoked from another thread (TCP) or from within call() (in-proc);
-  /// handlers must be quick and must not call back into the channel.
+  /// invoked from another thread (TCP dispatches from a dedicated thread,
+  /// decoupled from the receiver so a handler may issue calls on this same
+  /// channel — the revoke-ack path relies on that) or from within call()
+  /// (in-proc). Handlers should still be quick: delivery is serialized, so
+  /// a slow handler delays every later notification.
   virtual void set_notify_handler(std::function<void(const Frame&)> fn) = 0;
 
   virtual uint64_t bytes_sent() const = 0;
@@ -65,6 +68,20 @@ class ClientChannel {
 
   /// Failure-handling counters (zero for channels that never retry).
   virtual ChannelFaultStats fault_stats() const { return {}; }
+
+  /// True when this channel negotiated distributed lock caching with the
+  /// server (kHello/kHelloResp feature bits). Raw channels never handshake,
+  /// so they never cache — old clients and servers interoperate unchanged.
+  virtual bool supports_lock_caching() const { return false; }
+
+  /// Severs the underlying connection *now*, independent of object
+  /// lifetime: the server observes the disconnect before this returns (or
+  /// as soon as its transport loop notices, for socket channels), and
+  /// subsequent call()s fail as transport errors. Idempotent; the
+  /// destructor implies it. Needed because a shared_ptr to a dead channel
+  /// may be pinned by an in-flight call on another thread — teardown of
+  /// server-side session state must not wait for the last reference.
+  virtual void shutdown() noexcept {}
 };
 
 /// Identifies one client connection within a server.

@@ -82,14 +82,17 @@ void SegmentServer::on_disconnect(SessionId session) {
         IW_LOG(kWarn) << "session " << session
                       << " disconnected holding write lock on " << name;
         entry->writer = 0;
-        entry->writer_cv.notify_all();
       }
       entry->expired_writers.erase(session);
       entry->sessions.erase(session);
+      // Unconditional: a revoking writer may be waiting for this session's
+      // cached read lock, which the erase above just surrendered.
+      entry->writer_cv.notify_all();
     }
   }
   std::unique_lock lock(sessions_mu_);
   sessions_.erase(session);
+  caching_sessions_.erase(session);
 }
 
 SegmentServer::SegmentEntry* SegmentServer::find_segment(
@@ -164,6 +167,7 @@ SegmentServer::SegmentSession& SegmentServer::seg_session(SegmentEntry& entry,
   // First touch of this segment by this session: capture the notifier so
   // notification fan-out later needs no lock beyond the entry's.
   Notifier notify;
+  bool may_cache = false;
   {
     std::shared_lock lock(sessions_mu_);
     auto sit = sessions_.find(id);
@@ -171,13 +175,16 @@ SegmentServer::SegmentSession& SegmentServer::seg_session(SegmentEntry& entry,
       throw Error(ErrorCode::kState, "unknown session");
     }
     notify = sit->second;
+    may_cache = caching_sessions_.count(id) > 0;
   }
   SegmentSession ss;
   ss.notify = std::move(notify);
+  ss.may_cache = may_cache;
   return entry.sessions.emplace(id, std::move(ss)).first->second;
 }
 
 void SegmentServer::acquire_writer_locked(SegmentEntry& entry,
+                                          const std::string& name,
                                           SessionId session,
                                           std::unique_lock<std::mutex>& el) {
   using clock = std::chrono::steady_clock;
@@ -203,9 +210,98 @@ void SegmentServer::acquire_writer_locked(SegmentEntry& entry,
     entry.writer_cv.wait_until(el, entry.lease_deadline);
   }
   entry.writer = session;
+  // Start the lease before the revocation drain below ever drops `el`: a
+  // second waiting writer must see a fresh deadline, not a stale one it
+  // could immediately reclaim against.
   if (options_.writer_lease_ms != 0) entry.lease_deadline = clock::now() + lease;
   // A session that legitimately re-acquires is no longer a stale holder.
   entry.expired_writers.erase(session);
+  // New cached-read grants are refused while entry.writer != 0, so the set
+  // of holders to drain cannot grow behind our back.
+  revoke_cached_readers_locked(entry, name, session, el);
+  // The drain may have taken up to the revocation deadline; the critical
+  // section starts now with a full lease.
+  if (options_.writer_lease_ms != 0) entry.lease_deadline = clock::now() + lease;
+}
+
+void SegmentServer::revoke_cached_readers_locked(
+    SegmentEntry& entry, const std::string& name, SessionId session,
+    std::unique_lock<std::mutex>& el) {
+  using clock = std::chrono::steady_clock;
+  // The writer's own cached read lock is subsumed by the write lock, not
+  // revoked: a writer is always allowed to read what it is writing.
+  if (auto it = entry.sessions.find(session); it != entry.sessions.end()) {
+    it->second.cached_read = false;
+    it->second.revoke_pending = false;
+  }
+  auto cached_holders = [&] {
+    size_t n = 0;
+    for (auto& [sid, ss] : entry.sessions) {
+      if (sid != session && ss.cached_read) ++n;
+    }
+    return n;
+  };
+  if (cached_holders() == 0) return;
+
+  std::vector<Notifier> targets;
+  for (auto& [sid, ss] : entry.sessions) {
+    if (sid == session || !ss.cached_read || ss.revoke_pending) continue;
+    if (!ss.notify) {
+      // No channel to revoke over — drop the cached lock outright.
+      ss.cached_read = false;
+      continue;
+    }
+    ss.revoke_pending = true;
+    targets.push_back(ss.notify);
+  }
+  if (!targets.empty()) {
+    Frame note;
+    note.type = MsgType::kRevokeRead;
+    Buffer np;
+    np.append_lp_string(name);
+    np.append_u32(++entry.revoke_gen);
+    note.payload = np.take();
+    stats_.revokes_sent.fetch_add(targets.size(), std::memory_order_relaxed);
+    // In-process transports run the holder's revoke handler — and its
+    // kRevokeAck call back into handle() — synchronously on this thread, so
+    // the entry lock must be released around the fan-out.
+    el.unlock();
+    for (Notifier& n : targets) n(note);
+    el.lock();
+  }
+
+  const auto lease = std::chrono::milliseconds(options_.writer_lease_ms);
+  const auto deadline =
+      clock::now() + std::chrono::milliseconds(options_.revoke_deadline_ms);
+  while (cached_holders() != 0) {
+    auto wake = deadline;
+    if (options_.writer_lease_ms != 0) {
+      // We hold the writer slot while draining; keep renewing the lease so
+      // a second waiting writer never reclaims it as expired mid-drain.
+      entry.lease_deadline = clock::now() + lease;
+      wake = std::min(deadline, clock::now() + lease / 2);
+    }
+    if (entry.writer_cv.wait_until(el, wake) == std::cv_status::timeout &&
+        clock::now() >= deadline) {
+      // Deadline: the unresponsive holders forfeit their cached locks, the
+      // same presumption of sickness a writer-lease reclaim makes. The
+      // epoch bump makes the forced drop observable to reconnecting
+      // clients, which invalidate their caches against it.
+      uint64_t dropped = 0;
+      for (auto& [sid, ss] : entry.sessions) {
+        if (sid != session && ss.cached_read) {
+          ss.cached_read = false;
+          ss.revoke_pending = false;
+          ++dropped;
+        }
+      }
+      ++entry.epoch;
+      stats_.revokes_expired.fetch_add(dropped, std::memory_order_relaxed);
+      IW_LOG(kWarn) << "revocation deadline passed on " << name
+                    << "; dropped " << dropped << " cached read locks";
+      break;
+    }
+  }
 }
 
 bool SegmentServer::is_stale(SegmentEntry& entry, const SegmentSession& ss,
@@ -313,8 +409,20 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
         IW_LOG(kInfo) << "client " << client_id << " reconnected (epoch "
                       << epoch << ") as session " << session;
       }
+      // Optional trailing feature byte (absent from pre-lock-caching
+      // clients): bit 0 announces the client caches read locks and honours
+      // kRevokeRead.
+      bool wants_caching = in.remaining() >= 1 && (in.read_u8() & 1) != 0;
+      if (wants_caching) {
+        std::unique_lock lock(sessions_mu_);
+        caching_sessions_.insert(session);
+      }
       resp.type = MsgType::kHelloResp;
       payload.append_u32(options_.writer_lease_ms);
+      // Trailing feature byte + revocation deadline; old clients never read
+      // past the lease field and ignore these bytes.
+      payload.append_u8(options_.revoke_deadline_ms != 0 ? 1 : 0);
+      payload.append_u32(options_.revoke_deadline_ms);
       break;
     }
 
@@ -378,11 +486,88 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
       } else {
         stats_.uptodate_responses.fetch_add(1, std::memory_order_relaxed);
       }
+      if (ss.may_cache && options_.revoke_deadline_ms != 0) {
+        // Grant a cached read lock only when no writer holds or is draining
+        // the segment (writer preference: cached readers can never starve a
+        // waiting writer) and the client runs Full coherence — the only
+        // model whose repeat acquires otherwise always pay an RPC.
+        const bool grant =
+            entry.writer == 0 && policy.model == CoherenceModel::kFull;
+        if (ss.cached_read && !grant) {
+          // This acquire implicitly surrenders a cached lock we were
+          // draining: the client re-contacted us, so it is not sick.
+          entry.writer_cv.notify_all();
+        }
+        ss.cached_read = grant;
+        ss.revoke_pending = false;
+        if (grant) {
+          stats_.cached_read_grants.fetch_add(1, std::memory_order_relaxed);
+        }
+        payload.append_u8(grant ? 1 : 0);
+      }
       break;
     }
 
     case MsgType::kReleaseRead: {
-      in.read_lp_string();
+      std::string name = in.read_lp_string();
+      // Optional trailing byte: the client asks to keep the lock cached.
+      bool keep_cached = in.remaining() >= 1 && in.read_u8() != 0;
+      // Reader locks are otherwise pure client-side bookkeeping; tolerate
+      // releases for segments or sessions we have no record of.
+      SegmentEntry* entry = find_segment(name, false);
+      if (entry != nullptr) {
+        std::lock_guard el(entry->mu);
+        auto it = entry->sessions.find(session);
+        if (it != entry->sessions.end()) {
+          SegmentSession& ss = it->second;
+          const bool retain = keep_cached && ss.may_cache &&
+                              options_.revoke_deadline_ms != 0 &&
+                              entry->writer == 0;
+          if (retain) {
+            if (!ss.cached_read) {
+              stats_.cached_read_grants.fetch_add(1,
+                                                  std::memory_order_relaxed);
+            }
+            ss.cached_read = true;
+            ss.revoke_pending = false;
+          } else if (ss.cached_read || ss.revoke_pending) {
+            // Plain release surrenders any cached lock — and acks an
+            // in-flight revoke, waking the draining writer.
+            ss.cached_read = false;
+            ss.revoke_pending = false;
+            entry->writer_cv.notify_all();
+          }
+        }
+      }
+      resp.type = MsgType::kAck;
+      break;
+    }
+
+    case MsgType::kRevokeAck: {
+      std::string name = in.read_lp_string();
+      // Idempotent: a duplicated or late ack (lock already force-expired,
+      // segment unknown) is still success. An ack only retires a
+      // registration whose revocation is actually *pending*: acks travel on
+      // a background client thread, so a floating duplicate can arrive
+      // after this session re-acquired and earned a fresh grant — clearing
+      // that grant here would leave the client serving cache hits the
+      // server will never revoke (stale reads past the next commit). The
+      // echoed generation closes the remaining async window: a floating
+      // stale ack cannot retire a *newer* pending revocation the client
+      // has not processed yet.
+      uint32_t gen = in.remaining() >= 4 ? in.read_u32() : 0;
+      SegmentEntry* entry = find_segment(name, false);
+      if (entry != nullptr) {
+        std::lock_guard el(entry->mu);
+        auto it = entry->sessions.find(session);
+        if (it != entry->sessions.end() && it->second.revoke_pending &&
+            gen == entry->revoke_gen) {
+          it->second.cached_read = false;
+          it->second.revoke_pending = false;
+          stats_.revokes_acked.fetch_add(1, std::memory_order_relaxed);
+          entry->writer_cv.notify_all();
+        }
+      }
       resp.type = MsgType::kAck;
       break;
     }
@@ -397,7 +582,7 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
       }
       // Waiting here blocks only this segment's entry lock; traffic on
       // other segments is unaffected.
-      acquire_writer_locked(entry, session, el);
+      acquire_writer_locked(entry, name, session, el);
       SegmentSession& ss = seg_session(entry, session);
       resp.type = MsgType::kAcquireWriteResp;
       payload.append_u32(entry.store->next_block_serial());
@@ -537,6 +722,9 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
       if (entry != nullptr) {
         std::lock_guard el(entry->mu);
         entry->sessions.erase(session);
+        // The erase may have surrendered a cached read lock a revoking
+        // writer is waiting out.
+        entry->writer_cv.notify_all();
       }
       resp.type = MsgType::kAck;
       break;
@@ -764,6 +952,11 @@ SegmentServer::Stats SegmentServer::stats() const {
   s.lease_expirations = stats_.lease_expirations.load(std::memory_order_relaxed);
   s.stale_releases_rejected =
       stats_.stale_releases_rejected.load(std::memory_order_relaxed);
+  s.cached_read_grants =
+      stats_.cached_read_grants.load(std::memory_order_relaxed);
+  s.revokes_sent = stats_.revokes_sent.load(std::memory_order_relaxed);
+  s.revokes_acked = stats_.revokes_acked.load(std::memory_order_relaxed);
+  s.revokes_expired = stats_.revokes_expired.load(std::memory_order_relaxed);
   s.wal_records_appended =
       wal_counters_.records_appended.load(std::memory_order_relaxed);
   s.wal_bytes_appended =

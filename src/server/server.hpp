@@ -59,6 +59,12 @@ class SegmentServer : public ServerCore {
     /// Seeded crash injection inside WAL appends (crash-harness tests
     /// only); null in production.
     std::shared_ptr<WalCrashSchedule> wal_crash;
+    /// How long a waiting writer gives clients holding cached read locks to
+    /// ack a kRevokeRead before their cached locks are forcibly dropped
+    /// (epoch bump, like a lease reclaim). 0 disables lock caching: every
+    /// kReleaseRead drops the lock server-side even when the client asked
+    /// to cache it.
+    uint32_t revoke_deadline_ms = 2'000;
     /// Store tuning (diff cache, prediction, subblock size).
     SegmentStore::Options store;
   };
@@ -73,6 +79,11 @@ class SegmentServer : public ServerCore {
     uint64_t checkpoints_written = 0;
     uint64_t lease_expirations = 0;        ///< writer locks reclaimed
     uint64_t stale_releases_rejected = 0;  ///< kLeaseExpired responses
+    // Distributed lock caching (reader locks retained client-side).
+    uint64_t cached_read_grants = 0;  ///< releases that kept the lock cached
+    uint64_t revokes_sent = 0;        ///< kRevokeRead notifications pushed
+    uint64_t revokes_acked = 0;       ///< cached locks released by clients
+    uint64_t revokes_expired = 0;     ///< cached locks reclaimed on deadline
     // Durability counters (write-ahead log + recovery), summed over every
     // segment's journal.
     uint64_t wal_records_appended = 0;
@@ -118,6 +129,14 @@ class SegmentServer : public ServerCore {
     uint32_t types_sent = 0;             // prefix of type serials known
     uint64_t modified_since_update = 0;  // for Diff coherence
     bool subscribed = false;
+    /// This session released its read lock but kept it cached client-side;
+    /// a writer must revoke (and the client ack) before it can proceed.
+    bool cached_read = false;
+    /// A kRevokeRead has been pushed and not yet acked.
+    bool revoke_pending = false;
+    /// Session announced lock-caching support in its hello (copied from
+    /// `caching_sessions_` at first touch); never granted otherwise.
+    bool may_cache = false;
     Notifier notify;  // copied from the session record at first touch
   };
   /// One segment plus everything guarded by its lock. Heap-allocated and
@@ -138,6 +157,10 @@ class SegmentServer : public ServerCore {
     /// Bumped on every lease reclaim so sick-writer recoveries are
     /// observable (and, with checkpointed stores, diagnosable after).
     uint32_t epoch = 0;
+    /// Bumped once per cached-reader revocation fan-out and echoed back in
+    /// kRevokeAck; an ack for an older generation is stale (its revocation
+    /// was already retired another way) and must be ignored.
+    uint32_t revoke_gen = 0;
     uint32_t versions_since_checkpoint = 0;
     /// Append-only diff journal; null when persistence is disabled. Guarded
     /// by `mu` like the store, so append-before-ack and
@@ -157,6 +180,10 @@ class SegmentServer : public ServerCore {
     std::atomic<uint64_t> checkpoints_written{0};
     std::atomic<uint64_t> lease_expirations{0};
     std::atomic<uint64_t> stale_releases_rejected{0};
+    std::atomic<uint64_t> cached_read_grants{0};
+    std::atomic<uint64_t> revokes_sent{0};
+    std::atomic<uint64_t> revokes_acked{0};
+    std::atomic<uint64_t> revokes_expired{0};
     std::atomic<uint64_t> wal_replayed_records{0};
     std::atomic<uint64_t> recoveries_completed{0};
     std::atomic<uint64_t> checkpoints_quarantined{0};
@@ -185,8 +212,19 @@ class SegmentServer : public ServerCore {
   /// Blocks until `session` owns the entry's writer lock, reclaiming an
   /// expired lease from a stalled holder if one stands in the way. Caller
   /// holds `el` (the entry's lock).
-  void acquire_writer_locked(SegmentEntry& entry, SessionId session,
+  void acquire_writer_locked(SegmentEntry& entry, const std::string& name,
+                             SessionId session,
                              std::unique_lock<std::mutex>& el);
+  /// Pushes kRevokeRead to every session caching a read lock on `entry`
+  /// (other than the acquiring writer) and waits until all of them ack or
+  /// the revocation deadline passes; unacked holders are then forcibly
+  /// dropped with an epoch bump. Fires the notifiers with `el` released —
+  /// in-process transports run the client's revoke handler synchronously.
+  /// Caller holds `el`; it is held again on return.
+  void revoke_cached_readers_locked(SegmentEntry& entry,
+                                    const std::string& name,
+                                    SessionId session,
+                                    std::unique_lock<std::mutex>& el);
   /// Caller holds entry.mu.
   void checkpoint_segment_locked(SegmentEntry& entry);
 
@@ -219,6 +257,9 @@ class SegmentServer : public ServerCore {
   /// acquiring the directory or an entry lock.
   mutable std::shared_mutex sessions_mu_;
   std::unordered_map<SessionId, Notifier> sessions_;
+  /// Sessions whose kHello announced client-side lock caching (feature
+  /// bit 0). Guarded by sessions_mu_ like the connection table.
+  std::unordered_set<SessionId> caching_sessions_;
 
   AtomicStats stats_;
 };

@@ -26,6 +26,8 @@ std::string msg_type_name(MsgType type) {
     case MsgType::kCloseSegment: return "kCloseSegment";
     case MsgType::kHello: return "kHello";
     case MsgType::kHelloResp: return "kHelloResp";
+    case MsgType::kRevokeRead: return "kRevokeRead";
+    case MsgType::kRevokeAck: return "kRevokeAck";
   }
   return "kMsg" + std::to_string(static_cast<int>(type));
 }

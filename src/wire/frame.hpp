@@ -21,7 +21,7 @@ enum class MsgType : uint8_t {
   kRegisterTypeResp = 4, ///< u32 type serial (segment-scoped)
   kAcquireRead = 5,      ///< lp segment, u32 cached version, u8 model, u64 param
   kAcquireReadResp = 6,  ///< u8 uptodate, [type table, diff]
-  kReleaseRead = 7,      ///< lp segment
+  kReleaseRead = 7,      ///< lp segment, [u8 cached: keep lock client-side]
   kAcquireWrite = 8,     ///< lp segment, u32 cached version
   kAcquireWriteResp = 9, ///< u32 next_block_serial, u8 uptodate, [types, diff]
   kReleaseWrite = 10,    ///< lp segment, diff payload
@@ -34,8 +34,14 @@ enum class MsgType : uint8_t {
   kPingResp = 17,
   kAck = 18,             ///< generic empty success response
   kCloseSegment = 19,    ///< lp segment: drop this session's segment state
-  kHello = 20,           ///< u64 client id, u32 session epoch (reconnects)
-  kHelloResp = 21,       ///< u32 writer lease ms (0 = leases disabled)
+  kHello = 20,           ///< u64 client id, u32 session epoch (reconnects),
+                         ///< [u8 feature bits: bit0 = caches read locks]
+  kHelloResp = 21,       ///< u32 writer lease ms (0 = leases disabled),
+                         ///< [u8 feature bits: bit0 = server revokes]
+  kRevokeRead = 22,      ///< notification: lp segment, u32 revoke_gen —
+                         ///< release cached lock, echo gen in the ack
+  kRevokeAck = 23,       ///< lp segment, u32 revoke_gen: cached read lock
+                         ///< has been dropped (stale gen = ignored)
 };
 
 /// Human-readable name of a MsgType ("kAcquireWrite", ...) for error

@@ -1,0 +1,399 @@
+// Distributed lock caching: a client retains its reader lock after
+// release and satisfies repeat acquires with zero RPCs; the server revokes
+// cached locks when a writer arrives (bounded by the revocation deadline);
+// concurrent local threads sub-let one cached lock. Protocol negotiation
+// keeps old clients working unchanged.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "interweave/interweave.hpp"
+
+namespace iw {
+namespace {
+
+using client::ReconnectingChannel;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+Client::ChannelFactory inproc_factory(ServerCore& core) {
+  return [&core](const std::string&) {
+    return std::make_shared<InProcChannel>(core);
+  };
+}
+
+/// Creates (or updates) `url`'s one named int32[4] block "a" = `value`.
+void seed_segment(Client& writer, ClientSegment* seg, int32_t value) {
+  const TypeDescriptor* arr = writer.types().array_of(
+      writer.types().primitive(PrimitiveKind::kInt32), 4);
+  writer.write_lock(seg);
+  client::BlockHeader* blk = seg->heap().find_by_name("a");
+  auto* data = blk != nullptr
+                   ? reinterpret_cast<int32_t*>(
+                         const_cast<uint8_t*>(blk->data()))
+                   : static_cast<int32_t*>(writer.malloc_block(seg, arr, "a"));
+  for (int i = 0; i < 4; ++i) data[i] = value;
+  writer.write_unlock(seg);
+}
+
+int32_t read_value(Client& reader, ClientSegment* seg,
+                   const std::string& url) {
+  reader.read_lock(seg);
+  auto* p = static_cast<int32_t*>(reader.mip_to_ptr(url + "#a#0"));
+  int32_t v = p == nullptr ? -1 : p[0];
+  reader.read_unlock(seg);
+  return v;
+}
+
+TEST(LockCache, RepeatReadAcquiresHitCacheWithoutRpc) {
+  server::SegmentServer core;
+  const std::string url = "host/cache-hit";
+  Client writer(inproc_factory(core));
+  seed_segment(writer, writer.open_segment(url), 7);
+
+  Client reader(inproc_factory(core));
+  ClientSegment* rs = reader.open_segment(url);
+  EXPECT_EQ(read_value(reader, rs, url), 7);  // pays the RPC, earns the grant
+  const uint64_t server_calls = reader.stats().read_lock_server_calls;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(read_value(reader, rs, url), 7);
+  }
+  ClientStats stats = reader.stats();
+  EXPECT_EQ(stats.lock_cache_hits, 10u);
+  EXPECT_EQ(stats.lock_cache_misses, 1u);
+  EXPECT_EQ(stats.read_lock_server_calls, server_calls)
+      << "cached acquires must cost zero RPCs";
+  EXPECT_GE(core.stats().cached_read_grants, 1u);
+}
+
+TEST(LockCache, DisabledOptionFallsBackToRpcPerAcquire) {
+  if (std::getenv("IW_LOCK_CACHE") != nullptr) {
+    GTEST_SKIP() << "IW_LOCK_CACHE overrides the option under test";
+  }
+  server::SegmentServer core;
+  const std::string url = "host/cache-off";
+  Client writer(inproc_factory(core));
+  seed_segment(writer, writer.open_segment(url), 3);
+
+  Client::Options copts;
+  copts.cache_read_locks = false;
+  Client reader(inproc_factory(core), copts);
+  ClientSegment* rs = reader.open_segment(url);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(read_value(reader, rs, url), 3);
+  }
+  ClientStats stats = reader.stats();
+  EXPECT_EQ(stats.lock_cache_hits, 0u);
+  EXPECT_EQ(stats.lock_cache_misses, 0u);
+  // Full coherence without caching pays one acquire RPC per lock.
+  EXPECT_EQ(stats.read_lock_server_calls, 5u);
+}
+
+TEST(LockCache, WriterRevokesIdleCachedLock) {
+  server::SegmentServer core;
+  const std::string url = "host/revoke-idle";
+  Client writer(inproc_factory(core));
+  ClientSegment* ws = writer.open_segment(url);
+  seed_segment(writer, ws, 1);
+
+  Client reader(inproc_factory(core));
+  ClientSegment* rs = reader.open_segment(url);
+  EXPECT_EQ(read_value(reader, rs, url), 1);  // lock now cached, reader idle
+
+  // The writer must drain the cached lock before committing; the reader's
+  // ack thread releases it without any reader-side activity.
+  seed_segment(writer, ws, 2);
+
+  server::SegmentServer::Stats sstats = core.stats();
+  EXPECT_EQ(sstats.revokes_sent, 1u);
+  EXPECT_EQ(sstats.revokes_acked, 1u);
+  EXPECT_EQ(sstats.revokes_expired, 0u);
+  // The ack counter is bumped by the reader's ack thread just after the
+  // server processes the ack; allow it a moment.
+  for (int spin = 0; spin < 200 && reader.stats().revokes_acked == 0; ++spin) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_EQ(reader.stats().revokes_acked, 1u);
+
+  // The cached entry is gone: the next read pays an RPC and sees the new
+  // data (the zero-RPC fast path would have been unsound here otherwise).
+  const uint64_t misses = reader.stats().lock_cache_misses;
+  EXPECT_EQ(read_value(reader, rs, url), 2);
+  EXPECT_EQ(reader.stats().lock_cache_misses, misses + 1);
+}
+
+TEST(LockCache, RevokeDefersToCriticalSectionExit) {
+  server::SegmentServer core;
+  const std::string url = "host/revoke-defer";
+  Client writer(inproc_factory(core));
+  ClientSegment* ws = writer.open_segment(url);
+  seed_segment(writer, ws, 1);
+
+  Client reader(inproc_factory(core));
+  ClientSegment* rs = reader.open_segment(url);
+  reader.read_lock(rs);  // inside the critical section, grant held
+
+  std::atomic<bool> acquired{false};
+  std::thread w([&] {
+    writer.write_lock(ws);
+    acquired.store(true);
+    writer.write_unlock(ws);
+  });
+  // The revoke must not be honoured while a reader is inside.
+  std::this_thread::sleep_for(milliseconds(100));
+  EXPECT_FALSE(acquired.load())
+      << "writer acquired while a cached-lock reader was inside its CS";
+  reader.read_unlock(rs);  // last reader out: deferred ack fires
+  w.join();
+  EXPECT_TRUE(acquired.load());
+
+  server::SegmentServer::Stats sstats = core.stats();
+  EXPECT_EQ(sstats.revokes_sent, 1u);
+  EXPECT_EQ(sstats.revokes_acked, 1u);
+  EXPECT_EQ(sstats.revokes_expired, 0u);
+}
+
+TEST(LockCache, SubletGrantsExtraLocalThreadUnderOneLock) {
+  server::SegmentServer core;
+  const std::string url = "host/sublet";
+  Client writer(inproc_factory(core));
+  seed_segment(writer, writer.open_segment(url), 5);
+
+  Client reader(inproc_factory(core));
+  ClientSegment* rs = reader.open_segment(url);
+  reader.read_lock(rs);
+  std::thread t([&] {
+    reader.read_lock(rs);  // rides the first thread's lock: no RPC
+    reader.read_unlock(rs);
+  });
+  t.join();
+  reader.read_unlock(rs);
+  EXPECT_EQ(reader.stats().sublet_grants, 1u);
+  EXPECT_EQ(reader.stats().read_lock_server_calls, 1u);
+}
+
+TEST(LockCache, RevocationDeadlineBoundsWriterStall) {
+  server::SegmentServer::Options sopts;
+  sopts.revoke_deadline_ms = 150;
+  sopts.writer_lease_ms = 0;
+  server::SegmentServer core(sopts);
+  const std::string url = "host/revoke-deadline";
+  Client writer(inproc_factory(core));
+  ClientSegment* ws = writer.open_segment(url);
+  seed_segment(writer, ws, 1);
+
+  Client reader(inproc_factory(core));
+  ClientSegment* rs = reader.open_segment(url);
+  reader.read_lock(rs);  // stuck reader: never leaves the critical section
+
+  // Writer starvation is bounded: the server force-expires the cached lock
+  // at the revocation deadline instead of waiting on a sick client.
+  auto start = steady_clock::now();
+  writer.write_lock(ws);
+  auto waited =
+      std::chrono::duration_cast<milliseconds>(steady_clock::now() - start);
+  writer.write_unlock(ws);
+  EXPECT_GE(waited.count(), 100) << "writer did not wait for the revocation";
+  EXPECT_LT(waited.count(), 2'000) << "writer stalled past the deadline";
+  EXPECT_EQ(core.stats().revokes_expired, 1u);
+
+  // The stuck reader eventually unlocks; its stale ack is idempotent and
+  // the next acquire resynchronizes.
+  reader.read_unlock(rs);
+  seed_segment(writer, ws, 9);
+  EXPECT_EQ(read_value(reader, rs, url), 9);
+}
+
+// --- protocol level -------------------------------------------------------
+
+Frame raw_call(ClientChannel& ch, MsgType type, Buffer payload) {
+  return ch.call(type, std::move(payload));
+}
+
+Buffer open_payload(const std::string& url) {
+  Buffer p;
+  p.append_lp_string(url);
+  p.append_u8(1);
+  return p;
+}
+
+Buffer acquire_read_payload(const std::string& url) {
+  Buffer p;
+  p.append_lp_string(url);
+  p.append_u32(0);
+  p.append_u8(static_cast<uint8_t>(CoherenceModel::kFull));
+  p.append_u64(0);
+  return p;
+}
+
+Buffer acquire_write_payload(const std::string& url) {
+  Buffer p;
+  p.append_lp_string(url);
+  p.append_u32(0);
+  return p;
+}
+
+Buffer empty_release_payload(const std::string& url, uint32_t version) {
+  Buffer p;
+  p.append_lp_string(url);
+  DiffWriter(p, version, version).finish();
+  return p;
+}
+
+TEST(LockCache, ReleaseReadKeepFlagRetainsServerRegistration) {
+  server::SegmentServer::Options sopts;
+  sopts.revoke_deadline_ms = 100;
+  sopts.writer_lease_ms = 0;
+  server::SegmentServer core(sopts);
+  const std::string url = "host/keep-flag";
+
+  // A negotiating session (the hello handshake announces lock caching).
+  ReconnectingChannel::Options ropts;
+  ropts.announce_lock_caching = true;
+  auto reader = std::make_shared<ReconnectingChannel>(
+      [&core]() -> std::shared_ptr<ClientChannel> {
+        return std::make_shared<InProcChannel>(core);
+      },
+      ropts);
+  raw_call(*reader, MsgType::kOpenSegment, open_payload(url));
+  EXPECT_TRUE(reader->supports_lock_caching());
+  EXPECT_EQ(reader->server_revoke_deadline_ms(), 100u);
+
+  auto writer = std::make_shared<InProcChannel>(core);
+  EXPECT_FALSE(writer->supports_lock_caching());  // no hello, no caching
+  raw_call(*writer, MsgType::kOpenSegment, open_payload(url));
+
+  // Acquire grants a cached lock (trailing byte); a *plain* release
+  // surrenders it — the writer then acquires without any revocation.
+  Frame resp = raw_call(*reader, MsgType::kAcquireRead,
+                        acquire_read_payload(url));
+  ASSERT_FALSE(resp.payload.empty());
+  EXPECT_EQ(resp.payload.back(), 1u) << "grant byte missing or denied";
+  Buffer plain;
+  plain.append_lp_string(url);
+  raw_call(*reader, MsgType::kReleaseRead, std::move(plain));
+
+  auto start = steady_clock::now();
+  raw_call(*writer, MsgType::kAcquireWrite, acquire_write_payload(url));
+  auto waited =
+      std::chrono::duration_cast<milliseconds>(steady_clock::now() - start);
+  EXPECT_LT(waited.count(), 80) << "plain release left the lock registered";
+  EXPECT_EQ(core.stats().revokes_sent, 0u);
+  raw_call(*writer, MsgType::kReleaseWrite, empty_release_payload(url, 0));
+
+  // With the keep flag the registration survives the release: the next
+  // writer must revoke, and — this session never acks — waits out the full
+  // revocation deadline.
+  resp = raw_call(*reader, MsgType::kAcquireRead, acquire_read_payload(url));
+  ASSERT_FALSE(resp.payload.empty());
+  EXPECT_EQ(resp.payload.back(), 1u);
+  Buffer keep;
+  keep.append_lp_string(url);
+  keep.append_u8(1);
+  raw_call(*reader, MsgType::kReleaseRead, std::move(keep));
+
+  start = steady_clock::now();
+  raw_call(*writer, MsgType::kAcquireWrite, acquire_write_payload(url));
+  waited =
+      std::chrono::duration_cast<milliseconds>(steady_clock::now() - start);
+  EXPECT_GE(waited.count(), 50) << "kept lock did not force a revocation";
+  EXPECT_EQ(core.stats().revokes_sent, 1u);
+  EXPECT_EQ(core.stats().revokes_expired, 1u);
+  raw_call(*writer, MsgType::kReleaseWrite, empty_release_payload(url, 0));
+}
+
+TEST(LockCache, NonNegotiatingClientsSeeNoGrants) {
+  server::SegmentServer core;
+  const std::string url = "host/old-client";
+  Client writer(inproc_factory(core));
+  seed_segment(writer, writer.open_segment(url), 4);
+
+  // auto_reconnect off: raw channel, no hello, no negotiation — the exact
+  // shape of a pre-lock-caching client. Everything must work unchanged.
+  Client::Options copts;
+  copts.auto_reconnect = false;
+  Client reader(inproc_factory(core), copts);
+  ClientSegment* rs = reader.open_segment(url);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(read_value(reader, rs, url), 4);
+  }
+  EXPECT_EQ(reader.stats().lock_cache_hits, 0u);
+  EXPECT_EQ(core.stats().cached_read_grants, 0u);
+  EXPECT_EQ(core.stats().revokes_sent, 0u);
+}
+
+// --- over real sockets ----------------------------------------------------
+
+TEST(LockCacheTcp, RevokeRoundTripOverSockets) {
+  server::SegmentServer core;
+  TcpServer server(core, 0);
+  uint16_t port = server.port();
+  auto factory = [port](const std::string&) {
+    return std::make_shared<TcpClientChannel>(port);
+  };
+
+  Client writer(factory);
+  ClientSegment* ws = writer.open_segment("host/tcp-revoke");
+  seed_segment(writer, ws, 1);
+
+  Client reader(factory);
+  ClientSegment* rs = reader.open_segment("host/tcp-revoke");
+  EXPECT_EQ(read_value(reader, rs, "host/tcp-revoke"), 1);
+  EXPECT_EQ(read_value(reader, rs, "host/tcp-revoke"), 1);
+  EXPECT_EQ(reader.stats().lock_cache_hits, 1u);
+
+  seed_segment(writer, ws, 2);  // revokes the cached lock over the wire
+
+  EXPECT_EQ(read_value(reader, rs, "host/tcp-revoke"), 2);
+  server::SegmentServer::Stats sstats = core.stats();
+  EXPECT_EQ(sstats.revokes_sent, 1u);
+  EXPECT_EQ(sstats.revokes_acked, 1u);
+  EXPECT_EQ(sstats.revokes_expired, 0u);
+}
+
+TEST(LockCacheTcp, CallInsideNotifyHandlerDoesNotDeadlock) {
+  server::SegmentServer core;
+  TcpServer server(core, 0);
+  const std::string url = "host/notify-reentry";
+
+  // A raw channel that issues a *call* from inside its notification
+  // handler. The handler runs on the channel's dispatcher thread, so the
+  // receiver thread stays free to deliver the call's response; before
+  // notifications were decoupled from the receiver this deadlocked.
+  TcpClientChannel sub(server.port());
+  std::mutex mu;
+  std::condition_variable cv;
+  bool pinged = false;
+  sub.set_notify_handler([&](const Frame& frame) {
+    if (frame.type != MsgType::kNotifyVersion) return;
+    Buffer empty;
+    Frame resp = sub.call(MsgType::kPing, std::move(empty));
+    std::lock_guard lock(mu);
+    pinged = resp.type == MsgType::kPingResp;
+    cv.notify_all();
+  });
+  raw_call(sub, MsgType::kOpenSegment, open_payload(url));
+  Buffer subscribe;
+  subscribe.append_lp_string(url);
+  raw_call(sub, MsgType::kSubscribe, std::move(subscribe));
+
+  uint16_t port = server.port();
+  Client writer([port](const std::string&) {
+    return std::make_shared<TcpClientChannel>(port);
+  });
+  seed_segment(writer, writer.open_segment(url), 1);  // commit -> notify
+
+  std::unique_lock lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                          [&] { return pinged; }))
+      << "call from inside the notify handler deadlocked";
+}
+
+}  // namespace
+}  // namespace iw

@@ -156,6 +156,11 @@ TEST(Reactor, ManyTinyFramesInOneWriteAreBatched) {
       << "response coalescing not engaged";
   EXPECT_GT(stats.frames_batched, 0u);
   EXPECT_GT(stats.epoll_wakeups, 0u);
+  // Edge-triggered reads: the burst is drained to EAGAIN on each readiness
+  // transition, so wakeups scale with arrival transitions, not frames. A
+  // regression to one-wakeup-per-frame polling would blow well past this.
+  EXPECT_LT(stats.epoll_wakeups, kPings / 4)
+      << "burst not amortized into few epoll wakeups";
   EXPECT_GE(stats.worker_queue_depth_max, 1u);
 }
 
