@@ -36,6 +36,7 @@
 #include "net/fault.hpp"
 #include "net/inproc.hpp"
 #include "net/tcp.hpp"
+#include "server/directory.hpp"
 #include "server/server.hpp"
 
 namespace iw {

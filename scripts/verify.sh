@@ -11,6 +11,10 @@
 # The lock-cache suite and an IW_LOCK_CACHE=1 chaos lane run under both
 # sanitizers too: revocation acks ride a background worker thread racing
 # lock acquires, releases, and channel teardown — TSan bait by design.
+# The replication chaos suite (WAL streaming, directory failover, epoch
+# fencing, and the fork+SIGKILL zero-lost-acks matrix) runs under UBSan,
+# and its thread-safe subset plus a real-sockets failover lane under TSan —
+# replicator link workers race committers, promoters, and teardown.
 # Finally a recovery soak: repeated crash/restart cycles (the WAL crash
 # matrix plus the restart-chaos workload) under UBSan, so recovery's
 # byte-slicing replay path is exercised many times in one run.
@@ -34,12 +38,17 @@ cmake -B "$UBSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DIW_SANITIZE=undefined
 cmake --build "$UBSAN_BUILD" -j "$JOBS" \
       --target wire_translate_test fault_test lease_test chaos_test \
-      reactor_test lock_cache_test
+      reactor_test lock_cache_test replication_chaos_test
 UBSAN_OPTIONS=halt_on_error=1 \
     "$UBSAN_BUILD"/tests/wire_translate_test
-for t in fault_test lease_test chaos_test reactor_test lock_cache_test; do
+for t in fault_test lease_test chaos_test reactor_test lock_cache_test \
+         replication_chaos_test; do
   UBSAN_OPTIONS=halt_on_error=1 "$UBSAN_BUILD"/tests/"$t"
 done
+echo "== replicated failover over real sockets under UBSan =="
+IW_REPL_TRANSPORT=tcp UBSAN_OPTIONS=halt_on_error=1 \
+    "$UBSAN_BUILD"/tests/replication_chaos_test \
+    --gtest_filter='Seeds/ReplicationFailoverTest.*'
 echo "== chaos/lease suites over the reactor transport under UBSan =="
 IW_CHAOS_TRANSPORT=tcp UBSAN_OPTIONS=halt_on_error=1 \
     "$UBSAN_BUILD"/tests/chaos_test --gtest_filter='Seeds/ChaosTest.*'
@@ -65,10 +74,20 @@ echo "== fault/lease/chaos tests under TSan =="
 cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DIW_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j "$JOBS" \
-      --target fault_test lease_test chaos_test reactor_test lock_cache_test
+      --target fault_test lease_test chaos_test reactor_test lock_cache_test \
+      replication_chaos_test
 for t in fault_test lease_test chaos_test reactor_test lock_cache_test; do
   TSAN_OPTIONS=halt_on_error=1 "$TSAN_BUILD"/tests/"$t"
 done
+# The SIGKILL suite forks a multi-threaded child, which TSan's runtime
+# does not survive; the controlled-failover and directory suites carry the
+# same replication/promotion races without fork.
+TSAN_OPTIONS=halt_on_error=1 "$TSAN_BUILD"/tests/replication_chaos_test \
+    --gtest_filter='-*Sigkill*'
+echo "== replicated failover over real sockets under TSan =="
+IW_REPL_TRANSPORT=tcp TSAN_OPTIONS=halt_on_error=1 \
+    "$TSAN_BUILD"/tests/replication_chaos_test \
+    --gtest_filter='Seeds/ReplicationFailoverTest.*'
 echo "== chaos/lease suites over the reactor transport under TSan =="
 IW_CHAOS_TRANSPORT=tcp TSAN_OPTIONS=halt_on_error=1 \
     "$TSAN_BUILD"/tests/chaos_test --gtest_filter='Seeds/ChaosTest.*'

@@ -1,0 +1,161 @@
+// SegmentDirectory: maps segment URLs to a primary + N replica servers and
+// drives crash-tolerant failover.
+//
+// Placement is consistent hashing over a ring of virtual nodes (so adding
+// a server moves only its share of segments), with explicit per-segment
+// overrides for deployments that pin hot segments. A placement, once
+// resolved, is cached with a monotonically increasing *placement epoch*;
+// the epoch travels inside every replicated WAL record and is how a
+// deposed primary is fenced (see replication.hpp).
+//
+// Failover: when a client's reconnect supervisor cannot reach its primary,
+// its connector re-resolves with `failover` set. The directory then probes
+// the recorded primary (kPing over a short-timeout dial); if the probe
+// fails it asks every reachable replica for its segment version
+// (kOpenSegment), promotes the most-caught-up one with kPromote carrying
+// epoch+1, and republishes the placement. Promotion runs under the
+// directory mutex, so two clients that observe the same dead primary
+// serialize: the first promotes, the second finds the epoch already past
+// its observation and simply adopts the new placement — the
+// double-promotion race resolves to exactly one epoch bump.
+//
+// The zero-acked-loss argument: the primary acked a commit only after
+// `replication_factor` replicas journaled it, and promotion picks the
+// replica with the highest version, so every acknowledged commit is in the
+// promoted server's store and journal.
+//
+// DirectoryCore exposes resolution over the wire (kDirResolve) so clients
+// in other processes can use the same connector; make_failover_connector
+// builds the ReconnectingChannel-compatible connector either against an
+// in-process directory or through a directory channel.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace iw::server {
+
+class SegmentDirectory {
+ public:
+  /// Opens a channel to the server at `address` (an opaque string the
+  /// deployment understands — a port, host:port, or a test token). Must
+  /// throw promptly when the server is unreachable; the dial timeout
+  /// bounds the failover probe, so keep it well under the writer lease.
+  using Dialer =
+      std::function<std::shared_ptr<ClientChannel>(const std::string&)>;
+
+  struct Options {
+    /// Replicas per segment beyond the primary (clamped to nodes - 1).
+    uint32_t replicas = 1;
+    /// Ring positions per node; more = smoother balance, slower rebuild.
+    uint32_t virtual_nodes = 16;
+  };
+
+  /// One segment's server set: node ids, primary first, under one epoch.
+  struct Placement {
+    uint32_t epoch = 0;
+    std::vector<std::string> nodes;
+  };
+
+  struct Stats {
+    uint64_t resolves = 0;           ///< placement lookups served
+    uint64_t failover_resolves = 0;  ///< lookups that probed the primary
+    uint64_t probes_failed = 0;      ///< primaries found dead
+    uint64_t promotions = 0;         ///< replicas promoted to primary
+    uint64_t promote_ms_last = 0;    ///< duration of the latest promotion
+    uint64_t promote_ms_max = 0;     ///< slowest promotion observed
+  };
+
+  SegmentDirectory(Options options, Dialer dial);
+
+  /// Adds a server to the ring. Existing cached placements are untouched
+  /// (segments do not migrate on membership change — only new resolutions
+  /// see the new ring).
+  void add_node(const std::string& id, const std::string& address);
+
+  /// Pins `segment` to an explicit server list (primary first), epoch 1.
+  /// Overrides both the ring and any cached placement.
+  void set_placement(const std::string& segment,
+                     std::vector<std::string> node_ids);
+
+  /// Current placement: the cached one, or a fresh ring walk (epoch 1).
+  /// Throws kState when no nodes are registered.
+  Placement resolve(const std::string& segment);
+
+  /// Failover resolution: returns the current placement if its epoch
+  /// already exceeds `observed_epoch` (another caller promoted first) or
+  /// if the primary still answers a ping; otherwise promotes the
+  /// most-caught-up reachable replica under epoch+1. Throws kIo when the
+  /// primary is dead and no replica is reachable.
+  Placement resolve_for_failover(const std::string& segment,
+                                 uint32_t observed_epoch);
+
+  /// Address registered for a node id (throws kNotFound).
+  std::string address_of(const std::string& node_id) const;
+
+  Stats stats() const;
+
+ private:
+  Placement compute_locked(const std::string& segment) const;
+  std::string address_of_locked(const std::string& node_id) const;
+
+  Options options_;
+  Dialer dial_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::string> nodes_;  // id -> address
+  /// Ring position -> node id. std::map gives the clockwise walk.
+  std::map<uint64_t, std::string> ring_;
+  std::unordered_map<std::string, Placement> placements_;
+
+  std::atomic<uint64_t> resolves_{0};
+  std::atomic<uint64_t> failover_resolves_{0};
+  std::atomic<uint64_t> probes_failed_{0};
+  std::atomic<uint64_t> promotions_{0};
+  std::atomic<uint64_t> promote_ms_last_{0};
+  std::atomic<uint64_t> promote_ms_max_{0};
+};
+
+/// ServerCore fronting a SegmentDirectory, so clients in other processes
+/// resolve placements over the wire (kDirResolve / kDirResolveResp, with
+/// node addresses included so the caller can dial without a membership
+/// view of its own).
+class DirectoryCore final : public ServerCore {
+ public:
+  explicit DirectoryCore(SegmentDirectory& directory)
+      : directory_(directory) {}
+
+  void on_connect(SessionId, Notifier) override {}
+  void on_disconnect(SessionId) override {}
+  Frame handle(SessionId session, const Frame& request) override;
+
+ private:
+  SegmentDirectory& directory_;
+};
+
+/// Connector for a ReconnectingChannel that re-resolves `segment` through
+/// an in-process directory on every (re)connect: the first call resolves
+/// plainly; each later call — which only happens after the previous
+/// connection died — resolves with failover, so a dead primary is probed
+/// and a replica promoted before the client re-dials.
+std::function<std::shared_ptr<ClientChannel>()> make_failover_connector(
+    SegmentDirectory& directory, std::string segment,
+    SegmentDirectory::Dialer dial);
+
+/// Same contract, but resolution travels over a directory channel
+/// (kDirResolve) built fresh per attempt by `dial_directory`, and the
+/// primary is dialed by address from the response.
+std::function<std::shared_ptr<ClientChannel>()> make_failover_connector(
+    std::function<std::shared_ptr<ClientChannel>()> dial_directory,
+    std::string segment, SegmentDirectory::Dialer dial);
+
+}  // namespace iw::server

@@ -1,0 +1,250 @@
+#include "server/replication.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace iw::server {
+
+WalReplicator::WalReplicator(Options options) : options_(options) {}
+
+WalReplicator::~WalReplicator() { shutdown(); }
+
+void WalReplicator::add_replica(std::string id, Dialer dial) {
+  auto link = std::make_unique<Link>();
+  link->id = std::move(id);
+  link->dial = std::move(dial);
+  Link* raw = link.get();
+  std::unique_lock lock(mu_);
+  if (stop_) throw Error(ErrorCode::kState, "replicator is shut down");
+  // A link added after records were trimmed can only stream from here on;
+  // catching a fresh replica up to the past is a snapshot transfer, which
+  // the directory's promotion policy (most-caught-up wins) sidesteps.
+  link->acked = log_.empty() ? next_seq_ : log_.front().seq - 1;
+  links_.push_back(std::move(link));
+  raw->worker = std::thread([this, raw] { link_loop(raw); });
+}
+
+bool WalReplicator::quorum_reached_locked(uint64_t seq, uint32_t need) const {
+  uint32_t acks = 0;
+  for (const auto& link : links_) {
+    if (link->acked >= seq && ++acks >= need) return true;
+  }
+  return need == 0;
+}
+
+void WalReplicator::trim_locked() {
+  uint64_t min_acked = next_seq_;
+  for (const auto& link : links_) min_acked = std::min(min_acked, link->acked);
+  while (!log_.empty() && log_.front().seq <= min_acked) log_.pop_front();
+}
+
+void WalReplicator::replicate(const std::string& segment, uint32_t epoch,
+                              WalRecordType type,
+                              std::span<const uint8_t> head,
+                              std::span<const uint8_t> body) {
+  using clock = std::chrono::steady_clock;
+  std::unique_lock lock(mu_);
+  if (stop_) {
+    throw Error(ErrorCode::kState, "replicator is shut down");
+  }
+  if (fenced_segments_.count(segment) != 0) {
+    throw Error(ErrorCode::kStaleEpoch,
+                "segment '" + segment + "' is owned by a newer primary");
+  }
+  Rec rec;
+  rec.seq = ++next_seq_;
+  rec.segment = segment;
+  rec.epoch = epoch;
+  rec.type = type;
+  rec.payload.reserve(head.size() + body.size());
+  rec.payload.insert(rec.payload.end(), head.begin(), head.end());
+  rec.payload.insert(rec.payload.end(), body.begin(), body.end());
+  const uint64_t seq = rec.seq;
+  log_.push_back(std::move(rec));
+  records_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  if (links_.empty()) {
+    // Nobody will ever drain the log; standalone operation stays O(1).
+    log_.clear();
+    return;
+  }
+  send_cv_.notify_all();
+
+  const uint32_t need = std::min<uint32_t>(
+      options_.replication_factor, static_cast<uint32_t>(links_.size()));
+  if (need == 0) return;
+  const auto deadline =
+      clock::now() + std::chrono::milliseconds(options_.ack_timeout_ms);
+  while (true) {
+    if (fenced_segments_.count(segment) != 0) {
+      // A replica running a newer placement epoch refused the record: this
+      // server was deposed mid-commit and must not ack.
+      throw Error(ErrorCode::kStaleEpoch,
+                  "segment '" + segment + "' is owned by a newer primary");
+    }
+    if (quorum_reached_locked(seq, need)) return;
+    if (stop_) {
+      throw Error(ErrorCode::kState, "replicator is shut down");
+    }
+    if (ack_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        clock::now() >= deadline) {
+      ack_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      // The ack gate failed, not the delivery: the record stays queued and
+      // the links keep sending, so the client's retry converges instead of
+      // opening a version gap on the replicas.
+      throw Error(ErrorCode::kTimedOut,
+                  "replication factor " + std::to_string(need) +
+                      " not reached for '" + segment + "'");
+    }
+  }
+}
+
+void WalReplicator::link_loop(Link* link) {
+  std::unique_lock lock(mu_);
+  bool ever_connected = false;
+  while (true) {
+    send_cv_.wait(lock, [&] { return stop_ || link->acked < next_seq_; });
+    if (stop_) return;
+    // Everything past this link's ack frontier, oldest first. Deque
+    // pointers stay valid across the unlocked send: push_back never moves
+    // elements and trim only pops records below every link's frontier.
+    std::vector<const Rec*> batch;
+    for (const Rec& r : log_) {
+      if (r.seq <= link->acked) continue;
+      batch.push_back(&r);
+      if (batch.size() >= options_.max_batch_records) break;
+    }
+    if (batch.empty()) continue;  // raced a trim; frontier already moved
+    const uint64_t last_seq = batch.back()->seq;
+    std::shared_ptr<ClientChannel> channel = link->channel;
+    lock.unlock();
+
+    bool sent = false;
+    uint32_t stale_count = 0;
+    std::vector<std::string> stale;
+    try {
+      if (channel == nullptr) {
+        channel = link->dial();
+        if (ever_connected) {
+          link_reconnects_.fetch_add(1, std::memory_order_relaxed);
+        }
+        ever_connected = true;
+        std::lock_guard g(mu_);
+        link->channel = channel;  // shutdown() can now sever it
+      }
+      Buffer payload;
+      payload.append_u32(static_cast<uint32_t>(batch.size()));
+      for (const Rec* r : batch) {
+        payload.append_lp_string(r->segment);
+        payload.append_u32(r->epoch);
+        payload.append_u8(static_cast<uint8_t>(r->type));
+        payload.append_u32(static_cast<uint32_t>(r->payload.size()));
+        payload.append(r->payload.data(), r->payload.size());
+      }
+      Frame resp = channel->call(MsgType::kWalAppend, std::move(payload));
+      BufReader in = resp.reader();
+      in.read_u32();  // applied count (informational)
+      stale_count = in.read_u32();
+      for (uint32_t i = 0; i < stale_count; ++i) {
+        stale.push_back(in.read_lp_string());
+      }
+      sent = true;
+      batches_sent_.fetch_add(1, std::memory_order_relaxed);
+      records_sent_.fetch_add(batch.size(), std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      link_errors_.fetch_add(1, std::memory_order_relaxed);
+      IW_LOG(kWarn) << "replica link " << link->id
+                    << " append failed: " << e.what();
+    }
+
+    lock.lock();
+    if (sent) {
+      // Stale records count as settled for sequencing — the promoted
+      // replica will never accept them and the committer is told via the
+      // fence instead of hanging on an ack that cannot come.
+      link->acked = std::max(link->acked, last_seq);
+      for (std::string& s : stale) {
+        if (fenced_segments_.insert(std::move(s)).second) {
+          stale_epoch_fences_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      // Advance the factor frontier: everything at or below the need-th
+      // highest link frontier has reached the replication factor.
+      const uint32_t need = std::min<uint32_t>(
+          options_.replication_factor, static_cast<uint32_t>(links_.size()));
+      uint64_t frontier = next_seq_;
+      if (need > 0) {
+        std::vector<uint64_t> acked;
+        acked.reserve(links_.size());
+        for (const auto& l : links_) acked.push_back(l->acked);
+        std::nth_element(acked.begin(), acked.begin() + (need - 1),
+                         acked.end(), std::greater<uint64_t>());
+        frontier = acked[need - 1];
+      }
+      if (frontier > quorum_frontier_) {
+        records_acked_.fetch_add(frontier - quorum_frontier_,
+                                 std::memory_order_relaxed);
+        quorum_frontier_ = frontier;
+      }
+      trim_locked();
+      ack_cv_.notify_all();
+    } else {
+      // Failed send: drop the channel and redial after a backoff (cut
+      // short by shutdown).
+      link->channel.reset();
+      channel.reset();
+      send_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.reconnect_backoff_ms),
+          [&] { return stop_; });
+      if (stop_) return;
+    }
+  }
+}
+
+bool WalReplicator::fenced(const std::string& segment) const {
+  std::lock_guard lock(mu_);
+  return fenced_segments_.count(segment) != 0;
+}
+
+void WalReplicator::shutdown() {
+  std::vector<std::shared_ptr<ClientChannel>> channels;
+  {
+    std::lock_guard lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+    for (auto& link : links_) channels.push_back(link->channel);
+    send_cv_.notify_all();
+    ack_cv_.notify_all();
+  }
+  // Sever live channels so a worker blocked in call() fails promptly.
+  for (auto& ch : channels) {
+    if (ch != nullptr) ch->shutdown();
+  }
+  for (auto& link : links_) {
+    if (link->worker.joinable()) link->worker.join();
+  }
+}
+
+size_t WalReplicator::replica_count() const {
+  std::lock_guard lock(mu_);
+  return links_.size();
+}
+
+WalReplicator::Stats WalReplicator::stats() const {
+  Stats s;
+  s.records_enqueued = records_enqueued_.load(std::memory_order_relaxed);
+  s.records_acked = records_acked_.load(std::memory_order_relaxed);
+  s.batches_sent = batches_sent_.load(std::memory_order_relaxed);
+  s.records_sent = records_sent_.load(std::memory_order_relaxed);
+  s.link_reconnects = link_reconnects_.load(std::memory_order_relaxed);
+  s.link_errors = link_errors_.load(std::memory_order_relaxed);
+  s.stale_epoch_fences = stale_epoch_fences_.load(std::memory_order_relaxed);
+  s.ack_timeouts = ack_timeouts_.load(std::memory_order_relaxed);
+  std::lock_guard lock(mu_);
+  s.backlog_records = log_.size();
+  return s;
+}
+
+}  // namespace iw::server

@@ -1,0 +1,160 @@
+// WalReplicator: chain-streams a primary's write-ahead records to replica
+// servers and gates commit acknowledgement on a replication factor.
+//
+// The primary appends every journaled record (type registrations, commits)
+// to an in-memory replication log; one worker thread per replica link
+// drains that log into kWalAppend frames. Batching is implicit group
+// commit: while one RPC is in flight, every record enqueued behind it rides
+// the next frame, so a burst of commits across segments costs one round
+// trip per link, mirroring the client-side send coalescing.
+//
+// replicate() blocks until `replication_factor` links have journaled the
+// record (a replica acks only after applying it to its store *and*
+// appending it to its own WAL), which is what lets the server ack a client
+// commit with the zero-acked-loss guarantee: an acked commit exists in at
+// least that many journals, so promoting the most-caught-up replica after
+// a primary crash loses nothing that was acknowledged. A timeout fails the
+// *acknowledgement*, never the delivery — the record stays queued and the
+// links keep re-sending it in order, so a slow replica degrades commit
+// latency, not replica consistency.
+//
+// Epoch fencing: every record carries the segment's placement epoch. A
+// replica that has been promoted (or has seen a newer primary) reports
+// older-epoch records as stale in its kWalAck instead of applying them;
+// the replicator then fences that segment and every later replicate() for
+// it throws kStaleEpoch. Because acks gate commit acknowledgement, a
+// deposed primary can never again ack a commit — the ack gate doubles as
+// the fence.
+//
+// Links reconnect with backoff and re-send from their last acked record;
+// replicas apply idempotently (a commit at or below the store version is
+// skipped), so duplicated batches after a reconnect are harmless.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "server/wal.hpp"
+
+namespace iw::server {
+
+class WalReplicator {
+ public:
+  /// Builds a fresh channel to one replica; called on link start and again
+  /// after every transport failure. Must throw when the replica is
+  /// unreachable.
+  using Dialer = std::function<std::shared_ptr<ClientChannel>()>;
+
+  struct Options {
+    /// Links that must journal a record before replicate() returns
+    /// (clamped to the number of replicas; 0 streams without gating acks).
+    uint32_t replication_factor = 1;
+    /// Bound on replicate()'s wait for the factor. Expiry throws kTimedOut
+    /// to the committing client — the record itself stays queued.
+    uint32_t ack_timeout_ms = 5'000;
+    /// Backoff between link redial attempts.
+    uint32_t reconnect_backoff_ms = 10;
+    /// Records per kWalAppend frame; a deeper backlog is sent as several
+    /// consecutive frames.
+    uint32_t max_batch_records = 256;
+  };
+
+  struct Stats {
+    uint64_t records_enqueued = 0;   ///< records offered for replication
+    uint64_t records_acked = 0;      ///< records that reached the factor
+    uint64_t batches_sent = 0;       ///< kWalAppend frames (all links)
+    uint64_t records_sent = 0;       ///< records carried, re-sends included
+    uint64_t link_reconnects = 0;    ///< link redials after a failure
+    uint64_t link_errors = 0;        ///< failed kWalAppend calls
+    uint64_t stale_epoch_fences = 0; ///< segments fenced by a replica
+    uint64_t backlog_records = 0;    ///< records not yet acked by every link
+    uint64_t ack_timeouts = 0;       ///< replicate() waits that expired
+  };
+
+  explicit WalReplicator(Options options);
+  ~WalReplicator();
+
+  WalReplicator(const WalReplicator&) = delete;
+  WalReplicator& operator=(const WalReplicator&) = delete;
+
+  /// Registers a replica link and starts its worker. Call before the
+  /// first replicate(); `id` only labels logs and errors.
+  void add_replica(std::string id, Dialer dial);
+
+  /// Enqueues one WAL record (body = type byte | head | body, exactly as
+  /// journaled locally) for every link and blocks until the replication
+  /// factor has journaled it. Throws kTimedOut when the factor is not
+  /// reached in time, kStaleEpoch when a replica reported this segment
+  /// fenced (the caller has been deposed), kState after shutdown().
+  void replicate(const std::string& segment, uint32_t epoch,
+                 WalRecordType type, std::span<const uint8_t> head,
+                 std::span<const uint8_t> body = {});
+
+  /// True when a replica reported this segment as owned by a newer epoch;
+  /// replicate() for it fails until the server is re-promoted.
+  bool fenced(const std::string& segment) const;
+
+  /// Stops the links and joins the workers. Unsent records are dropped —
+  /// they were never acknowledged to any client. Idempotent; the
+  /// destructor implies it.
+  void shutdown();
+
+  size_t replica_count() const;
+  Stats stats() const;
+
+ private:
+  struct Rec {
+    uint64_t seq;
+    std::string segment;
+    uint32_t epoch;
+    WalRecordType type;
+    std::vector<uint8_t> payload;  // head | body (no type byte)
+  };
+  struct Link {
+    std::string id;
+    Dialer dial;
+    std::shared_ptr<ClientChannel> channel;  // worker-owned once started
+    uint64_t acked = 0;  ///< highest seq this replica has journaled
+    std::thread worker;
+  };
+
+  void link_loop(Link* link);
+  /// Records acked by at least `need` links at or above `seq`.
+  bool quorum_reached_locked(uint64_t seq, uint32_t need) const;
+  void trim_locked();
+
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable send_cv_;  ///< workers: new records / stop
+  std::condition_variable ack_cv_;   ///< committers: acks / fences / stop
+  std::deque<Rec> log_;
+  uint64_t next_seq_ = 0;  ///< seq of the most recently enqueued record
+  uint64_t quorum_frontier_ = 0;  ///< highest seq at the replication factor
+  std::vector<std::unique_ptr<Link>> links_;
+  std::unordered_set<std::string> fenced_segments_;
+  bool stop_ = false;
+
+  // Counters not derivable from the log (relaxed; stats() snapshots).
+  std::atomic<uint64_t> records_enqueued_{0};
+  std::atomic<uint64_t> records_acked_{0};
+  std::atomic<uint64_t> batches_sent_{0};
+  std::atomic<uint64_t> records_sent_{0};
+  std::atomic<uint64_t> link_reconnects_{0};
+  std::atomic<uint64_t> link_errors_{0};
+  std::atomic<uint64_t> stale_epoch_fences_{0};
+  std::atomic<uint64_t> ack_timeouts_{0};
+};
+
+}  // namespace iw::server

@@ -1,5 +1,6 @@
 #include "server/server.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <vector>
@@ -234,6 +235,24 @@ void SegmentServer::revoke_cached_readers_locked(
     it->second.cached_read = false;
     it->second.revoke_pending = false;
   }
+  // Grants past their TTL are dropped up front, with no revoke round trip:
+  // their holders are presumed gone, and the writer should not spend the
+  // revocation deadline waiting for acks that cannot come.
+  if (options_.cached_grant_ttl_ms != 0) {
+    const auto cutoff =
+        clock::now() - std::chrono::milliseconds(options_.cached_grant_ttl_ms);
+    uint64_t swept = 0;
+    for (auto& [sid, ss] : entry.sessions) {
+      if (sid != session && ss.cached_read && !ss.revoke_pending &&
+          ss.grant_time < cutoff) {
+        ss.cached_read = false;
+        ++swept;
+      }
+    }
+    if (swept != 0) {
+      stats_.expired_grants_swept.fetch_add(swept, std::memory_order_relaxed);
+    }
+  }
   auto cached_holders = [&] {
     size_t n = 0;
     for (auto& [sid, ss] : entry.sessions) {
@@ -454,13 +473,21 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
       }
       uint32_t types_before = entry.store->type_count();
       uint32_t serial = entry.store->register_type(graph);
-      if (entry.wal != nullptr && entry.store->type_count() != types_before) {
+      if (entry.store->type_count() != types_before) {
         // A genuinely new type (not a dedup hit): recovery must know it
-        // before replaying any diff that references it.
+        // before replaying any diff that references it — and so must the
+        // replicas, before any streamed commit references it.
         uint8_t head[4];
         store_be32(head, serial);
-        entry.wal->append(WalRecordType::kRegisterType, {head, sizeof head},
-                          graph);
+        if (entry.wal != nullptr) {
+          entry.wal->append(WalRecordType::kRegisterType, {head, sizeof head},
+                            graph);
+        }
+        if (options_.replicator != nullptr) {
+          options_.replicator->replicate(name, entry.repl_epoch,
+                                         WalRecordType::kRegisterType,
+                                         {head, sizeof head}, graph);
+        }
       }
       // The registering client now knows this serial; extend its known
       // prefix when contiguous.
@@ -501,6 +528,7 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
         ss.cached_read = grant;
         ss.revoke_pending = false;
         if (grant) {
+          ss.grant_time = std::chrono::steady_clock::now();
           stats_.cached_read_grants.fetch_add(1, std::memory_order_relaxed);
         }
         payload.append_u8(grant ? 1 : 0);
@@ -530,6 +558,7 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
             }
             ss.cached_read = true;
             ss.revoke_pending = false;
+            ss.grant_time = std::chrono::steady_clock::now();
           } else if (ss.cached_read || ss.revoke_pending) {
             // Plain release surrenders any cached lock — and acks an
             // in-flight revoke, waking the draining writer.
@@ -651,6 +680,27 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
           throw;
         }
       }
+      // Replicate before ack: the commit is only acknowledged once the
+      // configured replication factor has journaled it, so a primary crash
+      // after this point cannot lose it (the promoted replica has it).
+      if (options_.replicator != nullptr && new_version != old_version) {
+        uint8_t head[4];
+        store_be32(head, new_version);
+        try {
+          options_.replicator->replicate(name, entry.repl_epoch,
+                                         WalRecordType::kCommit,
+                                         {head, sizeof head}, diff_bytes);
+        } catch (...) {
+          // Applied and locally journaled, but the factor did not confirm
+          // in time (or this server was fenced as deposed). Fail the ack
+          // and free the segment; the record stays queued on the links, so
+          // the client's retried commit lands *after* it in stream order —
+          // no replica ever sees a version gap.
+          entry.writer = 0;
+          entry.writer_cv.notify_all();
+          throw;
+        }
+      }
       entry.writer = 0;
       entry.writer_cv.notify_all();
 
@@ -739,12 +789,156 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
       break;
     }
 
+    case MsgType::kWalAppend: {
+      // A batch of WAL records streamed by a primary (this server is the
+      // replica). Records for a segment whose placement epoch has moved on
+      // come from a deposed primary: they are reported as stale instead of
+      // applied, which fences that primary (see replication.hpp). Everything
+      // else is applied to the store and journaled before the ack — the ack
+      // is this replica's durability promise to the primary's client.
+      uint32_t count = in.read_u32();
+      uint32_t applied = 0;
+      std::vector<std::string> stale;
+      for (uint32_t i = 0; i < count; ++i) {
+        std::string name = in.read_lp_string();
+        uint32_t epoch = in.read_u32();
+        auto rtype = static_cast<WalRecordType>(in.read_u8());
+        uint32_t len = in.read_u32();
+        auto body = in.read_bytes(len);
+        SegmentEntry* entry = find_segment(name, true);
+        std::lock_guard el(entry->mu);
+        if (epoch < entry->repl_epoch) {
+          stats_.repl_stale_rejected.fetch_add(1, std::memory_order_relaxed);
+          if (std::find(stale.begin(), stale.end(), name) == stale.end()) {
+            stale.push_back(std::move(name));
+          }
+          continue;
+        }
+        entry->repl_epoch = epoch;
+        apply_replicated_locked(*entry, name, rtype, body);
+        ++applied;
+      }
+      resp.type = MsgType::kWalAck;
+      payload.append_u32(applied);
+      payload.append_u32(static_cast<uint32_t>(stale.size()));
+      for (const std::string& s : stale) payload.append_lp_string(s);
+      break;
+    }
+
+    case MsgType::kPromote: {
+      // The directory elected this server the segment's primary under a new
+      // placement epoch. Adopting the epoch makes any late kWalAppend from
+      // the old primary stale; answering with our version lets the caller
+      // verify it promoted the most-caught-up replica.
+      std::string name = in.read_lp_string();
+      uint32_t new_epoch = in.read_u32();
+      SegmentEntry* entry = find_segment(name, true);
+      std::lock_guard el(entry->mu);
+      if (new_epoch < entry->repl_epoch) {
+        throw Error(ErrorCode::kStaleEpoch,
+                    "promotion of '" + name + "' to epoch " +
+                        std::to_string(new_epoch) + " is behind epoch " +
+                        std::to_string(entry->repl_epoch));
+      }
+      entry->repl_epoch = new_epoch;
+      stats_.promotions_accepted.fetch_add(1, std::memory_order_relaxed);
+      IW_LOG(kInfo) << "promoted to primary of " << name << " (epoch "
+                    << new_epoch << ", v" << entry->store->version() << ")";
+      resp.type = MsgType::kPromoteResp;
+      payload.append_u32(entry->store->version());
+      break;
+    }
+
     default:
       throw Error(ErrorCode::kProtocol, "unexpected message type");
   }
 
   resp.payload = payload.take();
   return resp;
+}
+
+void SegmentServer::apply_replicated_locked(SegmentEntry& entry,
+                                            const std::string& name,
+                                            WalRecordType type,
+                                            std::span<const uint8_t> body) {
+  BufReader in(body.data(), body.size());
+  bool mutated = false;
+  switch (type) {
+    case WalRecordType::kSegmentCreate:
+      // find_segment(create) already materialized the segment; the record
+      // is still journaled below so a recovering replica has the anchor.
+      mutated = entry.store->version() == 0 && entry.store->type_count() == 0;
+      break;
+    case WalRecordType::kRegisterType: {
+      uint32_t serial = in.read_u32();
+      auto graph = in.read_bytes(in.remaining());
+      if (serial <= entry.store->type_count()) break;  // re-sent batch
+      uint32_t got = entry.store->register_type(graph);
+      if (got != serial) {
+        throw Error(ErrorCode::kProtocol,
+                    "replicated type serial gap on '" + name + "' (stream " +
+                        std::to_string(serial) + ", store assigned " +
+                        std::to_string(got) + ")");
+      }
+      mutated = true;
+      break;
+    }
+    case WalRecordType::kCommit: {
+      uint32_t version = in.read_u32();
+      auto diff = in.read_bytes(in.remaining());
+      if (version <= entry.store->version()) break;  // re-sent batch
+      uint32_t got = entry.store->apply_diff(diff);
+      if (got != version) {
+        throw Error(ErrorCode::kProtocol,
+                    "replicated version gap on '" + name + "' (stream v" +
+                        std::to_string(version) + ", store reached v" +
+                        std::to_string(got) + ")");
+      }
+      mutated = true;
+      break;
+    }
+    case WalRecordType::kSegmentDestroy:
+      entry.store = std::make_unique<SegmentStore>(name, options_.store);
+      mutated = true;
+      break;
+  }
+  if (!mutated) return;
+  stats_.repl_records_applied.fetch_add(1, std::memory_order_relaxed);
+  // Journal before the batch is acked: the ack tells the primary this
+  // record survives *this* server's crash too, which is exactly what the
+  // primary promises its client.
+  if (entry.wal != nullptr) entry.wal->append(type, body);
+}
+
+uint64_t SegmentServer::sweep_expired_grants() {
+  if (options_.cached_grant_ttl_ms == 0 || options_.revoke_deadline_ms == 0) {
+    return 0;
+  }
+  const auto cutoff =
+      std::chrono::steady_clock::now() -
+      std::chrono::milliseconds(options_.cached_grant_ttl_ms);
+  uint64_t swept = 0;
+  std::shared_lock dir(dir_mu_);
+  for (auto& [name, entry] : segments_) {
+    std::lock_guard el(entry->mu);
+    uint64_t here = 0;
+    for (auto& [sid, ss] : entry->sessions) {
+      // Grants with a revocation in flight stay with the deadline
+      // machinery — the writer driving it owns their fate.
+      if (ss.cached_read && !ss.revoke_pending && ss.grant_time < cutoff) {
+        ss.cached_read = false;
+        ++here;
+      }
+    }
+    if (here != 0) {
+      swept += here;
+      entry->writer_cv.notify_all();
+    }
+  }
+  if (swept != 0) {
+    stats_.expired_grants_swept.fetch_add(swept, std::memory_order_relaxed);
+  }
+  return swept;
 }
 
 void SegmentServer::checkpoint_segment_locked(SegmentEntry& entry) {
@@ -907,7 +1101,10 @@ void SegmentServer::recover() {
     WriteAheadLog::Replay replay = WriteAheadLog::replay(path.string());
     if (replay.torn_tail) {
       IW_LOG(kWarn) << "journal " << path.filename().string()
-                    << " has a torn tail; truncating";
+                    << " has a torn tail; truncating "
+                    << replay.truncated_bytes << " bytes";
+      stats_.wal_truncated_bytes.fetch_add(replay.truncated_bytes,
+                                           std::memory_order_relaxed);
     }
     auto it = segments_.find(name);
     if (it == segments_.end()) {
@@ -964,10 +1161,20 @@ SegmentServer::Stats SegmentServer::stats() const {
   s.wal_fsyncs = wal_counters_.fsyncs.load(std::memory_order_relaxed);
   s.wal_replayed_records =
       stats_.wal_replayed_records.load(std::memory_order_relaxed);
+  s.wal_truncated_bytes =
+      stats_.wal_truncated_bytes.load(std::memory_order_relaxed);
   s.recoveries_completed =
       stats_.recoveries_completed.load(std::memory_order_relaxed);
   s.checkpoints_quarantined =
       stats_.checkpoints_quarantined.load(std::memory_order_relaxed);
+  s.repl_records_applied =
+      stats_.repl_records_applied.load(std::memory_order_relaxed);
+  s.repl_stale_rejected =
+      stats_.repl_stale_rejected.load(std::memory_order_relaxed);
+  s.promotions_accepted =
+      stats_.promotions_accepted.load(std::memory_order_relaxed);
+  s.expired_grants_swept =
+      stats_.expired_grants_swept.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -986,6 +1193,12 @@ uint32_t SegmentServer::segment_epoch(const std::string& name) const {
   const SegmentEntry& entry = segment(name);
   std::lock_guard el(entry.mu);
   return entry.epoch;
+}
+
+uint32_t SegmentServer::segment_placement_epoch(const std::string& name) const {
+  const SegmentEntry& entry = segment(name);
+  std::lock_guard el(entry.mu);
+  return entry.repl_epoch;
 }
 
 }  // namespace iw::server

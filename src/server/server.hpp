@@ -28,6 +28,7 @@
 #include <unordered_set>
 
 #include "net/transport.hpp"
+#include "server/replication.hpp"
 #include "server/segment_store.hpp"
 #include "server/wal.hpp"
 #include "wire/coherence.hpp"
@@ -65,6 +66,15 @@ class SegmentServer : public ServerCore {
     /// kReleaseRead drops the lock server-side even when the client asked
     /// to cache it.
     uint32_t revoke_deadline_ms = 2'000;
+    /// Cached read grants idle longer than this are swept server-side
+    /// without a revoke round trip — a crashed or wedged holder can never
+    /// ack one, so the TTL bounds how long it can tax every future writer
+    /// with a full revocation deadline. 0 disables the sweep.
+    uint32_t cached_grant_ttl_ms = 0;
+    /// Streams every journaled record to replica servers and gates commit
+    /// acknowledgement on its replication factor (see replication.hpp);
+    /// null runs standalone.
+    std::shared_ptr<WalReplicator> replicator;
     /// Store tuning (diff cache, prediction, subblock size).
     SegmentStore::Options store;
   };
@@ -90,8 +100,15 @@ class SegmentServer : public ServerCore {
     uint64_t wal_bytes_appended = 0;
     uint64_t wal_fsyncs = 0;
     uint64_t wal_replayed_records = 0;      ///< records applied by recover()
+    uint64_t wal_truncated_bytes = 0;       ///< torn-tail bytes cut at recover
     uint64_t recoveries_completed = 0;      ///< recover() invocations done
     uint64_t checkpoints_quarantined = 0;   ///< corrupt *.iwseg set aside
+    // Federation (replica role): records streamed in by a primary and
+    // placement-epoch enforcement.
+    uint64_t repl_records_applied = 0;   ///< kWalAppend records applied
+    uint64_t repl_stale_rejected = 0;    ///< records refused by epoch fence
+    uint64_t promotions_accepted = 0;    ///< kPromote epochs adopted
+    uint64_t expired_grants_swept = 0;   ///< cached grants dropped by TTL
   };
 
   SegmentServer();
@@ -112,6 +129,13 @@ class SegmentServer : public ServerCore {
   /// serving; existing in-memory segments with the same name are replaced.
   void recover();
 
+  /// Drops cached read grants older than cached_grant_ttl_ms across every
+  /// segment (no revoke round trip — the holder is presumed gone). Returns
+  /// the number swept; 0 when the TTL is disabled. Writers also apply the
+  /// TTL inline before fanning out revocations, so calling this is only
+  /// needed to reclaim grants on otherwise idle segments.
+  uint64_t sweep_expired_grants();
+
   Stats stats() const;
   /// Store-level stats for one segment (throws kNotFound).
   StoreStats segment_stats(const std::string& name) const;
@@ -120,6 +144,8 @@ class SegmentServer : public ServerCore {
   /// Lease-reclaim epoch of a segment: bumped each time an expired writer
   /// lease is reclaimed from a stalled holder (throws kNotFound).
   uint32_t segment_epoch(const std::string& name) const;
+  /// Placement epoch of a segment (bumped by kPromote; throws kNotFound).
+  uint32_t segment_placement_epoch(const std::string& name) const;
 
  private:
   /// One session's view of one segment. Guarded by the owning
@@ -137,6 +163,9 @@ class SegmentServer : public ServerCore {
     /// Session announced lock-caching support in its hello (copied from
     /// `caching_sessions_` at first touch); never granted otherwise.
     bool may_cache = false;
+    /// When the current cached grant was issued; the grant-TTL sweep
+    /// compares against it.
+    std::chrono::steady_clock::time_point grant_time{};
     Notifier notify;  // copied from the session record at first touch
   };
   /// One segment plus everything guarded by its lock. Heap-allocated and
@@ -161,6 +190,11 @@ class SegmentServer : public ServerCore {
     /// kRevokeAck; an ack for an older generation is stale (its revocation
     /// was already retired another way) and must be ignored.
     uint32_t revoke_gen = 0;
+    /// Placement epoch this server believes for the segment: stamped into
+    /// every replicated record on a primary, enforced against incoming
+    /// kWalAppend on a replica, bumped by kPromote. A record carrying an
+    /// older epoch comes from a deposed primary and is refused.
+    uint32_t repl_epoch = 1;
     uint32_t versions_since_checkpoint = 0;
     /// Append-only diff journal; null when persistence is disabled. Guarded
     /// by `mu` like the store, so append-before-ack and
@@ -185,8 +219,13 @@ class SegmentServer : public ServerCore {
     std::atomic<uint64_t> revokes_acked{0};
     std::atomic<uint64_t> revokes_expired{0};
     std::atomic<uint64_t> wal_replayed_records{0};
+    std::atomic<uint64_t> wal_truncated_bytes{0};
     std::atomic<uint64_t> recoveries_completed{0};
     std::atomic<uint64_t> checkpoints_quarantined{0};
+    std::atomic<uint64_t> repl_records_applied{0};
+    std::atomic<uint64_t> repl_stale_rejected{0};
+    std::atomic<uint64_t> promotions_accepted{0};
+    std::atomic<uint64_t> expired_grants_swept{0};
   };
 
   Frame dispatch(SessionId session, const Frame& request,
@@ -227,6 +266,14 @@ class SegmentServer : public ServerCore {
                                     std::unique_lock<std::mutex>& el);
   /// Caller holds entry.mu.
   void checkpoint_segment_locked(SegmentEntry& entry);
+  /// Applies one record streamed by a primary (kWalAppend) to the store
+  /// and journals it — the replica half of journal-before-ack. Idempotent:
+  /// a commit at or below the store version (a re-sent batch after a link
+  /// reconnect) is skipped. Caller holds entry.mu and has already passed
+  /// the epoch fence.
+  void apply_replicated_locked(SegmentEntry& entry, const std::string& name,
+                               WalRecordType type,
+                               std::span<const uint8_t> body);
 
   // --- durability plumbing ---
   /// True when commits are journaled (checkpoint_dir set + wal_enabled).

@@ -69,6 +69,7 @@ WriteAheadLog::Replay WriteAheadLog::replay(const std::string& path) {
     // Not a log we can trust at all; the caller starts fresh (valid_bytes 0
     // makes the reopen rewrite the header).
     out.torn_tail = !bytes.empty();
+    out.truncated_bytes = bytes.size();
     out.valid_bytes = 0;
     return out;
   }
@@ -96,6 +97,7 @@ WriteAheadLog::Replay WriteAheadLog::replay(const std::string& path) {
   }
   out.valid_bytes = o;
   out.torn_tail = o < bytes.size();
+  out.truncated_bytes = bytes.size() - o;
   return out;
 }
 

@@ -95,6 +95,10 @@ class WriteAheadLog {
     /// or corrupt tail. Never an error: this is the expected shape of a
     /// crash mid-append.
     bool torn_tail = false;
+    /// How many tail bytes did not parse (file size - valid_bytes when
+    /// torn_tail, else 0) — surfaced as the server's wal_truncated_bytes
+    /// stat so operators can see how much a crash actually cost.
+    uint64_t truncated_bytes = 0;
     /// True when the file does not exist (fresh segment, or WAL disabled
     /// when the state was written).
     bool missing = false;

@@ -18,6 +18,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kConnReset: return "ConnReset";
     case ErrorCode::kBrokenPipe: return "BrokenPipe";
     case ErrorCode::kLeaseExpired: return "LeaseExpired";
+    case ErrorCode::kStaleEpoch: return "StaleEpoch";
   }
   return "Unknown";
 }

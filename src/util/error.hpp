@@ -34,11 +34,12 @@ enum class ErrorCode {
   kConnReset,        ///< peer reset/severed the connection (ECONNRESET)
   kBrokenPipe,       ///< write to a closed connection (EPIPE)
   kLeaseExpired,     ///< writer lease reclaimed; transaction must be retried
+  kStaleEpoch,       ///< sender's placement epoch is behind; it was deposed
 };
 
 /// Number of ErrorCode values (for tables and wire-name decoding loops).
 inline constexpr int kErrorCodeCount =
-    static_cast<int>(ErrorCode::kLeaseExpired) + 1;
+    static_cast<int>(ErrorCode::kStaleEpoch) + 1;
 
 /// Human-readable name of an ErrorCode ("NotFound", "Io", ...).
 const char* error_code_name(ErrorCode code) noexcept;

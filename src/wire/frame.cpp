@@ -28,6 +28,12 @@ std::string msg_type_name(MsgType type) {
     case MsgType::kHelloResp: return "kHelloResp";
     case MsgType::kRevokeRead: return "kRevokeRead";
     case MsgType::kRevokeAck: return "kRevokeAck";
+    case MsgType::kWalAppend: return "kWalAppend";
+    case MsgType::kWalAck: return "kWalAck";
+    case MsgType::kDirResolve: return "kDirResolve";
+    case MsgType::kDirResolveResp: return "kDirResolveResp";
+    case MsgType::kPromote: return "kPromote";
+    case MsgType::kPromoteResp: return "kPromoteResp";
   }
   return "kMsg" + std::to_string(static_cast<int>(type));
 }

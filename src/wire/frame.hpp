@@ -42,6 +42,18 @@ enum class MsgType : uint8_t {
                          ///< release cached lock, echo gen in the ack
   kRevokeAck = 23,       ///< lp segment, u32 revoke_gen: cached read lock
                          ///< has been dropped (stale gen = ignored)
+  // --- federation (server-to-server replication + segment directory) ---
+  kWalAppend = 24,       ///< primary -> replica: u32 record count, then per
+                         ///< record lp segment, u32 placement epoch, u8 WAL
+                         ///< record type, u32 body length, body bytes
+  kWalAck = 25,          ///< u32 records journaled (the whole batch)
+  kDirResolve = 26,      ///< lp segment url, u32 observed epoch (0 = none),
+                         ///< u8 failover: caller found the primary dead
+  kDirResolveResp = 27,  ///< u32 placement epoch, u8 node count, then per
+                         ///< node lp node id, lp address; first is primary
+  kPromote = 28,         ///< directory -> replica: lp segment, u32 new
+                         ///< placement epoch — serve as primary from here
+  kPromoteResp = 29,     ///< u32 segment version after promotion
 };
 
 /// Human-readable name of a MsgType ("kAcquireWrite", ...) for error

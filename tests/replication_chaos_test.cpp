@@ -1,0 +1,785 @@
+// Replication chaos test: a federation of servers (primary + replica wired
+// by a WalReplicator, fronted by a SegmentDirectory) must survive the death
+// of the primary with zero acknowledged-commit loss.
+//
+// Three suites:
+//
+//   * ReplicationFailoverTest — controlled kill: the primary is torn down
+//     mid-workload (in-proc core swap by default, a real TcpServer shutdown
+//     under IW_REPL_TRANSPORT=tcp); the client's failover connector must
+//     re-resolve through the directory, which probes the dead primary and
+//     promotes the replica, and the workload converges on the oracle model.
+//
+//   * SigkillFailoverTest — the real thing, 20 seeds: the primary runs in a
+//     forked child that SIGKILLs itself *inside* a WAL append (seeded
+//     WalCrashSchedule — short write / mid-record / before-sync), exactly a
+//     power cut mid-commit. The parent-side client fails over to the
+//     replica and the model must survive byte-identically: every commit the
+//     primary acked had, by construction, already been journaled by the
+//     replica, so promotion may not lose any of them.
+//
+//   * directory edge cases — consistent-hash placement, explicit
+//     placement overrides, orphan-journal revival on a promoted replica,
+//     the double-promotion race, a deposed primary's late kWalAppend
+//     being fenced by epoch, and remote resolution through DirectoryCore.
+//
+// The workload idiom matches chaos_test.cpp: named blocks, absolute values
+// derived from (seed, step), whole-critical-section retry — so an
+// applied-but-unacknowledged commit converges on retry instead of
+// double-applying.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "interweave/interweave.hpp"
+#include "server/replication.hpp"
+
+namespace iw {
+namespace {
+
+namespace fs = std::filesystem;
+using server::DirectoryCore;
+using server::SegmentDirectory;
+using server::WalReplicator;
+using server::WalRecordType;
+using server::WriteAheadLog;
+
+constexpr uint32_t kUnits = 4;
+const char* const kUrl = "host/replicated";
+
+using Model = std::map<std::string, std::vector<int32_t>>;
+
+bool tcp_mode() {
+  const char* t = std::getenv("IW_REPL_TRANSPORT");
+  return t != nullptr && std::string(t) == "tcp";
+}
+
+TcpClientChannel::Options fast_tcp() {
+  TcpClientChannel::Options o;
+  o.connect_timeout_ms = 1'000;
+  o.call_timeout_ms = 3'000;
+  return o;
+}
+
+std::vector<int32_t> step_values(uint64_t seed, int step) {
+  std::vector<int32_t> v(kUnits);
+  for (uint32_t u = 0; u < kUnits; ++u) {
+    v[u] = static_cast<int32_t>(seed * 1'000'003 + step * 101 + u);
+  }
+  return v;
+}
+
+void fill_block(client::BlockHeader* blk, const std::vector<int32_t>& values) {
+  auto* data = reinterpret_cast<int32_t*>(const_cast<uint8_t*>(blk->data()));
+  for (uint32_t u = 0; u < kUnits; ++u) data[u] = values[u];
+}
+
+Model snapshot_of(Client& c, ClientSegment* seg) {
+  Model out;
+  c.read_lock(seg);
+  seg->heap().for_each_block([&](client::BlockHeader* blk) {
+    EXPECT_NE(blk->name, nullptr) << "workload only creates named blocks";
+    if (blk->name == nullptr) return;
+    const auto* data = reinterpret_cast<const int32_t*>(blk->data());
+    out[*blk->name] = std::vector<int32_t>(data, data + kUnits);
+  });
+  c.read_unlock(seg);
+  return out;
+}
+
+/// ServerCore proxy whose backing server can be killed (cf. the restart
+/// chaos suite): once dead, connects and requests fail like a reset
+/// connection — the failure that drives a client into failover resolution.
+class KillableCore final : public ServerCore {
+ public:
+  void set_server(server::SegmentServer* server) {
+    std::lock_guard lock(mu_);
+    server_ = server;
+    known_.clear();
+  }
+
+  void on_connect(SessionId session, Notifier notify) override {
+    std::lock_guard lock(mu_);
+    if (server_ == nullptr) {
+      throw Error::transport(ErrorCode::kConnReset, "server down");
+    }
+    known_.insert(session);
+    server_->on_connect(session, std::move(notify));
+  }
+
+  void on_disconnect(SessionId session) override {
+    std::lock_guard lock(mu_);
+    if (server_ != nullptr && known_.erase(session) > 0) {
+      server_->on_disconnect(session);
+    }
+  }
+
+  Frame handle(SessionId session, const Frame& request) override {
+    std::lock_guard lock(mu_);
+    if (server_ == nullptr || known_.find(session) == known_.end()) {
+      throw Error::transport(ErrorCode::kConnReset, "server killed");
+    }
+    return server_->handle(session, request);
+  }
+
+ private:
+  std::mutex mu_;
+  server::SegmentServer* server_ = nullptr;
+  std::unordered_set<SessionId> known_;
+};
+
+// --- suite 1: controlled primary kill mid-workload ---
+
+class ReplicationFailoverTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReplicationFailoverTest, PromotesReplicaAndConverges) {
+  const uint64_t seed = GetParam();
+  const bool tcp = tcp_mode();
+  fs::path dir = fs::temp_directory_path() /
+                 ("iw-repl-failover-" + std::to_string(::getpid()) + "-" +
+                  std::to_string(seed));
+  fs::remove_all(dir);
+
+  server::SegmentServer::Options ropts;
+  ropts.checkpoint_dir = (dir / "replica").string();
+  ropts.wal_sync = WriteAheadLog::Sync::kCommit;
+  ropts.writer_lease_ms = 1'500;
+  auto replica = std::make_unique<server::SegmentServer>(ropts);
+  std::unique_ptr<TcpServer> replica_tcp;
+  if (tcp) replica_tcp = std::make_unique<TcpServer>(*replica, 0);
+
+  WalReplicator::Options wopts;
+  wopts.replication_factor = 1;
+  wopts.ack_timeout_ms = 3'000;
+  auto replicator = std::make_shared<WalReplicator>(wopts);
+  if (tcp) {
+    const uint16_t rport = replica_tcp->port();
+    replicator->add_replica("replica", [rport] {
+      return std::make_shared<TcpClientChannel>(rport, fast_tcp());
+    });
+  } else {
+    replicator->add_replica(
+        "replica", [&replica]() -> std::shared_ptr<ClientChannel> {
+          return std::make_shared<InProcChannel>(*replica);
+        });
+  }
+
+  server::SegmentServer::Options popts;
+  popts.checkpoint_dir = (dir / "primary").string();
+  popts.wal_sync = WriteAheadLog::Sync::kCommit;
+  popts.writer_lease_ms = 1'500;
+  popts.replicator = replicator;
+  auto primary = std::make_unique<server::SegmentServer>(popts);
+  KillableCore proxy;
+  proxy.set_server(primary.get());
+  std::unique_ptr<TcpServer> primary_tcp;
+  if (tcp) primary_tcp = std::make_unique<TcpServer>(proxy, 0);
+
+  SegmentDirectory::Dialer dial;
+  if (tcp) {
+    dial = [](const std::string& addr) -> std::shared_ptr<ClientChannel> {
+      return std::make_shared<TcpClientChannel>(
+          static_cast<uint16_t>(std::stoul(addr)), fast_tcp());
+    };
+  } else {
+    dial = [&proxy,
+            &replica](const std::string& addr) -> std::shared_ptr<ClientChannel> {
+      if (addr == "primary") return std::make_shared<InProcChannel>(proxy);
+      return std::make_shared<InProcChannel>(*replica);
+    };
+  }
+  SegmentDirectory::Options dopts;
+  dopts.replicas = 1;
+  SegmentDirectory directory(dopts, dial);
+  directory.add_node("primary",
+                     tcp ? std::to_string(primary_tcp->port()) : "primary");
+  directory.add_node("replica",
+                     tcp ? std::to_string(replica_tcp->port()) : "replica");
+  directory.set_placement(kUrl, {"primary", "replica"});
+
+  Client::Options copts;
+  copts.reconnect.initial_backoff_ms = 1;
+  copts.reconnect.max_backoff_ms = 8;
+  copts.reconnect.max_call_retries = 10;
+  copts.reconnect.jitter_seed = seed + 1;
+  auto connector = server::make_failover_connector(directory, kUrl, dial);
+  Client client([connector](const std::string&) { return connector(); },
+                copts);
+  ClientSegment* seg = client.open_segment(kUrl);
+
+  const TypeDescriptor* arr = client.types().array_of(
+      client.types().primitive(PrimitiveKind::kInt32), kUnits);
+
+  SplitMix64 rng(seed);
+  Model model;
+  int next_block = 0;
+  constexpr int kSteps = 40;
+  constexpr int kKillStep = 20;
+
+  for (int step = 0; step < kSteps; ++step) {
+    if (step == kKillStep) {
+      // Kill the primary between critical sections. Every commit up to here
+      // was acked only after the replica journaled it, so nothing in
+      // `model` may be lost by the promotion this forces.
+      proxy.set_server(nullptr);
+      if (primary_tcp != nullptr) primary_tcp->shutdown();
+      replicator->shutdown();
+      primary.reset();
+    }
+    uint64_t action = rng.below(10);
+    std::vector<int32_t> values = step_values(seed, step);
+    std::string target;
+    if (action < 3 || model.empty()) {
+      target = "b" + std::to_string(next_block++);
+    } else {
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.below(model.size())));
+      target = it->first;
+    }
+    bool do_free = action == 8 && !model.empty();
+
+    for (int attempt = 0;; ++attempt) {
+      try {
+        client.write_lock(seg);
+        client::BlockHeader* blk = seg->heap().find_by_name(target);
+        if (do_free) {
+          if (blk != nullptr) {
+            client.free_block(seg, const_cast<uint8_t*>(blk->data()));
+          }
+        } else {
+          if (blk == nullptr) {
+            client.malloc_block(seg, arr, target);
+            blk = seg->heap().find_by_name(target);
+          }
+          fill_block(blk, values);
+        }
+        client.write_unlock(seg);
+        break;
+      } catch (const Error& e) {
+        ASSERT_LT(attempt, 10) << "seed " << seed << " step " << step << ": "
+                               << e.what();
+      }
+    }
+    if (do_free) {
+      model.erase(target);
+    } else {
+      model[target] = values;
+    }
+  }
+
+  // Zero acked-commit loss: the client (now on the promoted replica) sees
+  // exactly the model, including every pre-kill acknowledged commit.
+  for (int attempt = 0;; ++attempt) {
+    try {
+      Model seen = snapshot_of(client, seg);
+      EXPECT_EQ(seen, model) << "seed " << seed;
+      break;
+    } catch (const Error& e) {
+      ASSERT_LT(attempt, 10) << e.what();
+    }
+  }
+
+  EXPECT_GE(client.stats().reconnects, 1u) << "kill was never felt";
+  SegmentDirectory::Stats ds = directory.stats();
+  EXPECT_EQ(ds.promotions, 1u) << "seed " << seed;
+  EXPECT_GE(ds.probes_failed, 1u);
+  // Promotion must complete well inside the writer lease window — failover
+  // may not cost more than a lease reclaim would.
+  EXPECT_LT(ds.promote_ms_last, 1'500u);
+  server::SegmentServer::Stats rs = replica->stats();
+  EXPECT_EQ(rs.promotions_accepted, 1u);
+  EXPECT_GT(rs.repl_records_applied, 0u) << "nothing was ever replicated";
+  EXPECT_EQ(replica->segment_placement_epoch(kUrl), 2u);
+
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplicationFailoverTest,
+                         ::testing::Range<uint64_t>(1, 7));  // 6 seeds
+
+// --- suite 2: SIGKILL mid WAL append, 20 seeds ---
+
+bool read_exact(int fd, uint16_t* value) {
+  auto* p = reinterpret_cast<uint8_t*>(value);
+  size_t got = 0;
+  while (got < sizeof *value) {
+    ssize_t n = ::read(fd, p + got, sizeof *value - got);
+    if (n <= 0) return false;
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Kills and reaps the child on every exit path, so a failed assertion
+/// cannot leak a paused primary process.
+struct ChildReaper {
+  pid_t pid = -1;
+  ~ChildReaper() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+};
+
+class SigkillFailoverTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SigkillFailoverTest, PromotedReplicaKeepsEveryAckedCommit) {
+  const uint64_t seed = GetParam();
+  fs::path dir = fs::temp_directory_path() /
+                 ("iw-repl-sigkill-" + std::to_string(::getpid()) + "-" +
+                  std::to_string(seed));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  int p2c[2];  // parent -> child: the replica's port
+  int c2p[2];  // child -> parent: the primary's port
+  ASSERT_EQ(::pipe(p2c), 0);
+  ASSERT_EQ(::pipe(c2p), 0);
+
+  // Fork FIRST, while this process is still single-threaded: the child
+  // builds its entire primary (threads included) after the fork, so no
+  // parent-side lock can be frozen mid-acquire in the child.
+  pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // --- the primary, fated to die by its own hand ---
+    ::close(p2c[1]);
+    ::close(c2p[0]);
+    try {
+      uint16_t replica_port = 0;
+      if (!read_exact(p2c[0], &replica_port)) _exit(3);
+
+      WalCrashSchedule::Options crash;
+      crash.crash_at_append = 4 + seed % 10;
+      constexpr WalCrashPoint kPoints[] = {WalCrashPoint::kShortWrite,
+                                           WalCrashPoint::kMidRecord,
+                                           WalCrashPoint::kBeforeSync};
+      crash.point = kPoints[seed % 3];
+
+      WalReplicator::Options wopts;
+      wopts.replication_factor = 1;
+      wopts.ack_timeout_ms = 3'000;
+      auto replicator = std::make_shared<WalReplicator>(wopts);
+      replicator->add_replica("replica", [replica_port] {
+        return std::make_shared<TcpClientChannel>(replica_port, fast_tcp());
+      });
+
+      server::SegmentServer::Options popts;
+      popts.checkpoint_dir = (dir / "primary").string();
+      popts.wal_sync = WriteAheadLog::Sync::kCommit;
+      popts.writer_lease_ms = 1'500;
+      popts.wal_crash = std::make_shared<WalCrashSchedule>(crash);
+      popts.replicator = replicator;
+      server::SegmentServer primary(popts);
+      TcpServer tcp(primary, 0);
+
+      uint16_t port = tcp.port();
+      if (::write(c2p[1], &port, sizeof port) !=
+          static_cast<ssize_t>(sizeof port)) {
+        _exit(4);
+      }
+      // Serve until wal_crash_now() SIGKILLs this process mid-append.
+      for (;;) ::pause();
+    } catch (...) {
+      _exit(5);
+    }
+  }
+
+  ::close(p2c[0]);
+  ::close(c2p[1]);
+  ChildReaper reaper;
+  reaper.pid = child;
+
+  server::SegmentServer::Options ropts;
+  ropts.checkpoint_dir = (dir / "replica").string();
+  ropts.wal_sync = WriteAheadLog::Sync::kCommit;
+  ropts.writer_lease_ms = 1'500;
+  server::SegmentServer replica(ropts);
+  TcpServer replica_tcp(replica, 0);
+
+  uint16_t replica_port = replica_tcp.port();
+  ASSERT_EQ(::write(p2c[1], &replica_port, sizeof replica_port),
+            static_cast<ssize_t>(sizeof replica_port));
+  uint16_t primary_port = 0;
+  ASSERT_TRUE(read_exact(c2p[0], &primary_port)) << "child died during setup";
+
+  SegmentDirectory::Dialer dial =
+      [](const std::string& addr) -> std::shared_ptr<ClientChannel> {
+    return std::make_shared<TcpClientChannel>(
+        static_cast<uint16_t>(std::stoul(addr)), fast_tcp());
+  };
+  SegmentDirectory::Options dopts;
+  dopts.replicas = 1;
+  SegmentDirectory directory(dopts, dial);
+  directory.add_node("primary", std::to_string(primary_port));
+  directory.add_node("replica", std::to_string(replica_port));
+  directory.set_placement(kUrl, {"primary", "replica"});
+
+  Client::Options copts;
+  copts.reconnect.initial_backoff_ms = 1;
+  copts.reconnect.max_backoff_ms = 16;
+  copts.reconnect.max_call_retries = 10;
+  copts.reconnect.jitter_seed = seed + 1;
+  auto connector = server::make_failover_connector(directory, kUrl, dial);
+  Client client([connector](const std::string&) { return connector(); },
+                copts);
+  ClientSegment* seg = client.open_segment(kUrl);
+
+  const TypeDescriptor* arr = client.types().array_of(
+      client.types().primitive(PrimitiveKind::kInt32), kUnits);
+
+  // Upsert-only workload: ~26 local WAL appends (create, type, a commit per
+  // step), so the seeded crash point — append 4 + seed % 10 — always fires
+  // *during* a commit's append, with the client's acked history at a
+  // different depth every seed.
+  Model model;
+  constexpr int kSteps = 24;
+  for (int step = 0; step < kSteps; ++step) {
+    std::string target = "b" + std::to_string(step % 6);
+    std::vector<int32_t> values = step_values(seed, step);
+    for (int attempt = 0;; ++attempt) {
+      try {
+        client.write_lock(seg);
+        client::BlockHeader* blk = seg->heap().find_by_name(target);
+        if (blk == nullptr) {
+          client.malloc_block(seg, arr, target);
+          blk = seg->heap().find_by_name(target);
+        }
+        fill_block(blk, values);
+        client.write_unlock(seg);
+        break;
+      } catch (const Error& e) {
+        ASSERT_LT(attempt, 10) << "seed " << seed << " step " << step << ": "
+                               << e.what();
+      }
+    }
+    // Acknowledged: a SIGKILL after this instant must never lose this step.
+    model[target] = values;
+  }
+
+  // The primary must actually have died mid-append, by SIGKILL, not by a
+  // clean exit — otherwise this run proved nothing.
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  reaper.pid = -1;
+  ASSERT_TRUE(WIFSIGNALED(status)) << "primary exited instead of crashing";
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // Zero acked-commit loss across the crash: the promoted replica holds
+  // exactly the model.
+  for (int attempt = 0;; ++attempt) {
+    try {
+      Model seen = snapshot_of(client, seg);
+      EXPECT_EQ(seen, model) << "seed " << seed;
+      break;
+    } catch (const Error& e) {
+      ASSERT_LT(attempt, 10) << e.what();
+    }
+  }
+
+  SegmentDirectory::Stats ds = directory.stats();
+  EXPECT_EQ(ds.promotions, 1u) << "seed " << seed;
+  EXPECT_GE(ds.probes_failed, 1u);
+  EXPECT_LT(ds.promote_ms_last, 1'500u) << "promotion blew the lease window";
+  server::SegmentServer::Stats rs = replica.stats();
+  EXPECT_EQ(rs.promotions_accepted, 1u);
+  EXPECT_GT(rs.repl_records_applied, 0u);
+  EXPECT_EQ(replica.segment_placement_epoch(kUrl), 2u);
+
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SigkillFailoverTest,
+                         ::testing::Range<uint64_t>(1, 21));  // 20 seeds
+
+// --- suite 3: directory + fencing edge cases ---
+
+TEST(SegmentDirectoryTest, ConsistentHashingIsStableAndSpreads) {
+  SegmentDirectory::Options opts;
+  opts.replicas = 1;
+  SegmentDirectory dir(opts, [](const std::string&)
+                                 -> std::shared_ptr<ClientChannel> {
+    throw Error::transport(ErrorCode::kConnReset, "no dialing in this test");
+  });
+  EXPECT_THROW(dir.resolve("host/x"), Error) << "no nodes yet";
+
+  dir.add_node("a", "addr-a");
+  dir.add_node("b", "addr-b");
+  dir.add_node("c", "addr-c");
+  EXPECT_THROW(dir.add_node("a", "addr-a2"), Error) << "duplicate id";
+
+  SegmentDirectory::Placement p = dir.resolve("host/x");
+  EXPECT_EQ(p.epoch, 1u);
+  ASSERT_EQ(p.nodes.size(), 2u);  // primary + 1 replica
+  EXPECT_NE(p.nodes[0], p.nodes[1]);
+  // Cached: the same placement comes back, even after membership grows.
+  dir.add_node("d", "addr-d");
+  SegmentDirectory::Placement again = dir.resolve("host/x");
+  EXPECT_EQ(again.nodes, p.nodes);
+
+  // The ring actually spreads: many segments do not all land on one
+  // primary.
+  std::unordered_set<std::string> primaries;
+  for (int i = 0; i < 50; ++i) {
+    primaries.insert(dir.resolve("host/s" + std::to_string(i)).nodes[0]);
+  }
+  EXPECT_GE(primaries.size(), 2u);
+
+  EXPECT_EQ(dir.address_of("a"), "addr-a");
+  EXPECT_THROW(dir.address_of("nope"), Error);
+}
+
+TEST(SegmentDirectoryTest, ExplicitPlacementOverridesTheRing) {
+  SegmentDirectory::Options opts;
+  opts.replicas = 1;
+  SegmentDirectory dir(opts, [](const std::string&)
+                                 -> std::shared_ptr<ClientChannel> {
+    throw Error::transport(ErrorCode::kConnReset, "no dialing in this test");
+  });
+  dir.add_node("a", "addr-a");
+  dir.add_node("b", "addr-b");
+  EXPECT_THROW(dir.set_placement("host/p", {}), Error);
+  EXPECT_THROW(dir.set_placement("host/p", {"ghost"}), Error);
+  dir.set_placement("host/p", {"b", "a"});
+  SegmentDirectory::Placement p = dir.resolve("host/p");
+  EXPECT_EQ(p.nodes, (std::vector<std::string>{"b", "a"}));
+  EXPECT_EQ(p.epoch, 1u);
+}
+
+// A replica whose only knowledge of a segment arrived over kWalAppend
+// (never a client write of its own) crashes and restarts: its journal —
+// an "orphan" journal with no checkpoint beside it — must revive the
+// segment, and the revived server must be promotable with all data intact.
+TEST(ReplicationEdgeTest, OrphanJournalRevivalOnPromotedReplica) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("iw-repl-orphan-" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  server::SegmentServer::Options ropts;
+  ropts.checkpoint_dir = dir.string();
+  ropts.wal_sync = WriteAheadLog::Sync::kCommit;
+  auto replica = std::make_unique<server::SegmentServer>(ropts);
+
+  WalReplicator::Options wopts;
+  wopts.replication_factor = 1;
+  auto replicator = std::make_shared<WalReplicator>(wopts);
+  replicator->add_replica("replica",
+                          [&replica]() -> std::shared_ptr<ClientChannel> {
+                            return std::make_shared<InProcChannel>(*replica);
+                          });
+
+  // The primary keeps no journal of its own: the replica's copy is the
+  // only durable record of these commits anywhere.
+  server::SegmentServer::Options popts;
+  popts.replicator = replicator;
+  server::SegmentServer primary(popts);
+
+  std::vector<int32_t> values = step_values(7, 1);
+  {
+    Client client(
+        [&primary](const std::string&) {
+          return std::make_shared<InProcChannel>(primary);
+        });
+    ClientSegment* seg = client.open_segment(kUrl);
+    const TypeDescriptor* arr = client.types().array_of(
+        client.types().primitive(PrimitiveKind::kInt32), kUnits);
+    client.write_lock(seg);
+    client.malloc_block(seg, arr, "blk");
+    fill_block(seg->heap().find_by_name("blk"), values);
+    client.write_unlock(seg);
+    client.write_lock(seg);
+    fill_block(seg->heap().find_by_name("blk"), values);
+    client.write_unlock(seg);
+  }
+  EXPECT_EQ(replica->segment_version(kUrl), 2u);
+
+  // Crash the replica (destructors only, no checkpoint) and revive it from
+  // the journal alone.
+  replicator->shutdown();
+  replica.reset();
+  replica = std::make_unique<server::SegmentServer>(ropts);
+  replica->recover();
+  EXPECT_GT(replica->stats().wal_replayed_records, 0u);
+  EXPECT_EQ(replica->segment_version(kUrl), 2u);
+
+  // Promote the revived replica; it answers with the recovered version.
+  auto ch = std::make_shared<InProcChannel>(*replica);
+  Buffer req;
+  req.append_lp_string(kUrl);
+  req.append_u32(2);
+  Frame resp = ch->call(MsgType::kPromote, std::move(req));
+  EXPECT_EQ(resp.reader().read_u32(), 2u);
+  EXPECT_EQ(replica->segment_placement_epoch(kUrl), 2u);
+  EXPECT_EQ(replica->stats().promotions_accepted, 1u);
+
+  // A client of the promoted replica sees the replicated data.
+  Client reader([&replica](const std::string&) {
+    return std::make_shared<InProcChannel>(*replica);
+  });
+  ClientSegment* seg = reader.open_segment(kUrl);
+  Model seen = snapshot_of(reader, seg);
+  ASSERT_EQ(seen.count("blk"), 1u);
+  EXPECT_EQ(seen["blk"], values);
+
+  fs::remove_all(dir);
+}
+
+// Two clients observe the same dead primary and race into failover: the
+// directory must promote exactly once, the loser adopting the winner's
+// epoch.
+TEST(ReplicationEdgeTest, DoublePromotionRaceResolvesToOneEpochBump) {
+  server::SegmentServer replica;
+  SegmentDirectory::Dialer dial =
+      [&replica](const std::string& addr) -> std::shared_ptr<ClientChannel> {
+    if (addr == "dead") {
+      throw Error::transport(ErrorCode::kConnReset, "primary is down");
+    }
+    return std::make_shared<InProcChannel>(replica);
+  };
+  SegmentDirectory::Options opts;
+  opts.replicas = 1;
+  SegmentDirectory dir(opts, dial);
+  dir.add_node("p", "dead");
+  dir.add_node("r", "live");
+  dir.set_placement(kUrl, {"p", "r"});
+  ASSERT_EQ(dir.resolve(kUrl).epoch, 1u);
+
+  SegmentDirectory::Placement got[2];
+  std::thread t0([&] { got[0] = dir.resolve_for_failover(kUrl, 1); });
+  std::thread t1([&] { got[1] = dir.resolve_for_failover(kUrl, 1); });
+  t0.join();
+  t1.join();
+
+  for (const SegmentDirectory::Placement& p : got) {
+    EXPECT_EQ(p.epoch, 2u);
+    ASSERT_FALSE(p.nodes.empty());
+    EXPECT_EQ(p.nodes.front(), "r");
+  }
+  EXPECT_EQ(dir.stats().promotions, 1u);
+  EXPECT_EQ(replica.stats().promotions_accepted, 1u);
+  EXPECT_EQ(replica.segment_placement_epoch(kUrl), 2u);
+}
+
+// A deposed primary keeps streaming: its records carry the old placement
+// epoch and must be refused by the promoted replica, and the refusal must
+// fence the segment inside the deposed primary's replicator so it can
+// never ack again.
+TEST(ReplicationEdgeTest, StalePrimaryLateWalAppendRejectedByEpoch) {
+  server::SegmentServer replica;
+
+  // The replica has been promoted to epoch 3 by the directory.
+  auto ch = std::make_shared<InProcChannel>(replica);
+  Buffer promote;
+  promote.append_lp_string(kUrl);
+  promote.append_u32(3);
+  ch->call(MsgType::kPromote, std::move(promote));
+
+  // A re-promotion to a lower epoch is itself stale.
+  Buffer down;
+  down.append_lp_string(kUrl);
+  down.append_u32(2);
+  try {
+    ch->call(MsgType::kPromote, std::move(down));
+    FAIL() << "stale promotion accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kStaleEpoch);
+  }
+
+  // Raw wire check: an epoch-2 record in kWalAppend is reported stale, not
+  // applied.
+  Buffer batch;
+  batch.append_u32(1);  // one record
+  batch.append_lp_string(kUrl);
+  batch.append_u32(2);  // stale epoch
+  batch.append_u8(static_cast<uint8_t>(WalRecordType::kCommit));
+  batch.append_u32(4);  // body: just the version prefix
+  batch.append_u32(1);
+  Frame ack = ch->call(MsgType::kWalAppend, std::move(batch));
+  BufReader in = ack.reader();
+  EXPECT_EQ(in.read_u32(), 0u) << "stale record was applied";
+  ASSERT_EQ(in.read_u32(), 1u);
+  EXPECT_EQ(in.read_lp_string(), kUrl);
+  EXPECT_EQ(replica.stats().repl_stale_rejected, 1u);
+
+  // Through the deposed primary's own replicator: the stale report turns
+  // into a fence, and the committer gets kStaleEpoch instead of an ack.
+  WalReplicator::Options wopts;
+  wopts.replication_factor = 1;
+  wopts.ack_timeout_ms = 3'000;
+  WalReplicator replicator(wopts);
+  replicator.add_replica("replica",
+                         [&replica]() -> std::shared_ptr<ClientChannel> {
+                           return std::make_shared<InProcChannel>(replica);
+                         });
+  uint8_t head[4] = {0, 0, 0, 1};
+  try {
+    replicator.replicate(kUrl, 2, WalRecordType::kCommit, head);
+    FAIL() << "deposed primary's commit was acked";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kStaleEpoch);
+  }
+  EXPECT_TRUE(replicator.fenced(kUrl));
+  EXPECT_EQ(replicator.stats().stale_epoch_fences, 1u);
+  // The fence is sticky: later commits fail immediately.
+  EXPECT_THROW(replicator.replicate(kUrl, 2, WalRecordType::kCommit, head),
+               Error);
+  replicator.shutdown();
+}
+
+// Resolution over the wire: a client with no directory object of its own
+// resolves through DirectoryCore, dials the returned primary address, and
+// fails over on the next connect after the primary dies.
+TEST(ReplicationEdgeTest, DirectoryCoreServesRemoteFailoverResolution) {
+  server::SegmentServer primary_server;
+  server::SegmentServer replica;
+  KillableCore proxy;
+  proxy.set_server(&primary_server);
+
+  SegmentDirectory::Dialer dial =
+      [&proxy, &replica](const std::string& addr)
+      -> std::shared_ptr<ClientChannel> {
+    if (addr == "primary") return std::make_shared<InProcChannel>(proxy);
+    return std::make_shared<InProcChannel>(replica);
+  };
+  SegmentDirectory::Options opts;
+  opts.replicas = 1;
+  SegmentDirectory dir(opts, dial);
+  dir.add_node("p", "primary");
+  dir.add_node("r", "replica");
+  dir.set_placement(kUrl, {"p", "r"});
+  DirectoryCore dcore(dir);
+
+  auto connector = server::make_failover_connector(
+      [&dcore]() -> std::shared_ptr<ClientChannel> {
+        return std::make_shared<InProcChannel>(dcore);
+      },
+      kUrl, dial);
+
+  // First connect lands on the primary.
+  auto ch = connector();
+  ch->call(MsgType::kPing, Buffer());
+  EXPECT_EQ(dir.stats().promotions, 0u);
+
+  // Primary dies; the next connect resolves with failover and lands on the
+  // promoted replica.
+  proxy.set_server(nullptr);
+  ch = connector();
+  ch->call(MsgType::kPing, Buffer());
+  EXPECT_EQ(dir.stats().promotions, 1u);
+  EXPECT_EQ(replica.stats().promotions_accepted, 1u);
+}
+
+}  // namespace
+}  // namespace iw

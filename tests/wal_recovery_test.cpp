@@ -117,6 +117,7 @@ TEST_F(WalLog, TornTailIsDetectedAndTruncatedOnReopen) {
   EXPECT_TRUE(replay.torn_tail);
   ASSERT_EQ(replay.records.size(), 1u);
   EXPECT_EQ(replay.valid_bytes, clean_size);
+  EXPECT_EQ(replay.truncated_bytes, 10u);  // the torn append, byte for byte
 
   // Reopening at the valid prefix drops the torn bytes; appends continue on
   // a clean boundary.
@@ -164,6 +165,7 @@ TEST_F(WalLog, GarbageFileReplaysAsEmpty) {
   EXPECT_TRUE(replay.torn_tail);
   EXPECT_EQ(replay.valid_bytes, 0u);
   EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(replay.truncated_bytes, fs::file_size(log_path()));
 }
 
 TEST_F(WalLog, TruncateAfterCheckpointDiscardsRecords) {
@@ -372,6 +374,8 @@ TEST_F(WalRecovery, TornJournalTailRecoversCleanly) {
   SegmentServer revived(server_options());
   revived.recover();  // must not throw
   EXPECT_EQ(revived.segment_version(kSegName), final_version);
+  // The cost of the crash is visible: exactly the 7 torn bytes were cut.
+  EXPECT_EQ(revived.stats().wal_truncated_bytes, 7u);
   expect_converged(revived, 5);
   // The reopened journal dropped the torn bytes: the revived server can
   // keep committing and recover again.
