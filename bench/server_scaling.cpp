@@ -44,6 +44,18 @@
 // revocation counters, and the writer's worst-case acquire latency (bounded
 // by the revocation deadline).
 //
+// A fourth mode measures the payload pipeline's wire direction:
+//
+//   server_scaling --update-bytes [--rounds N]
+//
+// A negotiated writer/reader pair against one in-process server: the
+// writer commits a 64 KiB int array every round and the reader pulls the
+// resulting update, over a {compression on/off} x {compressible/
+// incompressible content} matrix. Reported as JSON: the server's raw vs
+// on-the-wire update bytes (server -> client), the client's sent bytes
+// and compressed-release count (client -> server), and the reduction
+// ratio per cell.
+//
 // Usage: server_scaling [cycles-per-thread]   (default 2000)
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -784,6 +796,105 @@ int run_hot_read_main(int readers, double seconds) {
   return 0;
 }
 
+// ----------------------------------------------------------- update bytes
+
+constexpr uint32_t kUpdUnits = 16384;  // int32 units per commit (64 KiB)
+
+struct UpdateBytesResult {
+  uint64_t commits = 0;
+  uint64_t updates_compressed = 0;
+  uint64_t update_raw_bytes = 0;
+  uint64_t update_wire_bytes = 0;
+  uint64_t client_bytes_sent = 0;
+  uint64_t diffs_compressed = 0;
+};
+
+/// One payload-wire cell: the writer commits the whole array each round
+/// (constant fill = compressible, xorshift fill = not) and the reader's
+/// read_lock pulls the update, so every diff crosses the section envelope
+/// in both directions when the hello handshake negotiated it.
+UpdateBytesResult run_update_bytes(bool compress, bool compressible,
+                                   int rounds) {
+  server::SegmentServer::Options sopts;
+  sopts.compress_payloads = compress;
+  server::SegmentServer core(sopts);
+  auto factory = [&core](const std::string&) {
+    return std::make_shared<InProcChannel>(core);
+  };
+  Client writer(factory);
+  Client reader(factory);
+
+  const std::string url = "bench/wire";
+  ClientSegment* wseg = writer.open_segment(url);
+  ClientSegment* rseg = reader.open_segment(url);
+  const TypeDescriptor* arr = writer.types().array_of(
+      writer.types().primitive(PrimitiveKind::kInt32), kUpdUnits);
+
+  uint32_t noise = 0x9e3779b9u;
+  int32_t* data = nullptr;
+  for (int round = 0; round < rounds; ++round) {
+    writer.write_lock(wseg);
+    if (data == nullptr) {
+      data = static_cast<int32_t*>(writer.malloc_block(wseg, arr, "w"));
+    }
+    for (uint32_t i = 0; i < kUpdUnits; ++i) {
+      if (compressible) {
+        data[i] = round;
+      } else {
+        noise ^= noise << 13;
+        noise ^= noise >> 17;
+        noise ^= noise << 5;
+        data[i] = static_cast<int32_t>(noise);
+      }
+    }
+    writer.write_unlock(wseg);
+    reader.read_lock(rseg);
+    reader.read_unlock(rseg);
+  }
+
+  UpdateBytesResult r;
+  r.commits = static_cast<uint64_t>(rounds);
+  auto ss = core.stats();
+  r.updates_compressed = ss.updates_compressed;
+  r.update_raw_bytes = ss.update_raw_bytes;
+  r.update_wire_bytes = ss.update_wire_bytes;
+  r.client_bytes_sent = writer.bytes_sent();
+  r.diffs_compressed = writer.stats().diffs_compressed;
+  return r;
+}
+
+int run_update_bytes_main(int rounds) {
+  std::printf("[\n");
+  bool first = true;
+  for (bool compress : {true, false}) {
+    for (bool compressible : {true, false}) {
+      UpdateBytesResult r = run_update_bytes(compress, compressible, rounds);
+      double wire_ratio =
+          r.update_raw_bytes == 0
+              ? 1.0
+              : static_cast<double>(r.update_wire_bytes) /
+                    static_cast<double>(r.update_raw_bytes);
+      std::printf(
+          "%s  {\"bench\": \"update_bytes\", \"compress\": \"%s\", "
+          "\"data\": \"%s\", \"rounds\": %d, \"commit_bytes\": %u, "
+          "\"updates_compressed\": %llu, \"update_raw_bytes\": %llu, "
+          "\"update_wire_bytes\": %llu, \"wire_ratio\": %.3f, "
+          "\"client_bytes_sent\": %llu, \"diffs_compressed\": %llu}",
+          first ? "" : ",\n", compress ? "on" : "off",
+          compressible ? "compressible" : "incompressible", rounds,
+          kUpdUnits * 4,
+          static_cast<unsigned long long>(r.updates_compressed),
+          static_cast<unsigned long long>(r.update_raw_bytes),
+          static_cast<unsigned long long>(r.update_wire_bytes), wire_ratio,
+          static_cast<unsigned long long>(r.client_bytes_sent),
+          static_cast<unsigned long long>(r.diffs_compressed));
+      first = false;
+    }
+  }
+  std::printf("\n]\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace iw
 
@@ -791,7 +902,9 @@ int main(int argc, char** argv) {
   int connections = 0;
   double bench_seconds = 5.0;
   bool hot_read = false;
+  bool update_bytes = false;
   int readers = 4;
+  int rounds = 64;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc) {
       connections = std::atoi(argv[++i]);
@@ -801,7 +914,17 @@ int main(int argc, char** argv) {
       hot_read = true;
     } else if (std::strcmp(argv[i], "--readers") == 0 && i + 1 < argc) {
       readers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--update-bytes") == 0) {
+      update_bytes = true;
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = std::atoi(argv[++i]);
     }
+  }
+  if (update_bytes) {
+    // The env override would force every cell to one setting; the payload
+    // matrix owns the compression toggle.
+    ::unsetenv("IW_COMPRESS");
+    return iw::run_update_bytes_main(rounds);
   }
   if (hot_read) {
     // The env override would force both runs to one setting; the bench owns

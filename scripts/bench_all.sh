@@ -8,12 +8,24 @@
 #   failover          — replicated-commit throughput (rf=1 vs standalone)
 #                       and directory time-to-promote after a primary death
 #
+# It then composes a second report, BENCH_payload.json, from the payload
+# pipeline modes of the same binaries:
+#
+#   commit_durability --payload      — journal bytes raw vs stored, commit
+#                                      latency, incremental-checkpoint
+#                                      counts, and recover() time per
+#                                      {compression x compressibility} cell
+#   server_scaling --update-bytes    — update bytes raw vs on-the-wire in
+#                                      both directions for a negotiated
+#                                      client pair, same matrix
+#
 # Each binary already emits a JSON array; the report is an object keyed by
 # bench name so downstream tooling can diff runs field-by-field.
 #
 # Usage: scripts/bench_all.sh [build-dir]
 #   IW_BENCH_CYCLES    commit cycles for commit_durability/failover (2000/1000)
 #   IW_BENCH_SECONDS   seconds per server_scaling point (default its own)
+#   IW_BENCH_ROUNDS    rounds per update-bytes cell (default 64)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -58,3 +70,28 @@ python3 -c "import json,sys; json.load(open('$OUT'))" 2>/dev/null ||
   python3 -m json.tool "$OUT" > /dev/null
 
 echo "wrote $OUT" >&2
+
+PAYLOAD_OUT="BENCH_payload.json"
+echo "== commit_durability --payload ==" >&2
+PAYLOAD_DURABILITY_JSON="$("$BUILD"/bench/commit_durability --payload \
+    "${IW_BENCH_CYCLES:-2000}")"
+echo "== server_scaling --update-bytes ==" >&2
+UPDATE_BYTES_JSON="$("$BUILD"/bench/server_scaling --update-bytes \
+    --rounds "${IW_BENCH_ROUNDS:-64}")"
+
+{
+  echo '{'
+  echo '  "report": "payload",'
+  echo "  \"generated_by\": \"scripts/bench_all.sh\","
+  echo '  "payload_durability":'
+  printf '%s' "$PAYLOAD_DURABILITY_JSON" | sed 's/^/  /'
+  echo ','
+  echo '  "update_bytes":'
+  printf '%s' "$UPDATE_BYTES_JSON" | sed 's/^/  /'
+  echo '}'
+} > "$PAYLOAD_OUT"
+
+python3 -c "import json,sys; json.load(open('$PAYLOAD_OUT'))" 2>/dev/null ||
+  python3 -m json.tool "$PAYLOAD_OUT" > /dev/null
+
+echo "wrote $PAYLOAD_OUT" >&2

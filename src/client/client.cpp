@@ -8,6 +8,7 @@
 
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
+#include "wire/payload.hpp"
 #include "wire/translate.hpp"
 
 namespace iw::client {
@@ -79,6 +80,15 @@ Client::Client(ChannelFactory factory, Options options)
   }
   lock_cache_enabled_ = cache && options_.auto_reconnect;
   options_.reconnect.announce_lock_caching = lock_cache_enabled_;
+  // Payload compression rides the same handshake; per-connection
+  // effectiveness is still the server's answer (supports_payload_compression
+  // on the channel), so a mixed fleet degrades to the raw byte stream.
+  bool compress = options_.compress_payloads;
+  if (const char* env = std::getenv("IW_COMPRESS")) {
+    compress = std::string_view(env) != "0";
+  }
+  options_.reconnect.announce_payload_compression =
+      compress && options_.auto_reconnect;
   if (lock_cache_enabled_) {
     revoke_ack_worker_ = std::thread([this] { revoke_ack_loop(); });
   }
@@ -805,9 +815,14 @@ void Client::write_lock(ClientSegment* seg) {
     apply_update_locked(seg, r);
   } catch (...) {
     // We hold the server-side writer lock; release it with an empty diff so
-    // other clients are not wedged by our failure.
+    // other clients are not wedged by our failure. On a compressing session
+    // the server reads a method byte from every release, so even the empty
+    // diff carries the kRaw envelope.
     Buffer release;
     release.append_lp_string(seg->url_);
+    if (seg->channel_->supports_payload_compression()) {
+      release.append_u8(payload_method::kRaw);
+    }
     DiffWriter(release, seg->version_, seg->version_).finish();
     try {
       seg->channel_->call(MsgType::kReleaseWrite, std::move(release));
@@ -929,6 +944,9 @@ void Client::abort_transaction(ClientSegment* seg) {
   // 4. Release the server-side writer lock with an empty critical section.
   Buffer release;
   release.append_lp_string(seg->url_);
+  if (seg->channel_->supports_payload_compression()) {
+    release.append_u8(payload_method::kRaw);
+  }
   DiffWriter(release, seg->version_, seg->version_).finish();
   Frame resp;
   try {
@@ -1026,6 +1044,13 @@ void Client::collect_and_release_locked(ClientSegment* seg) {
   Buffer& payload = seg->collect_buf_;
   payload.clear();
   payload.append_lp_string(seg->url_);
+  // On a compressing connection the diff section sits behind a method
+  // byte; the whole section is collected into this reuse buffer first and
+  // compressed in place only when it pays, so the vectored-send shape (one
+  // contiguous payload straight from collect_buf_) is unchanged.
+  const bool enveloped = seg->channel_->supports_payload_compression();
+  const size_t method_offset = payload.size();
+  if (enveloped) payload.append_u8(payload_method::kRaw);
   DiffWriter writer(payload, seg->version_, seg->version_ + 1);
 
   for (uint32_t serial : seg->freed_serials_) {
@@ -1196,6 +1221,9 @@ void Client::collect_and_release_locked(ClientSegment* seg) {
   }
 
   writer.finish();
+  if (enveloped && compress_section_in_place(payload, method_offset)) {
+    ++stats_.diffs_compressed;
+  }
   stats_.units_sent += units_sent;
   ++stats_.diffs_collected;
   stats_.collect_ns += total.elapsed_ns();
@@ -1245,7 +1273,20 @@ bool Client::apply_update_locked(ClientSegment* seg, BufReader& in) {
       seg->types_[serial - 1] = TypeCodec::decode_graph(gr, registry_);
     }
   }
-  apply_diff_locked(seg, in);
+  if (seg->channel_->supports_payload_compression()) {
+    // Negotiated sessions wrap the diff section in the method-byte envelope
+    // (kLz is explicitly sized, so any trailing bytes — the kAcquireRead
+    // grant flag — still parse from `in` afterwards).
+    std::vector<uint8_t> scratch;
+    if (read_compressed_section(in, scratch)) {
+      BufReader section(scratch.data(), scratch.size());
+      apply_diff_locked(seg, section);
+    } else {
+      apply_diff_locked(seg, in);
+    }
+  } else {
+    apply_diff_locked(seg, in);
+  }
   ++stats_.updates_applied;
   return true;
 }

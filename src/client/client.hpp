@@ -55,6 +55,7 @@ struct ClientStats {
   uint64_t sublet_grants = 0;      ///< extra local threads under one lock
   uint64_t updates_applied = 0;
   uint64_t diffs_collected = 0;
+  uint64_t diffs_compressed = 0;  ///< releases whose diff section shrank
   uint64_t word_diff_ns = 0;
   uint64_t translate_ns = 0;
   uint64_t collect_ns = 0;
@@ -173,6 +174,12 @@ class Client {
     /// the IW_LOCK_CACHE environment variable overrides this ("0" off,
     /// anything else on).
     bool cache_read_locks = true;
+    /// Negotiate payload compression (wire/payload.hpp) in the hello and,
+    /// when the server confirms, exchange diff sections behind the
+    /// method-byte envelope in both directions. Needs auto_reconnect for
+    /// the handshake; the IW_COMPRESS environment variable overrides this
+    /// ("0" off, anything else on).
+    bool compress_payloads = true;
     /// Wrap every channel in a ReconnectingChannel: transport failures tear
     /// the connection down, reconnect with backoff under a new session
     /// epoch, and re-send idempotent calls. Disable for tests that drive

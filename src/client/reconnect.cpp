@@ -35,17 +35,22 @@ void ReconnectingChannel::connect_locked() {
     Buffer hello;
     hello.append_u64(client_id_);
     hello.append_u32(static_cast<uint32_t>(epoch_));
-    hello.append_u8(options_.announce_lock_caching ? 1 : 0);
+    hello.append_u8((options_.announce_lock_caching ? 1 : 0) |
+                    (options_.announce_payload_compression ? 2 : 0));
     Frame resp = ch->call(MsgType::kHello, std::move(hello));
     BufReader r = resp.reader();
     server_lease_ms_ = r.read_u32();
     // Trailing feature bits + revocation deadline are absent from
-    // pre-lock-caching servers; their absence means "no revocation".
+    // pre-lock-caching servers; their absence means "no revocation" and
+    // "no compression" — the old byte stream in both directions.
     lock_caching_ok_ = false;
+    payload_compression_ok_ = false;
     server_revoke_deadline_ms_ = 0;
     if (r.remaining() >= 1) {
       uint8_t features = r.read_u8();
       lock_caching_ok_ = options_.announce_lock_caching && (features & 1) != 0;
+      payload_compression_ok_ =
+          options_.announce_payload_compression && (features & 2) != 0;
       if (r.remaining() >= 4) server_revoke_deadline_ms_ = r.read_u32();
     }
   }
@@ -178,6 +183,11 @@ uint32_t ReconnectingChannel::server_lease_ms() const {
 bool ReconnectingChannel::supports_lock_caching() const {
   std::lock_guard lock(mu_);
   return lock_caching_ok_;
+}
+
+bool ReconnectingChannel::supports_payload_compression() const {
+  std::lock_guard lock(mu_);
+  return payload_compression_ok_;
 }
 
 uint32_t ReconnectingChannel::server_revoke_deadline_ms() const {

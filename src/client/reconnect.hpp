@@ -51,6 +51,10 @@ class ReconnectingChannel final : public ClientChannel {
     /// negotiation succeeds only if the server answers that it revokes
     /// (see supports_lock_caching()).
     bool announce_lock_caching = false;
+    /// Announce payload compression in the hello feature bits; effective
+    /// only when the server confirms it in its response (see
+    /// supports_payload_compression()).
+    bool announce_payload_compression = false;
   };
 
   /// Builds the underlying channel; called once at construction and again
@@ -77,6 +81,9 @@ class ReconnectingChannel final : public ClientChannel {
   /// True when both sides negotiated lock caching on the current
   /// connection.
   bool supports_lock_caching() const override;
+  /// True when both sides negotiated payload compression on the current
+  /// connection.
+  bool supports_payload_compression() const override;
   /// Revocation deadline announced by the server (0 = unknown/disabled).
   uint32_t server_revoke_deadline_ms() const;
 
@@ -97,6 +104,7 @@ class ReconnectingChannel final : public ClientChannel {
   uint64_t epoch_ = 0;  // connect_locked() makes the first connection epoch 1
   uint32_t server_lease_ms_ = 0;
   bool lock_caching_ok_ = false;
+  bool payload_compression_ok_ = false;
   uint32_t server_revoke_deadline_ms_ = 0;
   /// Byte counters of dead channel incarnations, folded in at teardown so
   /// bandwidth accounting survives reconnects.

@@ -74,6 +74,12 @@ class ClientChannel {
   /// so they never cache — old clients and servers interoperate unchanged.
   virtual bool supports_lock_caching() const { return false; }
 
+  /// True when this channel negotiated payload compression with the server
+  /// (kHello/kHelloResp feature bit 1): diff sections in both directions
+  /// carry the method-byte envelope of wire/payload.hpp. Raw channels never
+  /// handshake, so they speak the pre-compression byte stream unchanged.
+  virtual bool supports_payload_compression() const { return false; }
+
   /// Severs the underlying connection *now*, independent of object
   /// lifetime: the server observes the disconnect before this returns (or
   /// as soon as its transport loop notices, for socket channels), and

@@ -203,7 +203,11 @@ uint32_t SegmentStore::apply_diff(std::span<const uint8_t> diff_bytes) {
                 "diff base version " + std::to_string(reader.from_version()) +
                     " != current " + std::to_string(version_));
   }
-  const uint32_t new_version = version_ + 1;
+  // A commit diff steps one version; a folded diff (incremental checkpoint
+  // recovery) can span many. Land on what the diff header declares.
+  const uint32_t new_version =
+      std::max(reader.to_version(), version_ + 1);
+  const uint32_t old_version = version_;
 
   owned_markers_.push_back(std::make_unique<Marker>(new_version));
   Marker* marker = owned_markers_.back().get();
@@ -289,7 +293,7 @@ uint32_t SegmentStore::apply_diff(std::span<const uint8_t> diff_bytes) {
   stats_.apply_ns.fetch_add(timer.elapsed_ns(), std::memory_order_relaxed);
 
   if (options_.enable_diff_cache) {
-    cache_insert(new_version - 1, new_version,
+    cache_insert(old_version, new_version,
                  std::make_shared<const std::vector<uint8_t>>(
                      diff_bytes.begin(), diff_bytes.end()));
   }
@@ -378,6 +382,76 @@ std::shared_ptr<const std::vector<uint8_t>> SegmentStore::collect_diff(
     cache_insert(from_version, version_, bytes);
   }
   return bytes;
+}
+
+void SegmentStore::collect_fold_history(uint32_t from_version,
+                                        Buffer& out) const {
+  uint32_t n_created = 0;
+  for (const SvrBlock* b = blocks_by_serial_.first(); b != nullptr;
+       b = blocks_by_serial_.next(*b)) {
+    if (b->created_version > from_version) ++n_created;
+  }
+  out.append_u32(n_created);
+  for (const SvrBlock* b = blocks_by_serial_.first(); b != nullptr;
+       b = blocks_by_serial_.next(*b)) {
+    if (b->created_version <= from_version) continue;
+    out.append_u32(b->serial);
+    out.append_u32(b->created_version);
+  }
+  uint32_t n_freed = 0;
+  for (const FreeRecord& fr : free_history_) {
+    if (fr.freed_version > from_version) ++n_freed;
+  }
+  out.append_u32(n_freed);
+  for (const FreeRecord& fr : free_history_) {
+    if (fr.freed_version <= from_version) continue;
+    out.append_u32(fr.serial);
+    out.append_u32(fr.created_version);
+    out.append_u32(fr.freed_version);
+  }
+}
+
+uint32_t SegmentStore::apply_fold(uint32_t to_version, BufReader& in) {
+  uint32_t n_created = in.read_u32();
+  std::vector<std::pair<uint32_t, uint32_t>> created;
+  created.reserve(n_created);
+  for (uint32_t i = 0; i < n_created; ++i) {
+    uint32_t serial = in.read_u32();
+    uint32_t cv = in.read_u32();
+    created.emplace_back(serial, cv);
+  }
+  uint32_t n_freed = in.read_u32();
+  std::vector<FreeRecord> freed;
+  freed.reserve(n_freed);
+  for (uint32_t i = 0; i < n_freed; ++i) {
+    FreeRecord fr;
+    fr.serial = in.read_u32();
+    fr.created_version = in.read_u32();
+    fr.freed_version = in.read_u32();
+    freed.push_back(fr);
+  }
+  const size_t history_mark = free_history_.size();
+  auto diff = in.read_bytes(in.remaining());
+  uint32_t got = apply_diff(diff);
+  if (got < to_version) {
+    // Every change in the window was a create+free pair the diff omits;
+    // the version still advances so later chain records line up.
+    version_ = to_version;
+    got = to_version;
+  }
+  // destroy_block() during the fold dated frees at the fold's landing
+  // version; swap in the exact records (which also cover blocks created
+  // and freed inside the window — absent from the diff entirely).
+  free_history_.resize(history_mark);
+  for (const FreeRecord& fr : freed) {
+    free_history_.push_back(fr);
+    next_block_serial_ = std::max(next_block_serial_, fr.serial + 1);
+  }
+  for (const auto& [serial, cv] : created) {
+    SvrBlock* b = blocks_by_serial_.find(serial);
+    if (b != nullptr) b->created_version = cv;
+  }
+  return got;
 }
 
 void SegmentStore::cache_insert(

@@ -164,6 +164,22 @@ class SegmentStore {
   std::shared_ptr<const std::vector<uint8_t>> collect_diff(
       uint32_t from_version);
 
+  /// Writes the history tables an incremental checkpoint needs to make a
+  /// fold version-exact: the original created_version of every live block
+  /// newer than `from_version`, and every free since `from_version` —
+  /// including blocks created *and* freed inside the window, which the
+  /// diff omits entirely. Without these a recovered server would misdate
+  /// creations at the fold's landing version and suppress frees for
+  /// clients whose cached version lies inside the folded window.
+  void collect_fold_history(uint32_t from_version, Buffer& out) const;
+
+  /// Applies one incremental-checkpoint record body: the tables written by
+  /// collect_fold_history followed by a collect_diff(from_version) payload.
+  /// Restores exact per-block creation dates and free history, then lands
+  /// on `to_version` even when the window's only changes were create+free
+  /// pairs (empty diff). Returns the new version.
+  uint32_t apply_fold(uint32_t to_version, BufReader& in);
+
   /// Looks up a block; nullptr when absent.
   const SvrBlock* find_block(uint32_t serial) const;
   const SvrBlock* find_block_by_name(const std::string& name) const;

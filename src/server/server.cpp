@@ -1,13 +1,16 @@
 #include "server/server.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <vector>
 
+#include "server/checkpoint.hpp"
 #include "util/endian.hpp"
 #include "util/fsync.hpp"
 #include "util/logging.hpp"
+#include "wire/payload.hpp"
 
 namespace iw::server {
 
@@ -59,6 +62,9 @@ std::string decode_file_name(const std::string& stem) {
 SegmentServer::SegmentServer() : SegmentServer(Options{}) {}
 
 SegmentServer::SegmentServer(Options options) : options_(std::move(options)) {
+  if (const char* env = std::getenv("IW_COMPRESS")) {
+    options_.compress_payloads = std::string_view(env) != "0";
+  }
   if (!options_.checkpoint_dir.empty()) {
     std::filesystem::create_directories(options_.checkpoint_dir);
   }
@@ -94,6 +100,7 @@ void SegmentServer::on_disconnect(SessionId session) {
   std::unique_lock lock(sessions_mu_);
   sessions_.erase(session);
   caching_sessions_.erase(session);
+  compress_sessions_.erase(session);
 }
 
 SegmentServer::SegmentEntry* SegmentServer::find_segment(
@@ -169,6 +176,7 @@ SegmentServer::SegmentSession& SegmentServer::seg_session(SegmentEntry& entry,
   // notification fan-out later needs no lock beyond the entry's.
   Notifier notify;
   bool may_cache = false;
+  bool may_compress = false;
   {
     std::shared_lock lock(sessions_mu_);
     auto sit = sessions_.find(id);
@@ -177,10 +185,12 @@ SegmentServer::SegmentSession& SegmentServer::seg_session(SegmentEntry& entry,
     }
     notify = sit->second;
     may_cache = caching_sessions_.count(id) > 0;
+    may_compress = compress_sessions_.count(id) > 0;
   }
   SegmentSession ss;
   ss.notify = std::move(notify);
   ss.may_cache = may_cache;
+  ss.may_compress = may_compress;
   return entry.sessions.emplace(id, std::move(ss)).first->second;
 }
 
@@ -379,7 +389,26 @@ bool SegmentServer::append_update(SegmentEntry& entry, SegmentSession& ss,
   }
   ss.types_sent = count;
   auto diff = store.collect_diff(client_version);
-  payload.append(diff->data(), diff->size());
+  if (ss.may_compress) {
+    // Negotiated connections carry the diff behind a method byte; the
+    // compressor measures and keeps the raw form (plus the one-byte flag)
+    // whenever the envelope would not pay, so incompressible diffs cost
+    // one byte, not a wasted pass downstream.
+    const size_t method_offset = payload.size();
+    payload.append_u8(payload_method::kRaw);
+    payload.append(diff->data(), diff->size());
+    if (compress_section_in_place(payload, method_offset)) {
+      stats_.updates_compressed.fetch_add(1, std::memory_order_relaxed);
+    }
+    stats_.update_raw_bytes.fetch_add(diff->size(), std::memory_order_relaxed);
+    stats_.update_wire_bytes.fetch_add(payload.size() - method_offset,
+                                       std::memory_order_relaxed);
+  } else {
+    payload.append(diff->data(), diff->size());
+    stats_.update_raw_bytes.fetch_add(diff->size(), std::memory_order_relaxed);
+    stats_.update_wire_bytes.fetch_add(diff->size(),
+                                       std::memory_order_relaxed);
+  }
   ss.modified_since_update = 0;
   return true;
 }
@@ -430,17 +459,25 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
       }
       // Optional trailing feature byte (absent from pre-lock-caching
       // clients): bit 0 announces the client caches read locks and honours
-      // kRevokeRead.
-      bool wants_caching = in.remaining() >= 1 && (in.read_u8() & 1) != 0;
-      if (wants_caching) {
+      // kRevokeRead; bit 1 announces it speaks the payload-compression
+      // section envelope. A connection only compresses when both sides
+      // opted in, so a pre-compression peer on either end sees the old
+      // byte stream unchanged.
+      uint8_t features = in.remaining() >= 1 ? in.read_u8() : 0;
+      bool wants_caching = (features & 1) != 0;
+      bool wants_compress = (features & 2) != 0 && options_.compress_payloads;
+      if (wants_caching || wants_compress) {
         std::unique_lock lock(sessions_mu_);
-        caching_sessions_.insert(session);
+        if (wants_caching) caching_sessions_.insert(session);
+        if (wants_compress) compress_sessions_.insert(session);
       }
       resp.type = MsgType::kHelloResp;
       payload.append_u32(options_.writer_lease_ms);
       // Trailing feature byte + revocation deadline; old clients never read
-      // past the lease field and ignore these bytes.
-      payload.append_u8(options_.revoke_deadline_ms != 0 ? 1 : 0);
+      // past the lease field and ignore these bytes. Bit 1 confirms
+      // compression, telling the client it may envelope its commit diffs.
+      payload.append_u8((options_.revoke_deadline_ms != 0 ? 1 : 0) |
+                        (wants_compress ? 2 : 0));
       payload.append_u32(options_.revoke_deadline_ms);
       break;
     }
@@ -479,14 +516,32 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
         // replicas, before any streamed commit references it.
         uint8_t head[4];
         store_be32(head, serial);
+        // One compression decision feeds both sinks: the journal and the
+        // replication stream carry the identical encoding, so replicas
+        // journal what the primary journaled, byte for byte.
+        Buffer packed;
+        const bool compressed =
+            options_.compress_payloads &&
+            compress_record_payload({head, sizeof head}, graph, packed);
         if (entry.wal != nullptr) {
-          entry.wal->append(WalRecordType::kRegisterType, {head, sizeof head},
-                            graph);
+          if (compressed) {
+            entry.wal->append(WalRecordType::kRegisterType, packed.span(), {},
+                              true);
+          } else {
+            entry.wal->append(WalRecordType::kRegisterType,
+                              {head, sizeof head}, graph);
+          }
         }
         if (options_.replicator != nullptr) {
-          options_.replicator->replicate(name, entry.repl_epoch,
-                                         WalRecordType::kRegisterType,
-                                         {head, sizeof head}, graph);
+          if (compressed) {
+            options_.replicator->replicate(name, entry.repl_epoch,
+                                           WalRecordType::kRegisterType,
+                                           packed.span(), {}, true);
+          } else {
+            options_.replicator->replicate(name, entry.repl_epoch,
+                                           WalRecordType::kRegisterType,
+                                           {head, sizeof head}, graph);
+          }
         }
       }
       // The registering client now knows this serial; extend its known
@@ -642,10 +697,20 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
         }
         throw Error(ErrorCode::kState, "releasing write lock not held");
       }
-      auto diff_bytes = in.read_bytes(in.remaining());
+      // Negotiated connections wrap the diff in the section envelope; a
+      // corrupt envelope must not wedge the segment any more than a
+      // malformed diff may, so the lock drops on a decode failure too.
+      std::span<const uint8_t> diff_bytes;
+      std::vector<uint8_t> inflated;
       uint32_t old_version = entry.store->version();
       uint32_t new_version;
       try {
+        if (seg_session(entry, session).may_compress &&
+            read_compressed_section(in, inflated)) {
+          diff_bytes = inflated;
+        } else {
+          diff_bytes = in.read_bytes(in.remaining());
+        }
         new_version = entry.store->apply_diff(diff_bytes);
       } catch (...) {
         // A malformed diff must not wedge the segment: drop the lock.
@@ -653,16 +718,41 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
         entry.writer_cv.notify_all();
         throw;
       }
+      // One compression decision for the commit record, shared by the
+      // journal append and the replication stream below — the record is
+      // encoded once, and every downstream copy (local log, replica wire,
+      // replica log) inherits the same bytes.
+      uint8_t head[4];
+      store_be32(head, new_version);
+      Buffer packed;
+      bool packed_ok = false;
+      if (new_version != old_version &&
+          (entry.wal != nullptr || options_.replicator != nullptr)) {
+        packed_ok = options_.compress_payloads &&
+                    compress_record_payload({head, sizeof head}, diff_bytes,
+                                            packed);
+        const uint64_t raw_bytes = sizeof head + diff_bytes.size();
+        stats_.commit_raw_bytes.fetch_add(raw_bytes,
+                                          std::memory_order_relaxed);
+        stats_.commit_stored_bytes.fetch_add(
+            packed_ok ? packed.size() : raw_bytes, std::memory_order_relaxed);
+        if (packed_ok) {
+          stats_.commits_compressed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
       // Journal the commit *before* acknowledging it — apply first (it
       // validates the diff so garbage never reaches the log), append
       // second, ack last. A crash after the append is recoverable; a crash
       // before it was never acknowledged.
       if (entry.wal != nullptr && new_version != old_version) {
-        uint8_t head[4];
-        store_be32(head, new_version);
         try {
-          entry.wal->append(WalRecordType::kCommit, {head, sizeof head},
-                            diff_bytes);
+          if (packed_ok) {
+            entry.wal->append(WalRecordType::kCommit, packed.span(), {},
+                              true);
+          } else {
+            entry.wal->append(WalRecordType::kCommit, {head, sizeof head},
+                              diff_bytes);
+          }
         } catch (...) {
           // The diff is applied in memory but missing from the journal, so
           // the log alone can no longer reproduce this state. Drop the lock
@@ -684,12 +774,16 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
       // configured replication factor has journaled it, so a primary crash
       // after this point cannot lose it (the promoted replica has it).
       if (options_.replicator != nullptr && new_version != old_version) {
-        uint8_t head[4];
-        store_be32(head, new_version);
         try {
-          options_.replicator->replicate(name, entry.repl_epoch,
-                                         WalRecordType::kCommit,
-                                         {head, sizeof head}, diff_bytes);
+          if (packed_ok) {
+            options_.replicator->replicate(name, entry.repl_epoch,
+                                           WalRecordType::kCommit,
+                                           packed.span(), {}, true);
+          } else {
+            options_.replicator->replicate(name, entry.repl_epoch,
+                                           WalRecordType::kCommit,
+                                           {head, sizeof head}, diff_bytes);
+          }
         } catch (...) {
           // Applied and locally journaled, but the factor did not confirm
           // in time (or this server was fenced as deposed). Fail the ack
@@ -802,9 +896,26 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
       for (uint32_t i = 0; i < count; ++i) {
         std::string name = in.read_lp_string();
         uint32_t epoch = in.read_u32();
-        auto rtype = static_cast<WalRecordType>(in.read_u8());
+        // The tag is the primary's journal tag verbatim: record type plus
+        // the compressed-envelope flag. Decode once for application; the
+        // encoded bytes are journaled unchanged so the whole chain stores
+        // the identical record.
+        uint8_t tag = in.read_u8();
+        const uint8_t masked = tag & ~kPayloadCompressedTagBit;
+        if (masked < static_cast<uint8_t>(WalRecordType::kSegmentCreate) ||
+            masked > static_cast<uint8_t>(WalRecordType::kSegmentDestroy)) {
+          throw Error(ErrorCode::kProtocol, "unknown replicated record type");
+        }
+        auto rtype = static_cast<WalRecordType>(masked);
+        const bool compressed = (tag & kPayloadCompressedTagBit) != 0;
         uint32_t len = in.read_u32();
         auto body = in.read_bytes(len);
+        std::vector<uint8_t> decoded;
+        std::span<const uint8_t> raw = body;
+        if (compressed) {
+          decoded = decompress_record_payload(body);
+          raw = decoded;
+        }
         SegmentEntry* entry = find_segment(name, true);
         std::lock_guard el(entry->mu);
         if (epoch < entry->repl_epoch) {
@@ -815,7 +926,7 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
           continue;
         }
         entry->repl_epoch = epoch;
-        apply_replicated_locked(*entry, name, rtype, body);
+        apply_replicated_locked(*entry, name, rtype, body, compressed, raw);
         ++applied;
       }
       resp.type = MsgType::kWalAck;
@@ -860,8 +971,10 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
 void SegmentServer::apply_replicated_locked(SegmentEntry& entry,
                                             const std::string& name,
                                             WalRecordType type,
-                                            std::span<const uint8_t> body) {
-  BufReader in(body.data(), body.size());
+                                            std::span<const uint8_t> body,
+                                            bool compressed,
+                                            std::span<const uint8_t> raw) {
+  BufReader in(raw.data(), raw.size());
   bool mutated = false;
   switch (type) {
     case WalRecordType::kSegmentCreate:
@@ -899,6 +1012,12 @@ void SegmentServer::apply_replicated_locked(SegmentEntry& entry,
     }
     case WalRecordType::kSegmentDestroy:
       entry.store = std::make_unique<SegmentStore>(name, options_.store);
+      // The reborn segment shares nothing with the old checkpoint chain;
+      // the next checkpoint must start from a fresh full snapshot.
+      entry.checkpoint_base_version = 0;
+      entry.last_checkpoint_version = 0;
+      entry.checkpoint_chain_len = 0;
+      entry.checkpoint_types_recorded = 0;
       mutated = true;
       break;
   }
@@ -906,8 +1025,9 @@ void SegmentServer::apply_replicated_locked(SegmentEntry& entry,
   stats_.repl_records_applied.fetch_add(1, std::memory_order_relaxed);
   // Journal before the batch is acked: the ack tells the primary this
   // record survives *this* server's crash too, which is exactly what the
-  // primary promises its client.
-  if (entry.wal != nullptr) entry.wal->append(type, body);
+  // primary promises its client. The encoded bytes go in verbatim —
+  // compression was the primary's decision and is inherited, never redone.
+  if (entry.wal != nullptr) entry.wal->append(type, body, {}, compressed);
 }
 
 uint64_t SegmentServer::sweep_expired_grants() {
@@ -941,8 +1061,13 @@ uint64_t SegmentServer::sweep_expired_grants() {
   return swept;
 }
 
-void SegmentServer::checkpoint_segment_locked(SegmentEntry& entry) {
-  if (options_.checkpoint_dir.empty()) return;
+std::string SegmentServer::chain_file_path(const std::string& name) const {
+  namespace fs = std::filesystem;
+  return (fs::path(options_.checkpoint_dir) / encode_file_name(name, ".iwinc"))
+      .string();
+}
+
+void SegmentServer::checkpoint_full_locked(SegmentEntry& entry) {
   Buffer out;
   out.append_u32(kCheckpointMagic);
   out.append_lp_string(entry.store->name());
@@ -954,12 +1079,77 @@ void SegmentServer::checkpoint_segment_locked(SegmentEntry& entry) {
   // tmp + fdatasync + rename + parent fsync: the snapshot is durable before
   // it becomes visible under its final name.
   write_file_durable(final_path.string(), {out.data(), out.size()});
-  // Only once the snapshot is durably in place may the journal records it
-  // supersedes be discarded. A crash between the rename and this truncate is
-  // benign: replay skips records at or below the snapshot's version.
+  // The old chain extended the *previous* snapshot. Recovery would reject
+  // it anyway (base mismatch on the first record), so a crash between the
+  // rename above and this unlink is benign; removing it just reclaims the
+  // space and keeps the stale-chain path off the common recovery.
+  std::error_code ec;
+  if (fs::remove(chain_file_path(entry.store->name()), ec)) {
+    fsync_parent_dir(final_path.string());
+  }
+  entry.checkpoint_base_version = entry.store->version();
+  entry.last_checkpoint_version = entry.store->version();
+  entry.checkpoint_chain_len = 0;
+  entry.checkpoint_types_recorded = entry.store->type_count();
+  stats_.checkpoints_written.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SegmentServer::checkpoint_segment_locked(SegmentEntry& entry) {
+  if (options_.checkpoint_dir.empty()) return;
+  const uint32_t version = entry.store->version();
+  const uint32_t types = entry.store->type_count();
+  // A delta record only makes sense when this incarnation wrote the base
+  // it extends, the chain is under its rewrite bound, and the store has
+  // moved forward (a destroy/recover resets the chain state instead).
+  const bool chain_ok = options_.checkpoint_chain_limit != 0 &&
+                        entry.checkpoint_base_version != 0 &&
+                        entry.checkpoint_chain_len <
+                            options_.checkpoint_chain_limit &&
+                        version >= entry.last_checkpoint_version &&
+                        types >= entry.checkpoint_types_recorded;
+  if (chain_ok && version == entry.last_checkpoint_version &&
+      types == entry.checkpoint_types_recorded) {
+    // Nothing new since the last checkpoint record: just retire the
+    // journal, which the existing base + chain already covers.
+    if (entry.wal != nullptr) entry.wal->truncate_after_checkpoint();
+    entry.versions_since_checkpoint = 0;
+    return;
+  }
+  if (chain_ok) {
+    // Delta record: only what changed since the last checkpoint — the type
+    // graphs registered since, and the diff from the last covered version
+    // (the store tracks dirty subblocks, so this is proportional to what
+    // was touched, not to the segment).
+    SegmentStore& store = *entry.store;
+    Buffer sections;
+    sections.append_u32(types - entry.checkpoint_types_recorded);
+    for (uint32_t serial = entry.checkpoint_types_recorded + 1;
+         serial <= types; ++serial) {
+      auto graph = store.type_graph(serial);
+      sections.append_u32(serial);
+      sections.append_u32(static_cast<uint32_t>(graph.size()));
+      sections.append(graph.data(), graph.size());
+    }
+    store.collect_fold_history(entry.last_checkpoint_version, sections);
+    auto diff = store.collect_diff(entry.last_checkpoint_version);
+    sections.append(diff->data(), diff->size());
+    append_chain_record(chain_file_path(store.name()),
+                        entry.checkpoint_base_version,
+                        entry.last_checkpoint_version, version,
+                        sections.span(), options_.compress_payloads);
+    entry.last_checkpoint_version = version;
+    entry.checkpoint_types_recorded = types;
+    ++entry.checkpoint_chain_len;
+    stats_.checkpoints_incremental.fetch_add(1, std::memory_order_relaxed);
+    stats_.checkpoints_written.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    checkpoint_full_locked(entry);
+  }
+  // Only once the checkpoint is durably in place may the journal records it
+  // supersedes be discarded. A crash between the two is benign: replay
+  // skips records at or below the covered version.
   if (entry.wal != nullptr) entry.wal->truncate_after_checkpoint();
   entry.versions_since_checkpoint = 0;
-  stats_.checkpoints_written.fetch_add(1, std::memory_order_relaxed);
 }
 
 void SegmentServer::checkpoint() {
@@ -1033,6 +1223,97 @@ uint64_t SegmentServer::replay_wal_records(
   return applied_end;
 }
 
+void SegmentServer::fold_checkpoint_chain(
+    const std::string& name, std::unique_ptr<SegmentStore>& store) {
+  namespace fs = std::filesystem;
+  const std::string path = chain_file_path(name);
+  ChainScan scan = scan_chain(path);
+  if (scan.missing) return;
+  const uint32_t base = store->version();
+  uint64_t folded = 0;
+  bool stale = false;
+  bool corrupt = scan.torn;
+  std::string why = corrupt ? "torn or corrupt record framing" : "";
+  for (const ChainRecord& rec : scan.records) {
+    if (rec.base_version != base) {
+      if (folded == 0 && !corrupt) {
+        // The whole chain extends an older snapshot than the one we
+        // loaded: the residue of a crash between a full rewrite landing
+        // and the old chain's unlink. Expected, not corruption.
+        stale = true;
+      } else {
+        corrupt = true;
+        why = "base version changed mid-chain (v" +
+              std::to_string(rec.base_version) + " after v" +
+              std::to_string(base) + ")";
+      }
+      break;
+    }
+    if (rec.from_version != store->version()) {
+      corrupt = true;
+      why = "chain gap (record from v" + std::to_string(rec.from_version) +
+            ", store at v" + std::to_string(store->version()) + ")";
+      break;
+    }
+    try {
+      BufReader in(rec.sections.data(), rec.sections.size());
+      uint32_t new_types = in.read_u32();
+      for (uint32_t i = 0; i < new_types; ++i) {
+        uint32_t serial = in.read_u32();
+        uint32_t len = in.read_u32();
+        auto graph = in.read_bytes(len);
+        if (serial <= store->type_count()) continue;
+        uint32_t got = store->register_type(graph);
+        if (got != serial) {
+          throw Error(ErrorCode::kProtocol,
+                      "type serial gap in chain (record " +
+                          std::to_string(serial) + ", store assigned " +
+                          std::to_string(got) + ")");
+        }
+      }
+      uint32_t got = store->apply_fold(rec.to_version, in);
+      if (got != rec.to_version) {
+        throw Error(ErrorCode::kProtocol,
+                    "chain version gap (record to v" +
+                        std::to_string(rec.to_version) +
+                        ", store reached v" + std::to_string(got) + ")");
+      }
+    } catch (const std::exception& e) {
+      corrupt = true;
+      why = e.what();
+      break;
+    }
+    ++folded;
+  }
+  if (folded != 0) {
+    stats_.checkpoint_chain_folds.fetch_add(folded, std::memory_order_relaxed);
+    IW_LOG(kInfo) << "folded " << folded << " incremental checkpoints onto "
+                  << name << " (v" << base << " -> v" << store->version()
+                  << ")";
+  }
+  if (stale) {
+    std::error_code ec;
+    fs::remove(path, ec);
+    IW_LOG(kInfo) << "removed stale checkpoint chain for " << name
+                  << " (chain base v" << scan.records.front().base_version
+                  << ", snapshot v" << base << ")";
+    return;
+  }
+  if (corrupt) {
+    // Keep the good prefix we folded and set the rest aside, exactly like
+    // a quarantined snapshot; the journal replay that follows stops at the
+    // resulting version gap, so recovery lands on the last good fold.
+    fs::path quarantine = fs::path(path);
+    quarantine += ".corrupt";
+    std::error_code ec;
+    fs::rename(path, quarantine, ec);
+    IW_LOG(kWarn) << "quarantining checkpoint chain " << path << " after "
+                  << folded << " records (" << why << ")"
+                  << (ec ? "; rename failed: " + ec.message() : "");
+    stats_.checkpoints_quarantined.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void SegmentServer::recover() {
   if (options_.checkpoint_dir.empty()) return;
   namespace fs = std::filesystem;
@@ -1041,11 +1322,14 @@ void SegmentServer::recover() {
   // the directory iteration.
   std::vector<fs::path> snapshots;
   std::vector<fs::path> journals;
+  std::vector<fs::path> chains;
   for (const auto& dirent : fs::directory_iterator(options_.checkpoint_dir)) {
     if (dirent.path().extension() == ".iwseg") {
       snapshots.push_back(dirent.path());
     } else if (dirent.path().extension() == ".iwlog") {
       journals.push_back(dirent.path());
+    } else if (dirent.path().extension() == ".iwinc") {
+      chains.push_back(dirent.path());
     }
   }
 
@@ -1077,6 +1361,9 @@ void SegmentServer::recover() {
       stats_.checkpoints_quarantined.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
+    // Fold the segment's incremental chain (if any) onto the snapshot
+    // before the journal tail replays: base + chain + tail, in that order.
+    fold_checkpoint_chain(name, store);
     auto it = segments_.find(name);
     if (it != segments_.end()) {
       // Replace the store in place: entry addresses must stay stable.
@@ -1084,12 +1371,33 @@ void SegmentServer::recover() {
       it->second->store = std::move(store);
       it->second->versions_since_checkpoint = 0;
       it->second->wal.reset();  // reopened against the journal below
+      // Recovery never resumes an inherited chain; the next checkpoint
+      // lays down a fresh full base.
+      it->second->checkpoint_base_version = 0;
+      it->second->last_checkpoint_version = 0;
+      it->second->checkpoint_chain_len = 0;
+      it->second->checkpoint_types_recorded = 0;
     } else {
       auto entry = std::make_unique<SegmentEntry>();
       entry->store = std::move(store);
       segments_.emplace(std::move(name), std::move(entry));
     }
     IW_LOG(kInfo) << "recovered segment " << path.filename().string();
+  }
+
+  // A chain whose base snapshot is missing or was quarantined cannot be
+  // applied to anything; set it aside with the same discipline.
+  for (const fs::path& path : chains) {
+    std::string name = decode_file_name(path.stem().string());
+    if (segments_.count(name) != 0 || !fs::exists(path)) continue;
+    fs::path quarantine = path;
+    quarantine += ".corrupt";
+    std::error_code ec;
+    fs::rename(path, quarantine, ec);
+    IW_LOG(kWarn) << "quarantining orphan checkpoint chain " << path
+                  << " (no base snapshot)"
+                  << (ec ? "; rename failed: " + ec.message() : "");
+    stats_.checkpoints_quarantined.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Pass 2: replay each journal's tail on top of its snapshot (or from
@@ -1167,6 +1475,20 @@ SegmentServer::Stats SegmentServer::stats() const {
       stats_.recoveries_completed.load(std::memory_order_relaxed);
   s.checkpoints_quarantined =
       stats_.checkpoints_quarantined.load(std::memory_order_relaxed);
+  s.checkpoints_incremental =
+      stats_.checkpoints_incremental.load(std::memory_order_relaxed);
+  s.checkpoint_chain_folds =
+      stats_.checkpoint_chain_folds.load(std::memory_order_relaxed);
+  s.updates_compressed =
+      stats_.updates_compressed.load(std::memory_order_relaxed);
+  s.update_raw_bytes = stats_.update_raw_bytes.load(std::memory_order_relaxed);
+  s.update_wire_bytes =
+      stats_.update_wire_bytes.load(std::memory_order_relaxed);
+  s.commits_compressed =
+      stats_.commits_compressed.load(std::memory_order_relaxed);
+  s.commit_raw_bytes = stats_.commit_raw_bytes.load(std::memory_order_relaxed);
+  s.commit_stored_bytes =
+      stats_.commit_stored_bytes.load(std::memory_order_relaxed);
   s.repl_records_applied =
       stats_.repl_records_applied.load(std::memory_order_relaxed);
   s.repl_stale_rejected =

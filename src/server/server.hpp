@@ -75,6 +75,22 @@ class SegmentServer : public ServerCore {
     /// acknowledgement on its replication factor (see replication.hpp);
     /// null runs standalone.
     std::shared_ptr<WalReplicator> replicator;
+    /// Payload compression (wire/payload.hpp). When on, the server offers
+    /// per-connection diff compression in its hello (feature bit 1; only
+    /// connections whose client announced the same bit get the section
+    /// envelope, so pre-compression peers see the old byte stream) and
+    /// journals commit records as compressed envelopes when the sampled
+    /// ratio pays. The IW_COMPRESS environment variable overrides this at
+    /// construction ("0" disables, anything else enables).
+    bool compress_payloads = true;
+    /// Incremental checkpoints: after `checkpoint_chain_limit` delta
+    /// records have accumulated in a segment's `.iwinc` chain, the next
+    /// checkpoint rewrites the full `.iwseg` snapshot and resets the chain
+    /// (bounding recovery to one snapshot load plus that many folds). The
+    /// first checkpoint of a segment's life is always a full rewrite. 0
+    /// disables incremental checkpoints — every checkpoint is a full
+    /// rewrite, the pre-chain behavior.
+    uint32_t checkpoint_chain_limit = 8;
     /// Store tuning (diff cache, prediction, subblock size).
     SegmentStore::Options store;
   };
@@ -102,7 +118,17 @@ class SegmentServer : public ServerCore {
     uint64_t wal_replayed_records = 0;      ///< records applied by recover()
     uint64_t wal_truncated_bytes = 0;       ///< torn-tail bytes cut at recover
     uint64_t recoveries_completed = 0;      ///< recover() invocations done
-    uint64_t checkpoints_quarantined = 0;   ///< corrupt *.iwseg set aside
+    uint64_t checkpoints_quarantined = 0;   ///< corrupt *.iwseg/*.iwinc aside
+    uint64_t checkpoints_incremental = 0;   ///< delta records appended
+    uint64_t checkpoint_chain_folds = 0;    ///< delta records folded at recover
+    // Payload pipeline: what the section envelope and the record envelope
+    // saved, measured where the bytes would otherwise have been paid.
+    uint64_t updates_compressed = 0;     ///< update diffs sent compressed
+    uint64_t update_raw_bytes = 0;       ///< diff bytes before the envelope
+    uint64_t update_wire_bytes = 0;      ///< diff section bytes on the wire
+    uint64_t commits_compressed = 0;     ///< commit records journaled packed
+    uint64_t commit_raw_bytes = 0;       ///< commit payload bytes pre-envelope
+    uint64_t commit_stored_bytes = 0;    ///< commit payload bytes journaled
     // Federation (replica role): records streamed in by a primary and
     // placement-epoch enforcement.
     uint64_t repl_records_applied = 0;   ///< kWalAppend records applied
@@ -163,6 +189,10 @@ class SegmentServer : public ServerCore {
     /// Session announced lock-caching support in its hello (copied from
     /// `caching_sessions_` at first touch); never granted otherwise.
     bool may_cache = false;
+    /// Both sides of this connection negotiated payload compression in the
+    /// hello (copied from `compress_sessions_` at first touch): diff
+    /// sections to and from this session carry the method-byte envelope.
+    bool may_compress = false;
     /// When the current cached grant was issued; the grant-TTL sweep
     /// compares against it.
     std::chrono::steady_clock::time_point grant_time{};
@@ -196,6 +226,18 @@ class SegmentServer : public ServerCore {
     /// older epoch comes from a deposed primary and is refused.
     uint32_t repl_epoch = 1;
     uint32_t versions_since_checkpoint = 0;
+    /// Incremental-checkpoint chain state (see checkpoint.hpp). The base is
+    /// the version of the last full `.iwseg` this incarnation wrote (0 =
+    /// none yet, so the next checkpoint must be a full rewrite — also the
+    /// state after recover(), which never resumes an inherited chain).
+    uint32_t checkpoint_base_version = 0;
+    /// Version covered by base + chain; the next delta record diffs from
+    /// here. Meaningful only when checkpoint_base_version != 0.
+    uint32_t last_checkpoint_version = 0;
+    /// Delta records in the live `.iwinc`; a full rewrite resets it.
+    uint32_t checkpoint_chain_len = 0;
+    /// Type-table prefix already captured by base + chain.
+    uint32_t checkpoint_types_recorded = 0;
     /// Append-only diff journal; null when persistence is disabled. Guarded
     /// by `mu` like the store, so append-before-ack and
     /// truncate-on-checkpoint serialize naturally with commits.
@@ -222,6 +264,14 @@ class SegmentServer : public ServerCore {
     std::atomic<uint64_t> wal_truncated_bytes{0};
     std::atomic<uint64_t> recoveries_completed{0};
     std::atomic<uint64_t> checkpoints_quarantined{0};
+    std::atomic<uint64_t> checkpoints_incremental{0};
+    std::atomic<uint64_t> checkpoint_chain_folds{0};
+    std::atomic<uint64_t> updates_compressed{0};
+    std::atomic<uint64_t> update_raw_bytes{0};
+    std::atomic<uint64_t> update_wire_bytes{0};
+    std::atomic<uint64_t> commits_compressed{0};
+    std::atomic<uint64_t> commit_raw_bytes{0};
+    std::atomic<uint64_t> commit_stored_bytes{0};
     std::atomic<uint64_t> repl_records_applied{0};
     std::atomic<uint64_t> repl_stale_rejected{0};
     std::atomic<uint64_t> promotions_accepted{0};
@@ -264,22 +314,40 @@ class SegmentServer : public ServerCore {
                                     const std::string& name,
                                     SessionId session,
                                     std::unique_lock<std::mutex>& el);
-  /// Caller holds entry.mu.
+  /// Checkpoints one segment: a delta record onto its `.iwinc` chain when
+  /// a base exists and the chain is under the limit, a full `.iwseg`
+  /// rewrite otherwise. Either way the journal is truncated after the
+  /// checkpoint lands durably. Caller holds entry.mu.
   void checkpoint_segment_locked(SegmentEntry& entry);
+  /// The full-rewrite half: durable snapshot, chain file removed, chain
+  /// state reset. Caller holds entry.mu.
+  void checkpoint_full_locked(SegmentEntry& entry);
   /// Applies one record streamed by a primary (kWalAppend) to the store
   /// and journals it — the replica half of journal-before-ack. Idempotent:
   /// a commit at or below the store version (a re-sent batch after a link
-  /// reconnect) is skipped. Caller holds entry.mu and has already passed
+  /// reconnect) is skipped. `body` is the on-wire (possibly compressed)
+  /// payload and is journaled verbatim with `compressed` on the tag, so
+  /// the primary's encoding is inherited; `raw` is the decoded payload the
+  /// record is applied from. Caller holds entry.mu and has already passed
   /// the epoch fence.
   void apply_replicated_locked(SegmentEntry& entry, const std::string& name,
                                WalRecordType type,
-                               std::span<const uint8_t> body);
+                               std::span<const uint8_t> body, bool compressed,
+                               std::span<const uint8_t> raw);
 
   // --- durability plumbing ---
   /// True when commits are journaled (checkpoint_dir set + wal_enabled).
   bool wal_on() const noexcept;
   WriteAheadLog::Options wal_options();
   std::string wal_file_path(const std::string& name) const;
+  std::string chain_file_path(const std::string& name) const;
+  /// Folds a segment's `.iwinc` chain onto its freshly loaded snapshot
+  /// during recover(): applies every valid delta record whose base matches
+  /// the snapshot, removes a stale chain (base mismatch on the first
+  /// record — the residue of a crash between a full rewrite and the old
+  /// chain's unlink), and quarantines the tail past a mid-chain violation.
+  void fold_checkpoint_chain(const std::string& name,
+                             std::unique_ptr<SegmentStore>& store);
   /// Opens a brand-new journal for `entry` (discarding any stale log file
   /// left by an earlier incarnation) and records the segment's birth.
   void open_fresh_wal(SegmentEntry& entry, const std::string& name);
@@ -307,6 +375,10 @@ class SegmentServer : public ServerCore {
   /// Sessions whose kHello announced client-side lock caching (feature
   /// bit 0). Guarded by sessions_mu_ like the connection table.
   std::unordered_set<SessionId> caching_sessions_;
+  /// Sessions whose kHello announced payload compression (feature bit 1)
+  /// while the server has it enabled too — only these ever see the diff
+  /// section envelope. Guarded by sessions_mu_.
+  std::unordered_set<SessionId> compress_sessions_;
 
   AtomicStats stats_;
 };

@@ -7,11 +7,11 @@
 
 #include <cstring>
 
-#include "util/crc32c.hpp"
 #include "util/endian.hpp"
 #include "util/error.hpp"
 #include "util/fsync.hpp"
 #include "util/logging.hpp"
+#include "wire/payload.hpp"
 
 namespace iw::server {
 
@@ -20,10 +20,6 @@ namespace {
 constexpr uint32_t kWalMagic = 0x4957414C;  // "IWAL"
 constexpr uint32_t kWalFormat = 1;
 constexpr size_t kHeaderBytes = WriteAheadLog::kHeaderSize;
-constexpr size_t kRecordHeaderBytes = 8;  // body_len u32 + crc u32
-/// Guards the length field against corruption that would otherwise make
-/// replay try to allocate absurd buffers.
-constexpr uint32_t kMaxRecordBody = 256u << 20;
 
 }  // namespace
 
@@ -74,30 +70,40 @@ WriteAheadLog::Replay WriteAheadLog::replay(const std::string& path) {
     return out;
   }
 
-  size_t o = kHeaderBytes;
-  while (true) {
-    if (bytes.size() - o < kRecordHeaderBytes) break;  // short/absent header
-    uint32_t body_len = load_be32(bytes.data() + o);
-    uint32_t crc = load_be32(bytes.data() + o + 4);
-    if (body_len < 1 || body_len > kMaxRecordBody) break;
-    if (bytes.size() - o - kRecordHeaderBytes < body_len) break;  // torn body
-    const uint8_t* body = bytes.data() + o + kRecordHeaderBytes;
-    if (crc32c(body, body_len) != crc) break;
-    uint8_t type = body[0];
+  // The record framing is the shared codec's; WAL-specific policy on top:
+  // an unknown type or an undecompressable payload stops replay exactly
+  // like a CRC failure, because record boundaries past a record we cannot
+  // interpret are not trustworthy.
+  RecordScanner scanner({bytes.data() + kHeaderBytes,
+                         bytes.size() - kHeaderBytes}, kHeaderBytes);
+  uint64_t accepted_end = kHeaderBytes;
+  ScannedRecord sr;
+  while (scanner.next(&sr) == RecordScanner::Status::kRecord) {
+    const uint8_t type = sr.tag & ~kPayloadCompressedTagBit;
     if (type < static_cast<uint8_t>(WalRecordType::kSegmentCreate) ||
         type > static_cast<uint8_t>(WalRecordType::kSegmentDestroy)) {
       break;  // unknown type: record boundaries beyond here are unsafe
     }
     Record rec;
     rec.type = static_cast<WalRecordType>(type);
-    rec.payload.assign(body + 1, body + body_len);
-    o += kRecordHeaderBytes + body_len;
-    rec.end_offset = o;
+    rec.compressed = (sr.tag & kPayloadCompressedTagBit) != 0;
+    if (rec.compressed) {
+      try {
+        rec.payload = decompress_record_payload(sr.payload);
+      } catch (const Error&) {
+        break;  // corrupt envelope inside a CRC-clean frame: stop here
+      }
+    } else {
+      rec.payload.assign(sr.payload.begin(), sr.payload.end());
+    }
+    rec.stored_bytes = sr.end_offset - accepted_end;
+    rec.end_offset = sr.end_offset;
+    accepted_end = sr.end_offset;
     out.records.push_back(std::move(rec));
   }
-  out.valid_bytes = o;
-  out.torn_tail = o < bytes.size();
-  out.truncated_bytes = bytes.size() - o;
+  out.valid_bytes = accepted_end;
+  out.torn_tail = accepted_end < bytes.size();
+  out.truncated_bytes = bytes.size() - accepted_end;
   return out;
 }
 
@@ -164,18 +170,11 @@ void WriteAheadLog::fdatasync_now() {
 }
 
 void WriteAheadLog::append(WalRecordType type, std::span<const uint8_t> head,
-                           std::span<const uint8_t> body) {
-  const uint32_t body_len =
-      static_cast<uint32_t>(1 + head.size() + body.size());
-  check_internal(1 + head.size() + body.size() <= kMaxRecordBody,
-                 "WAL record too large");
-  uint8_t prefix[kRecordHeaderBytes + 1];
-  store_be32(prefix, body_len);
-  uint32_t crc = crc32c_extend(0, &type, 1);
-  crc = crc32c_extend(crc, head.data(), head.size());
-  crc = crc32c_extend(crc, body.data(), body.size());
-  store_be32(prefix + 4, crc);
-  prefix[kRecordHeaderBytes] = static_cast<uint8_t>(type);
+                           std::span<const uint8_t> body, bool compressed) {
+  const uint8_t tag = static_cast<uint8_t>(type) |
+                      (compressed ? kPayloadCompressedTagBit : uint8_t{0});
+  uint8_t prefix[kFramedPrefixBytes];
+  build_record_prefix(tag, head, body, prefix);
 
   WalCrashPoint crash = options_.crash != nullptr
                             ? options_.crash->next_append()
@@ -183,7 +182,7 @@ void WriteAheadLog::append(WalRecordType type, std::span<const uint8_t> head,
   if (crash == WalCrashPoint::kShortWrite) {
     // Die with only part of the record *header* on disk: replay must see
     // fewer bytes than a header and stop.
-    write_all(prefix, kRecordHeaderBytes / 2);
+    write_all(prefix, kFramedHeaderBytes / 2);
     wal_crash_now();
   }
   if (crash == WalCrashPoint::kMidRecord) {

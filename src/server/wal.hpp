@@ -11,15 +11,25 @@
 //   file   := header record*
 //   header := magic u32 "IWAL" | format u32 (=1)
 //   record := body_len u32 | crc u32 | body
-//   body   := type u8 | payload          (body_len = 1 + payload size)
+//   body   := tag u8 | payload           (body_len = 1 + payload size)
+//   tag    := type u8, possibly ORed with kPayloadCompressedTagBit (0x80)
+//
+// The record framing is the shared codec's (wire/payload.hpp); this file
+// composes it with the WAL's header, sync policies, and torn-tail rule.
+// When the tag carries kPayloadCompressedTagBit the payload is a
+// compress_record_payload envelope (`u32 raw_len | lz bytes`); replay
+// decompresses transparently, so Record::payload is always the raw bytes.
+// Uncompressed records are byte-identical to format 1 journals written
+// before compression existed, and replay sniffs the flag per record, so
+// old journals (and mixed old/new journals) replay unchanged.
 //
 // `crc` is CRC-32C over the whole body. The torn-tail rule: a record is
 // valid only if its full header fits, its length is sane, its full body
-// fits, and the CRC matches; replay stops cleanly at the first violation
-// (a crash mid-append leaves exactly such a tail) and reopening for append
-// truncates the torn bytes. Corruption *before* the tail also stops replay
-// — bytes after a bad record cannot be trusted because record boundaries
-// are lost.
+// fits, the CRC matches, and (when flagged) its payload decompresses;
+// replay stops cleanly at the first violation (a crash mid-append leaves
+// exactly such a tail) and reopening for append truncates the torn bytes.
+// Corruption *before* the tail also stops replay — bytes after a bad
+// record cannot be trusted because record boundaries are lost.
 //
 // Sync policies trade commit latency for durability against OS/power
 // failure (process death alone never loses a completed append):
@@ -79,7 +89,13 @@ class WriteAheadLog {
 
   struct Record {
     WalRecordType type;
+    /// Raw (decompressed) payload bytes, whatever the on-disk encoding.
     std::vector<uint8_t> payload;
+    /// True when the on-disk payload was a compressed envelope.
+    bool compressed = false;
+    /// On-disk size of the whole record (frame header + tag + encoded
+    /// payload) — what the journal actually paid for this record.
+    uint64_t stored_bytes = 0;
     /// File offset just past this record — the truncation point when a
     /// recovery applies only a prefix of the records.
     uint64_t end_offset = 0;
@@ -123,9 +139,13 @@ class WriteAheadLog {
   /// Appends one record whose payload is `head` followed by `body` (two
   /// spans so a commit's version prefix needs no copy of the diff bytes),
   /// then applies the sync policy. Must complete before the corresponding
-  /// commit is acknowledged.
+  /// commit is acknowledged. `compressed` marks the payload as an
+  /// already-built compress_record_payload envelope — the WAL journals
+  /// whatever encoding it is handed and only flags the tag; it never
+  /// compresses (or re-compresses) itself, so a replica journaling a
+  /// primary's stream inherits the primary's encoding byte for byte.
   void append(WalRecordType type, std::span<const uint8_t> head,
-              std::span<const uint8_t> body = {});
+              std::span<const uint8_t> body = {}, bool compressed = false);
 
   /// fdatasyncs now if any append since the last flush; no-op otherwise.
   void sync();

@@ -70,6 +70,14 @@ class Buffer {
     return bytes_.data() + off;
   }
 
+  /// Shrinks the buffer back to `n` bytes, keeping capacity. Lets a writer
+  /// that appended a trial encoding (say, a compressed section that did not
+  /// pay) discard it without reallocating.
+  void truncate(size_t n) {
+    check_internal(n <= bytes_.size(), "truncate past end");
+    bytes_.resize(n);
+  }
+
   /// Reserves `n` bytes and returns their offset; patch later via patch_u32.
   size_t append_placeholder_u32() {
     size_t off = bytes_.size();

@@ -19,6 +19,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kBrokenPipe: return "BrokenPipe";
     case ErrorCode::kLeaseExpired: return "LeaseExpired";
     case ErrorCode::kStaleEpoch: return "StaleEpoch";
+    case ErrorCode::kCorruptPayload: return "CorruptPayload";
   }
   return "Unknown";
 }

@@ -35,11 +35,12 @@ enum class ErrorCode {
   kBrokenPipe,       ///< write to a closed connection (EPIPE)
   kLeaseExpired,     ///< writer lease reclaimed; transaction must be retried
   kStaleEpoch,       ///< sender's placement epoch is behind; it was deposed
+  kCorruptPayload,   ///< compressed/framed payload failed integrity checks
 };
 
 /// Number of ErrorCode values (for tables and wire-name decoding loops).
 inline constexpr int kErrorCodeCount =
-    static_cast<int>(ErrorCode::kStaleEpoch) + 1;
+    static_cast<int>(ErrorCode::kCorruptPayload) + 1;
 
 /// Human-readable name of an ErrorCode ("NotFound", "Io", ...).
 const char* error_code_name(ErrorCode code) noexcept;

@@ -7,6 +7,8 @@
 #include <functional>
 
 #include "interweave/interweave.hpp"
+#include "server/checkpoint.hpp"
+#include "wire/diff.hpp"
 
 namespace iw {
 namespace {
@@ -297,6 +299,221 @@ TEST_F(Checkpoint, SegmentNamesAreEscapedInFileNames) {
   server::SegmentServer revived(server_options());
   revived.recover();
   EXPECT_EQ(revived.segment_version("some.host/deep/path/segment"), 2u);
+}
+
+// ------------------------------------------- incremental checkpoint chains
+
+TEST_F(Checkpoint, IncrementalCheckpointsFoldOnRecovery) {
+  auto options = server_options();
+  uint32_t final_version = 0;
+  {
+    server::SegmentServer server(options);
+    Client c([&](const std::string&) {
+      return std::make_shared<InProcChannel>(server);
+    });
+    const TypeDescriptor* arr =
+        c.types().array_of(c.types().primitive(PrimitiveKind::kInt32), 64);
+    ClientSegment* seg = c.open_segment("host/inc");
+    c.write_lock(seg);
+    auto* data = static_cast<int32_t*>(c.malloc_block(seg, arr, "d"));
+    c.write_unlock(seg);  // v2
+    server.checkpoint();  // first checkpoint: always a full snapshot
+    for (int round = 1; round <= 3; ++round) {
+      c.write_lock(seg);
+      data[round] = round * 11;
+      c.write_unlock(seg);
+      server.checkpoint();  // delta record, journal truncated each time
+    }
+    // One more commit lives only in the journal — the crash window between
+    // incremental checkpoint writes.
+    c.write_lock(seg);
+    data[10] = 77;
+    c.write_unlock(seg);
+    final_version = seg->version();
+    EXPECT_EQ(server.stats().checkpoints_incremental, 3u);
+    EXPECT_EQ(server.stats().checkpoints_written, 4u);
+  }
+  ASSERT_TRUE(fs::exists(dir_ / "host%2Finc.iwinc"));
+
+  server::SegmentServer revived(server_options());
+  revived.recover();
+  EXPECT_EQ(revived.segment_version("host/inc"), final_version);
+  EXPECT_EQ(revived.stats().checkpoint_chain_folds, 3u);
+  EXPECT_EQ(revived.stats().checkpoints_quarantined, 0u);
+  EXPECT_GT(revived.stats().wal_replayed_records, 0u);
+
+  Client c([&](const std::string&) {
+    return std::make_shared<InProcChannel>(revived);
+  });
+  ClientSegment* seg = c.open_segment("host/inc", false);
+  c.read_lock(seg);
+  auto* blk = seg->heap().find_by_name("d");
+  ASSERT_NE(blk, nullptr);
+  const auto* data = reinterpret_cast<const int32_t*>(blk->data());
+  for (int round = 1; round <= 3; ++round) EXPECT_EQ(data[round], round * 11);
+  EXPECT_EQ(data[10], 77);
+  c.read_unlock(seg);
+}
+
+TEST_F(Checkpoint, FullRewriteBoundsTheChain) {
+  auto options = server_options();
+  options.checkpoint_chain_limit = 2;
+  server::SegmentServer server(options);
+  Client c([&](const std::string&) {
+    return std::make_shared<InProcChannel>(server);
+  });
+  const TypeDescriptor* arr =
+      c.types().array_of(c.types().primitive(PrimitiveKind::kInt32), 16);
+  ClientSegment* seg = c.open_segment("host/bound");
+  c.write_lock(seg);
+  auto* data = static_cast<int32_t*>(c.malloc_block(seg, arr, "d"));
+  c.write_unlock(seg);
+  server.checkpoint();  // full
+  const fs::path chain = dir_ / "host%2Fbound.iwinc";
+  for (int round = 1; round <= 2; ++round) {
+    c.write_lock(seg);
+    data[0] = round;
+    c.write_unlock(seg);
+    server.checkpoint();  // delta records while under the limit
+  }
+  ASSERT_TRUE(fs::exists(chain));
+  EXPECT_EQ(server.stats().checkpoints_incremental, 2u);
+  c.write_lock(seg);
+  data[0] = 3;
+  c.write_unlock(seg);
+  server.checkpoint();  // limit hit: full rewrite deletes the chain
+  EXPECT_FALSE(fs::exists(chain));
+  EXPECT_EQ(server.stats().checkpoints_incremental, 2u);
+
+  server::SegmentServer revived(server_options());
+  revived.recover();
+  EXPECT_EQ(revived.stats().checkpoint_chain_folds, 0u);
+  EXPECT_EQ(revived.segment_version("host/bound"), 5u);
+}
+
+TEST_F(Checkpoint, CorruptMidChainRecordFallsBackToLastGoodFold) {
+  auto options = server_options();
+  uint32_t good_version = 0;
+  {
+    server::SegmentServer server(options);
+    Client c([&](const std::string&) {
+      return std::make_shared<InProcChannel>(server);
+    });
+    const TypeDescriptor* arr =
+        c.types().array_of(c.types().primitive(PrimitiveKind::kInt32), 32);
+    ClientSegment* seg = c.open_segment("host/midrot");
+    c.write_lock(seg);
+    auto* data = static_cast<int32_t*>(c.malloc_block(seg, arr, "d"));
+    c.write_unlock(seg);
+    server.checkpoint();  // full snapshot
+    for (int round = 1; round <= 3; ++round) {
+      c.write_lock(seg);
+      data[0] = round * 100;
+      c.write_unlock(seg);
+      server.checkpoint();
+      if (round == 1) good_version = seg->version();
+    }
+  }
+  const fs::path chain = dir_ / "host%2Fmidrot.iwinc";
+  ASSERT_TRUE(fs::exists(chain));
+
+  // Flip a byte inside the *second* delta record's payload. Record sizes
+  // come from the scanner itself, so the test stays valid if framing grows.
+  auto scan = server::scan_chain(chain.string());
+  ASSERT_EQ(scan.records.size(), 3u);
+  {
+    std::fstream f(chain, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(static_cast<std::streamoff>(8 + scan.records[0].stored_bytes + 12));
+    f.put(static_cast<char>(0xFF));
+  }
+
+  server::SegmentServer revived(server_options());
+  revived.recover();  // must not throw
+  // The good prefix folded; the damaged tail is quarantined; the journal
+  // (truncated at the last checkpoint) has nothing to add — recovery lands
+  // on the last good fold.
+  EXPECT_EQ(revived.stats().checkpoints_quarantined, 1u);
+  EXPECT_EQ(revived.stats().checkpoint_chain_folds, 1u);
+  EXPECT_TRUE(fs::exists(dir_ / "host%2Fmidrot.iwinc.corrupt"));
+  EXPECT_FALSE(fs::exists(chain));
+  EXPECT_EQ(revived.segment_version("host/midrot"), good_version);
+
+  Client c([&](const std::string&) {
+    return std::make_shared<InProcChannel>(revived);
+  });
+  ClientSegment* seg = c.open_segment("host/midrot", false);
+  c.read_lock(seg);
+  auto* blk = seg->heap().find_by_name("d");
+  ASSERT_NE(blk, nullptr);
+  EXPECT_EQ(reinterpret_cast<const int32_t*>(blk->data())[0], 100);
+  c.read_unlock(seg);
+}
+
+TEST_F(Checkpoint, FoldedChainPreservesFreesForMidWindowClients) {
+  // A block created *and* freed between two incremental checkpoints leaves
+  // no trace in the window's diff — but a client whose cached version lies
+  // inside the window saw the creation, so the recovered server must still
+  // tell it about the free. The chain's fold-history tables carry exactly
+  // this.
+  auto options = server_options();
+  uint32_t mid_version = 0;
+  uint32_t victim_serial = 0;
+  {
+    server::SegmentServer server(options);
+    Client c([&](const std::string&) {
+      return std::make_shared<InProcChannel>(server);
+    });
+    const TypeDescriptor* arr =
+        c.types().array_of(c.types().primitive(PrimitiveKind::kInt32), 16);
+    ClientSegment* seg = c.open_segment("host/ghost");
+    c.write_lock(seg);
+    c.malloc_block(seg, arr, "keep");
+    c.write_unlock(seg);  // v2
+    server.checkpoint();  // full snapshot, base v2
+    c.write_lock(seg);
+    void* victim = c.malloc_block(seg, arr, "victim");
+    victim_serial = client::BlockHeader::from_data(victim)->serial;
+    c.write_unlock(seg);  // v3 — a client could have cached this
+    mid_version = seg->version();
+    c.write_lock(seg);
+    c.free_block(seg, static_cast<uint8_t*>(victim));
+    c.write_unlock(seg);  // v4
+    server.checkpoint();  // delta v2 -> v4: create+free pair, empty diff
+  }
+
+  server::SegmentServer revived(server_options());
+  revived.recover();
+  EXPECT_EQ(revived.stats().checkpoints_quarantined, 0u);
+  EXPECT_EQ(revived.segment_version("host/ghost"), mid_version + 1);
+
+  // A surviving cache at the mid-window version asks for an update: the
+  // response diff must free the victim block.
+  InProcChannel channel(revived);
+  Buffer payload;
+  payload.append_lp_string("host/ghost");
+  payload.append_u32(mid_version);
+  payload.append_u8(static_cast<uint8_t>(CoherenceModel::kFull));
+  payload.append_u64(0);
+  Frame resp = channel.call(MsgType::kAcquireRead, std::move(payload));
+  BufReader r = resp.reader();
+  ASSERT_EQ(r.read_u8(), 1) << "must be an update, not 'recent enough'";
+  uint32_t n_types = r.read_u32();
+  for (uint32_t i = 0; i < n_types; ++i) {
+    r.read_u32();
+    uint32_t len = r.read_u32();
+    r.read_bytes(len);
+  }
+  DiffReader reader(r);
+  DiffEntry entry;
+  bool freed = false;
+  while (reader.next(&entry)) {
+    if ((entry.flags & diff_flags::kFree) != 0 &&
+        entry.serial == victim_serial) {
+      freed = true;
+    }
+  }
+  EXPECT_TRUE(freed) << "recovered server lost the mid-window free";
 }
 
 }  // namespace

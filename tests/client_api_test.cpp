@@ -118,7 +118,14 @@ TEST_F(ClientApi, StatsAndByteCountersMove) {
   d[0] = 1;
   c.write_unlock(seg);
   EXPECT_EQ(c.stats().diffs_collected, 1u);
-  EXPECT_GT(c.bytes_sent(), 4096u);
+  if (c.stats().diffs_compressed > 0) {
+    // The near-zero 4 KiB array compressed on the wire: the counter still
+    // moves but stays well under the raw diff size.
+    EXPECT_LT(c.bytes_sent(), 4096u);
+  } else {
+    EXPECT_GT(c.bytes_sent(), 4096u);
+  }
+  EXPECT_GT(c.bytes_sent(), 0u);
   EXPECT_GT(c.bytes_received(), 0u);
   c.reset_stats();
   EXPECT_EQ(c.stats().diffs_collected, 0u);

@@ -1,0 +1,258 @@
+// Interop tests for payload-compression negotiation: a mixed fleet must
+// converge byte-for-byte. Peers that predate compression (no hello
+// handshake at all, or a hello without the feature bit) share segments
+// with negotiated peers against one compressing server, and a compressing
+// client degrades cleanly against a server with compression disabled.
+// Both byte directions are covered: commits (client -> server) and
+// updates (server -> client).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "interweave/interweave.hpp"
+
+namespace iw {
+namespace {
+
+// IW_COMPRESS overrides the compression option on both ends; these tests
+// pin specific old/new peer mixes, so the override must not apply no
+// matter which ctest lane runs the binary.
+class CompressInterop : public ::testing::Test {
+ protected:
+  void SetUp() override { ::unsetenv("IW_COMPRESS"); }
+
+  static std::unique_ptr<Client> make_client(server::SegmentServer& core,
+                                             Client::Options opts = {}) {
+    return std::make_unique<Client>(
+        [&core](const std::string&) {
+          return std::make_shared<InProcChannel>(core);
+        },
+        opts);
+  }
+
+  // A peer from before the compression feature existed: no reconnect
+  // supervisor means no hello handshake, so it speaks the raw byte
+  // stream in both directions regardless of what the server supports.
+  static Client::Options pre_compression_peer() {
+    Client::Options o;
+    o.auto_reconnect = false;
+    return o;
+  }
+
+  static const TypeDescriptor* int_array(Client& c, uint32_t n) {
+    return c.types().array_of(c.types().primitive(PrimitiveKind::kInt32), n);
+  }
+};
+
+constexpr int kInts = 1024;  // 4 KiB of near-constant data: compressible
+
+TEST_F(CompressInterop, PreCompressionPeersAgainstCompressingServer) {
+  server::SegmentServer::Options sopts;
+  sopts.compress_payloads = true;
+  server::SegmentServer core(sopts);
+
+  auto writer = make_client(core, pre_compression_peer());
+  auto reader = make_client(core, pre_compression_peer());
+
+  // Old peer -> compressing server: the commit arrives as a bare diff.
+  ClientSegment* ws = writer->open_segment("host/legacy");
+  writer->write_lock(ws);
+  auto* d = static_cast<int32_t*>(
+      writer->malloc_block(ws, int_array(*writer, kInts), "data"));
+  for (int i = 0; i < kInts; ++i) d[i] = 7;
+  writer->write_unlock(ws);
+
+  // Compressing server -> old peer: the update goes out as a bare diff.
+  ClientSegment* rs = reader->open_segment("host/legacy");
+  reader->read_lock(rs);
+  auto* block = rs->heap().find_by_name("data");
+  ASSERT_NE(block, nullptr);
+  const auto* rd = reinterpret_cast<const int32_t*>(block->data());
+  for (int i = 0; i < kInts; ++i) ASSERT_EQ(rd[i], 7) << "at " << i;
+  reader->read_unlock(rs);
+
+  // Neither direction may have used the envelope on the wire.
+  EXPECT_EQ(writer->stats().diffs_compressed, 0u);
+  EXPECT_EQ(reader->stats().diffs_compressed, 0u);
+  EXPECT_EQ(core.stats().updates_compressed, 0u);
+}
+
+TEST_F(CompressInterop, HelloWithoutFeatureBitStaysRaw) {
+  server::SegmentServer::Options sopts;
+  sopts.compress_payloads = true;
+  server::SegmentServer core(sopts);
+
+  // This peer performs the hello handshake (it has the reconnect
+  // supervisor) but never announces the compression bit.
+  Client::Options copts;
+  copts.compress_payloads = false;
+  auto writer = make_client(core, copts);
+  auto reader = make_client(core, copts);
+
+  ClientSegment* ws = writer->open_segment("host/nobit");
+  writer->write_lock(ws);
+  auto* d = static_cast<int32_t*>(
+      writer->malloc_block(ws, int_array(*writer, kInts), "data"));
+  for (int i = 0; i < kInts; ++i) d[i] = i & 3;
+  writer->write_unlock(ws);
+
+  ClientSegment* rs = reader->open_segment("host/nobit");
+  reader->read_lock(rs);
+  auto* block = rs->heap().find_by_name("data");
+  ASSERT_NE(block, nullptr);
+  const auto* rd = reinterpret_cast<const int32_t*>(block->data());
+  for (int i = 0; i < kInts; ++i) ASSERT_EQ(rd[i], i & 3) << "at " << i;
+  reader->read_unlock(rs);
+
+  EXPECT_EQ(writer->stats().diffs_compressed, 0u);
+  EXPECT_EQ(core.stats().updates_compressed, 0u);
+}
+
+TEST_F(CompressInterop, CompressingClientAgainstOldServer) {
+  server::SegmentServer::Options sopts;
+  sopts.compress_payloads = false;  // server predates the feature
+  server::SegmentServer core(sopts);
+
+  auto writer = make_client(core);  // announces compression, gets refused
+  auto reader = make_client(core);
+
+  ClientSegment* ws = writer->open_segment("host/oldsrv");
+  writer->write_lock(ws);
+  auto* d = static_cast<int32_t*>(
+      writer->malloc_block(ws, int_array(*writer, kInts), "data"));
+  for (int i = 0; i < kInts; ++i) d[i] = 42;
+  writer->write_unlock(ws);
+
+  ClientSegment* rs = reader->open_segment("host/oldsrv");
+  reader->read_lock(rs);
+  auto* block = rs->heap().find_by_name("data");
+  ASSERT_NE(block, nullptr);
+  const auto* rd = reinterpret_cast<const int32_t*>(block->data());
+  for (int i = 0; i < kInts; ++i) ASSERT_EQ(rd[i], 42) << "at " << i;
+  reader->read_unlock(rs);
+
+  EXPECT_EQ(writer->stats().diffs_compressed, 0u);
+  EXPECT_EQ(core.stats().updates_compressed, 0u);
+  EXPECT_EQ(core.stats().commits_compressed, 0u);
+}
+
+TEST_F(CompressInterop, NegotiatedPairCompressesBothDirections) {
+  server::SegmentServer::Options sopts;
+  sopts.compress_payloads = true;
+  server::SegmentServer core(sopts);
+
+  auto writer = make_client(core);
+  auto reader = make_client(core);
+
+  ClientSegment* ws = writer->open_segment("host/both");
+  writer->write_lock(ws);
+  auto* d = static_cast<int32_t*>(
+      writer->malloc_block(ws, int_array(*writer, kInts), "data"));
+  for (int i = 0; i < kInts; ++i) d[i] = 1;
+  writer->write_unlock(ws);
+
+  ClientSegment* rs = reader->open_segment("host/both");
+  reader->read_lock(rs);
+  auto* block = rs->heap().find_by_name("data");
+  ASSERT_NE(block, nullptr);
+  const auto* rd = reinterpret_cast<const int32_t*>(block->data());
+  for (int i = 0; i < kInts; ++i) ASSERT_EQ(rd[i], 1) << "at " << i;
+  reader->read_unlock(rs);
+
+  // Client -> server: the 4 KiB constant diff shrank inside the envelope.
+  EXPECT_GT(writer->stats().diffs_compressed, 0u);
+  // Server -> client: the reader's update shipped compressed, and the
+  // wire accounting shows the reduction.
+  auto stats = core.stats();
+  EXPECT_GT(stats.updates_compressed, 0u);
+  EXPECT_LT(stats.update_wire_bytes, stats.update_raw_bytes);
+}
+
+TEST_F(CompressInterop, MixedFleetSharesOneSegment) {
+  server::SegmentServer::Options sopts;
+  sopts.compress_payloads = true;
+  server::SegmentServer core(sopts);
+
+  auto modern = make_client(core);
+  auto legacy = make_client(core, pre_compression_peer());
+
+  // Modern writes, legacy reads.
+  ClientSegment* ms = modern->open_segment("host/mixed");
+  modern->write_lock(ms);
+  auto* d = static_cast<int32_t*>(
+      modern->malloc_block(ms, int_array(*modern, kInts), "data"));
+  for (int i = 0; i < kInts; ++i) d[i] = 5;
+  modern->write_unlock(ms);
+
+  ClientSegment* ls = legacy->open_segment("host/mixed");
+  legacy->read_lock(ls);
+  auto* lb = ls->heap().find_by_name("data");
+  ASSERT_NE(lb, nullptr);
+  auto* ld = reinterpret_cast<const int32_t*>(lb->data());
+  for (int i = 0; i < kInts; ++i) ASSERT_EQ(ld[i], 5) << "at " << i;
+  legacy->read_unlock(ls);
+
+  // Legacy writes back, modern reads: the server re-encodes per session,
+  // so the same commit reaches one peer raw and the other compressed.
+  legacy->write_lock(ls);
+  auto* lw = const_cast<int32_t*>(
+      reinterpret_cast<const int32_t*>(ls->heap().find_by_name("data")->data()));
+  for (int i = 0; i < kInts; ++i) lw[i] = 6;
+  legacy->write_unlock(ls);
+
+  modern->read_lock(ms);
+  for (int i = 0; i < kInts; ++i) ASSERT_EQ(d[i], 6) << "at " << i;
+  modern->read_unlock(ms);
+
+  EXPECT_EQ(legacy->stats().diffs_compressed, 0u);
+  EXPECT_GT(modern->stats().diffs_compressed, 0u);
+  EXPECT_GT(core.stats().updates_compressed, 0u);
+}
+
+TEST_F(CompressInterop, IncompressibleDiffsStayRawInsideTheEnvelope) {
+  server::SegmentServer::Options sopts;
+  sopts.compress_payloads = true;
+  server::SegmentServer core(sopts);
+
+  auto writer = make_client(core);
+  auto reader = make_client(core);
+
+  // A high-entropy payload (xorshift stream) defeats the LZ pass; the
+  // per-frame decision must fall back to the raw method byte and the
+  // data must still round-trip through negotiated channels.
+  ClientSegment* ws = writer->open_segment("host/entropy");
+  writer->write_lock(ws);
+  auto* d = static_cast<int32_t*>(
+      writer->malloc_block(ws, int_array(*writer, kInts), "noise"));
+  uint32_t x = 0x9e3779b9u;
+  for (int i = 0; i < kInts; ++i) {
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    d[i] = static_cast<int32_t>(x);
+  }
+  writer->write_unlock(ws);
+
+  ClientSegment* rs = reader->open_segment("host/entropy");
+  reader->read_lock(rs);
+  auto* block = rs->heap().find_by_name("noise");
+  ASSERT_NE(block, nullptr);
+  const auto* rd = reinterpret_cast<const int32_t*>(block->data());
+  uint32_t y = 0x9e3779b9u;
+  for (int i = 0; i < kInts; ++i) {
+    y ^= y << 13;
+    y ^= y >> 17;
+    y ^= y << 5;
+    ASSERT_EQ(rd[i], static_cast<int32_t>(y)) << "at " << i;
+  }
+  reader->read_unlock(rs);
+
+  EXPECT_EQ(writer->stats().diffs_compressed, 0u);
+  EXPECT_EQ(core.stats().updates_compressed, 0u);
+}
+
+}  // namespace
+}  // namespace iw

@@ -109,6 +109,69 @@ TEST(Iwinspect, DirectoryAndDataDump) {
   EXPECT_NE(data_out.find("(null)"), std::string::npos);
 }
 
+TEST(Iwinspect, DumpsJournalAndCheckpointChain) {
+  fs::path dir = fs::temp_directory_path() / "iw-tools-walchain";
+  fs::remove_all(dir);
+
+  // A durable server under churn leaves behind a compressed journal and an
+  // incremental checkpoint chain for the offline modes to dump.
+  {
+    server::SegmentServer::Options sopts;
+    sopts.checkpoint_dir = dir.string();
+    sopts.checkpoint_every = 2;
+    sopts.compress_payloads = true;
+    server::SegmentServer core(sopts);
+    TcpServer server(core, 0);
+    Client c([&](const std::string&) {
+      return std::make_shared<TcpClientChannel>(server.port());
+    });
+    const TypeDescriptor* arr =
+        c.types().array_of(c.types().primitive(PrimitiveKind::kInt32), 256);
+    ClientSegment* seg = c.open_segment("tool/disk");
+    for (int round = 0; round < 7; ++round) {
+      c.write_lock(seg);
+      auto* d = static_cast<int32_t*>(
+          round == 0 ? c.malloc_block(seg, arr, "data")
+                     : const_cast<uint8_t*>(
+                           seg->heap().find_by_name("data")->data()));
+      for (int i = 0; i < 256; ++i) d[i] = round;
+      c.write_unlock(seg);
+    }
+  }
+
+  fs::path wal, chain;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".iwlog") wal = entry.path();
+    if (entry.path().extension() == ".iwinc") chain = entry.path();
+  }
+  ASSERT_FALSE(wal.empty());
+  ASSERT_FALSE(chain.empty());
+
+  int code = 0;
+  std::string wal_out = run_command(
+      std::string(IWINSPECT_PATH) + " --wal " + wal.string(), &code);
+  EXPECT_EQ(code, 0) << wal_out;
+  EXPECT_NE(wal_out.find("journal"), std::string::npos) << wal_out;
+  EXPECT_NE(wal_out.find("commit"), std::string::npos) << wal_out;
+  EXPECT_NE(wal_out.find("(compressed)"), std::string::npos) << wal_out;
+
+  std::string chain_out = run_command(
+      std::string(IWINSPECT_PATH) + " --chain " + chain.string(), &code);
+  EXPECT_EQ(code, 0) << chain_out;
+  EXPECT_NE(chain_out.find("base     snapshot v"), std::string::npos)
+      << chain_out;
+  EXPECT_NE(chain_out.find("depth"), std::string::npos) << chain_out;
+  EXPECT_NE(chain_out.find(" -> v"), std::string::npos) << chain_out;
+
+  std::string missing_out = run_command(
+      std::string(IWINSPECT_PATH) + " --wal " + (dir / "nope.iwlog").string(),
+      &code);
+  EXPECT_NE(code, 0);
+  EXPECT_NE(missing_out.find("no such journal"), std::string::npos)
+      << missing_out;
+  fs::remove_all(dir);
+}
+
 TEST(Iwinspect, MissingSegmentFailsCleanly) {
   server::SegmentServer core;
   TcpServer server(core, 0);

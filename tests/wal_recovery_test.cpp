@@ -33,6 +33,7 @@
 
 #include "interweave/interweave.hpp"
 #include "server/wal.hpp"
+#include "wire/payload.hpp"
 
 namespace iw {
 namespace {
@@ -98,6 +99,36 @@ TEST_F(WalLog, AppendAndReplayRoundTrip) {
   EXPECT_LT(replay.records[0].end_offset, replay.records[1].end_offset);
   EXPECT_EQ(replay.records[2].end_offset, replay.valid_bytes);
   EXPECT_EQ(replay.valid_bytes, fs::file_size(log_path()));
+}
+
+TEST_F(WalLog, MixedFormatJournalReplaysBothEncodings) {
+  // A journal written partly before compression existed and partly after:
+  // replay sniffs the tag flag per record and hands back raw payloads
+  // either way, so old, new, and mixed journals all replay unchanged.
+  std::vector<uint8_t> head = bytes_of("HEAD");
+  std::vector<uint8_t> body(1024, 0x42);  // compressible
+  {
+    WriteAheadLog wal(log_path(), {});
+    wal.append(WalRecordType::kCommit, head, body);  // pre-compression form
+    Buffer packed;
+    ASSERT_TRUE(compress_record_payload(head, body, packed));
+    wal.append(WalRecordType::kCommit, packed.span(), {}, true);
+    wal.append(WalRecordType::kCommit, head, body);  // raw again
+  }
+  auto replay = WriteAheadLog::replay(log_path());
+  ASSERT_FALSE(replay.torn_tail);
+  ASSERT_EQ(replay.records.size(), 3u);
+  std::vector<uint8_t> want(head);
+  want.insert(want.end(), body.begin(), body.end());
+  for (const auto& rec : replay.records) {
+    EXPECT_EQ(rec.type, WalRecordType::kCommit);
+    EXPECT_EQ(rec.payload, want);
+  }
+  EXPECT_FALSE(replay.records[0].compressed);
+  EXPECT_TRUE(replay.records[1].compressed);
+  EXPECT_FALSE(replay.records[2].compressed);
+  // The compressed record actually paid less for the same raw bytes.
+  EXPECT_LT(replay.records[1].stored_bytes, replay.records[0].stored_bytes);
 }
 
 TEST_F(WalLog, TornTailIsDetectedAndTruncatedOnReopen) {
@@ -384,6 +415,32 @@ TEST_F(WalRecovery, TornJournalTailRecoversCleanly) {
   third.recover();
   EXPECT_EQ(third.segment_version(kSegName), final_version + 3);
   expect_converged(third, 8);
+}
+
+TEST_F(WalRecovery, MixedFormatJournalAcrossCompressionToggle) {
+  // A pre-compression server incarnation journals raw commits; a later
+  // incarnation with compression on appends compressed ones to the same
+  // file. A third recovers through the mixed journal byte-identically.
+  uint32_t final_version = 0;
+  {
+    auto opts = server_options();
+    opts.compress_payloads = false;
+    SegmentServer server(opts);
+    run_commits(server, 1, 5);
+  }
+  {
+    auto opts = server_options();
+    opts.compress_payloads = true;
+    SegmentServer server(opts);
+    server.recover();
+    run_commits(server, 6, 5);
+    final_version = server.segment_version(kSegName);
+  }
+  SegmentServer revived(server_options());
+  revived.recover();
+  EXPECT_EQ(revived.segment_version(kSegName), final_version);
+  EXPECT_EQ(revived.stats().checkpoints_quarantined, 0u);
+  expect_converged(revived, 10);
 }
 
 TEST_F(WalRecovery, QuarantinedCheckpointStopsReplayAtVersionGap) {

@@ -1,17 +1,28 @@
-// iwinspect — inspect a segment on a running InterWeave server.
+// iwinspect — inspect a segment on a running InterWeave server, or its
+// on-disk durability artifacts with the server down.
 //
 // Usage: iwinspect [--port=N] [--data] <segment-url>
+//        iwinspect --wal <file.iwlog>
+//        iwinspect --chain <file.iwinc>
 //
-// Prints the segment's version, registered types, and block directory
-// (serial, type, name) using the same wire protocol as any client. With
-// --data it additionally maps the segment as a real client and pretty-
-// prints every block's contents (pointers shown as MIPs).
+// Online, prints the segment's version, registered types, and block
+// directory (serial, type, name) using the same wire protocol as any
+// client. With --data it additionally maps the segment as a real client
+// and pretty-prints every block's contents (pointers shown as MIPs).
+//
+// Offline, --wal dumps a write-ahead journal record by record (type,
+// version, on-disk vs raw payload size, compression flag) and --chain
+// dumps an incremental checkpoint chain (base snapshot id, chain depth,
+// per-record version span and compressed/raw sizes). Both stop where
+// recovery would: at the first torn or corrupt record.
 #include <cstdio>
 #include <cstring>
 
 #include "client/view.hpp"
 #include "interweave/interweave.hpp"
 #include "net/tcp.hpp"
+#include "server/checkpoint.hpp"
+#include "server/wal.hpp"
 #include "types/registry.hpp"
 #include "wire/frame.hpp"
 
@@ -115,23 +126,127 @@ int dump_data(unsigned port, const std::string& url) {
   return 0;
 }
 
+const char* wal_type_name(iw::server::WalRecordType type) {
+  switch (type) {
+    case iw::server::WalRecordType::kSegmentCreate: return "segment-create";
+    case iw::server::WalRecordType::kRegisterType: return "register-type";
+    case iw::server::WalRecordType::kCommit: return "commit";
+    case iw::server::WalRecordType::kSegmentDestroy: return "segment-destroy";
+  }
+  return "?";
+}
+
+int dump_wal(const std::string& path) {
+  auto replay = iw::server::WriteAheadLog::replay(path);
+  if (replay.missing) {
+    std::fprintf(stderr, "iwinspect: no such journal: %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("journal  %s\n", path.c_str());
+  std::printf("records  %zu\n", replay.records.size());
+  uint64_t stored = 0, raw = 0, compressed = 0;
+  size_t index = 0;
+  for (const auto& rec : replay.records) {
+    stored += rec.stored_bytes;
+    raw += rec.payload.size();
+    if (rec.compressed) ++compressed;
+    std::printf("  [%zu] %-15s", index++, wal_type_name(rec.type));
+    if (rec.type == iw::server::WalRecordType::kCommit &&
+        rec.payload.size() >= 4) {
+      iw::BufReader r(rec.payload.data(), rec.payload.size());
+      std::printf(" v%-6u", r.read_u32());
+    } else {
+      std::printf("        ");
+    }
+    std::printf(" %6llu bytes on disk, %6zu raw%s\n",
+                static_cast<unsigned long long>(rec.stored_bytes),
+                rec.payload.size(), rec.compressed ? "  (compressed)" : "");
+  }
+  std::printf("compressed %llu/%zu records, %llu bytes on disk for %llu raw\n",
+              static_cast<unsigned long long>(compressed),
+              replay.records.size(), static_cast<unsigned long long>(stored),
+              static_cast<unsigned long long>(raw));
+  if (replay.torn_tail) {
+    std::printf("torn tail: %llu bytes past offset %llu do not parse\n",
+                static_cast<unsigned long long>(replay.truncated_bytes),
+                static_cast<unsigned long long>(replay.valid_bytes));
+  }
+  return 0;
+}
+
+int dump_chain(const std::string& path) {
+  auto scan = iw::server::scan_chain(path);
+  if (scan.missing) {
+    std::fprintf(stderr, "iwinspect: no such chain: %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("chain    %s\n", path.c_str());
+  if (!scan.records.empty()) {
+    std::printf("base     snapshot v%u\n", scan.records.front().base_version);
+  }
+  std::printf("depth    %zu\n", scan.records.size());
+  uint64_t stored = 0, raw = 0;
+  size_t index = 0;
+  for (const auto& rec : scan.records) {
+    stored += rec.stored_bytes;
+    raw += rec.sections.size();
+    std::printf("  [%zu] v%u -> v%u  %6llu bytes on disk, %6zu raw%s\n",
+                index++, rec.from_version, rec.to_version,
+                static_cast<unsigned long long>(rec.stored_bytes),
+                rec.sections.size(),
+                rec.compressed ? "  (compressed)" : "");
+  }
+  std::printf("total    %llu bytes on disk for %llu raw\n",
+              static_cast<unsigned long long>(stored),
+              static_cast<unsigned long long>(raw));
+  if (scan.torn) {
+    std::printf("torn tail: bytes past offset %llu do not parse\n",
+                static_cast<unsigned long long>(scan.valid_bytes));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   unsigned port = 7747;
   bool data = false;
   std::string url;
+  std::string wal_path;
+  std::string chain_path;
   for (int i = 1; i < argc; ++i) {
     if (std::sscanf(argv[i], "--port=%u", &port) == 1) continue;
     if (std::strcmp(argv[i], "--data") == 0) {
       data = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--wal") == 0 && i + 1 < argc) {
+      wal_path = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--chain") == 0 && i + 1 < argc) {
+      chain_path = argv[++i];
+      continue;
+    }
     url = argv[i];
   }
+  if (!wal_path.empty() || !chain_path.empty()) {
+    try {
+      int rc = 0;
+      if (!wal_path.empty()) rc = dump_wal(wal_path);
+      if (rc == 0 && !chain_path.empty()) rc = dump_chain(chain_path);
+      return rc;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "iwinspect: %s\n", e.what());
+      return 1;
+    }
+  }
   if (url.empty()) {
-    std::fprintf(stderr, "usage: %s [--port=N] [--data] <segment-url>\n",
-                 argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s [--port=N] [--data] <segment-url>\n"
+                 "       %s --wal <file.iwlog>\n"
+                 "       %s --chain <file.iwinc>\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
   if (data) {
