@@ -11,6 +11,7 @@
 //
 // Usage: failover [cycles] [trials]   (default 1000, 20)
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -202,6 +203,107 @@ Promote bench_promote(int trials, int prefix_commits) {
   return out;
 }
 
+struct RestoreRf {
+  double mean_ms = 0;
+  double max_ms = 0;
+  uint64_t failovers = 0;    ///< promotions performed by the repairer
+  uint64_t backfills = 0;    ///< rejoin installs, summed over trials
+};
+
+/// Time-to-restore-rf: a 3-node rf=2 cluster loses its primary; the repair
+/// loop promotes the most-caught-up replica and recruits the dead node's
+/// (blank) restart back in via a snapshot backfill. Wall time from the kill
+/// to the tick that reports the segment fully replicated again — the window
+/// during which a second fault could lose acknowledged commits.
+RestoreRf bench_restore_rf(int trials, int prefix_commits) {
+  RestoreRf out;
+  double total_ms = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::array<std::shared_ptr<server::SegmentServer>, 3> nodes;
+    std::array<std::shared_ptr<server::WalReplicator>, 3> repls;
+    std::array<bool, 3> alive{false, false, false};
+    auto dial = [&nodes, &alive](const std::string& address)
+        -> std::shared_ptr<ClientChannel> {
+      int i = address[1] - '0';
+      if (!alive[static_cast<size_t>(i)]) {
+        throw Error::transport(ErrorCode::kConnReset, "node is dead");
+      }
+      return std::make_shared<InProcChannel>(*nodes[static_cast<size_t>(i)]);
+    };
+    auto start_node = [&](int i) {
+      server::WalReplicator::Options w;
+      w.replication_factor = 2;
+      w.ack_timeout_ms = 2'000;
+      w.reconnect_backoff_ms = 1;
+      w.disconnect_grace_ms = 100;
+      repls[static_cast<size_t>(i)] =
+          std::make_shared<server::WalReplicator>(w);
+      server::SegmentServer::Options o;
+      o.replicator = repls[static_cast<size_t>(i)];
+      o.peer_dial = dial;
+      nodes[static_cast<size_t>(i)] =
+          std::make_shared<server::SegmentServer>(o);
+      nodes[static_cast<size_t>(i)]->set_node_identity(
+          "n" + std::to_string(i), "n" + std::to_string(i));
+      alive[static_cast<size_t>(i)] = true;
+    };
+    for (int i = 0; i < 3; ++i) start_node(i);
+
+    server::SegmentDirectory::Options dopts;
+    dopts.replicas = 2;
+    server::SegmentDirectory directory(dopts, dial);
+    for (int i = 0; i < 3; ++i) {
+      directory.add_node("n" + std::to_string(i), "n" + std::to_string(i));
+    }
+    directory.set_placement(kSeg, {"n0", "n1", "n2"});
+    server::ReplicationRepairer repairer(directory);
+    {
+      // Create the segment, then let the bootstrap tick recruit both
+      // replicas onto the stream; every prefix commit is then acked only
+      // after two replicas journaled it — the state a real kill interrupts.
+      InProcChannel ch(*nodes[0]);
+      call(ch, MsgType::kOpenSegment, [&](Buffer& p) {
+        p.append_lp_string(kSeg);
+        p.append_u8(1);
+      });
+      if (repairer.tick() != 0) {
+        std::fprintf(stderr, "trial %d: bootstrap recruits failed\n", trial);
+        std::exit(1);
+      }
+      run_commits(ch, prefix_commits, nullptr);
+    }
+
+    using Clock = std::chrono::steady_clock;
+    auto start = Clock::now();
+    alive[0] = false;
+    repls[0]->shutdown();
+    nodes[0].reset();
+    repairer.tick();  // promote away from the corpse
+    start_node(0);    // blank restart rejoins under its old id
+    int guard = 0;
+    while (repairer.tick() != 0) {
+      if (++guard > 1000) {
+        std::fprintf(stderr, "trial %d: rf never restored\n", trial);
+        std::exit(1);
+      }
+    }
+    double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    total_ms += ms;
+    out.max_ms = std::max(out.max_ms, ms);
+    out.failovers += repairer.stats().failovers;
+    for (const auto& n : nodes) {
+      if (n != nullptr) out.backfills += n->stats().backfills_completed;
+    }
+    for (const auto& r : repls) {
+      if (r != nullptr) r->shutdown();
+    }
+  }
+  out.mean_ms = trials > 0 ? total_ms / trials : 0;
+  return out;
+}
+
 }  // namespace
 }  // namespace iw
 
@@ -227,8 +329,17 @@ int main(int argc, char** argv) {
       "  {\"bench\": \"failover\", \"metric\": \"time_to_promote\", "
       "\"trials\": %d, \"prefix_commits\": 50, "
       "\"promote_ms_mean\": %.2f, \"promote_ms_max\": %.2f, "
-      "\"replica_version\": %u}\n",
+      "\"replica_version\": %u},\n",
       trials, p.mean_ms, p.max_ms, p.replica_version);
+  iw::RestoreRf r = iw::bench_restore_rf(trials, 50);
+  std::printf(
+      "  {\"bench\": \"failover\", \"metric\": \"time_to_restore_rf\", "
+      "\"trials\": %d, \"prefix_commits\": 50, "
+      "\"restore_ms_mean\": %.2f, \"restore_ms_max\": %.2f, "
+      "\"repair_failovers\": %llu, \"rejoin_backfills\": %llu}\n",
+      trials, r.mean_ms, r.max_ms,
+      static_cast<unsigned long long>(r.failovers),
+      static_cast<unsigned long long>(r.backfills));
   std::printf("]\n");
   return 0;
 }

@@ -19,6 +19,10 @@
 # fencing, and the fork+SIGKILL zero-lost-acks matrix) runs under UBSan,
 # and its thread-safe subset plus a real-sockets failover lane under TSan —
 # replicator link workers race committers, promoters, and teardown.
+# A repeated-failover soak repeats the self-healing suites (sequential
+# primary kills driven through the anti-entropy repair loop: promote,
+# deposed-primary rejoin, replica backfill, byte-identical convergence)
+# in-proc, over sockets, and against SIGKILLed forked processes.
 # Finally a recovery soak: repeated crash/restart cycles (the WAL crash
 # matrix plus the restart-chaos workload) under UBSan, so recovery's
 # byte-slicing replay path is exercised many times in one run.
@@ -53,6 +57,21 @@ echo "== replicated failover over real sockets under UBSan =="
 IW_REPL_TRANSPORT=tcp UBSAN_OPTIONS=halt_on_error=1 \
     "$UBSAN_BUILD"/tests/replication_chaos_test \
     --gtest_filter='Seeds/ReplicationFailoverTest.*'
+echo "== repeated-failover repair soak under UBSan =="
+# Each repetition kills three sequential primaries per seed and drives the
+# repair loop through promote/rejoin/backfill; in-proc and over sockets.
+# The SIGKILL variant re-runs the same rounds against forked processes.
+REPL_SOAK="${IW_REPL_SOAK:-3}"
+for _ in $(seq "$REPL_SOAK"); do
+  UBSAN_OPTIONS=halt_on_error=1 "$UBSAN_BUILD"/tests/replication_chaos_test \
+      --gtest_filter='Seeds/RepeatedFailoverTest.*:SyncHandshakeTest.*' \
+      --gtest_brief=1
+  IW_REPL_TRANSPORT=tcp UBSAN_OPTIONS=halt_on_error=1 \
+      "$UBSAN_BUILD"/tests/replication_chaos_test \
+      --gtest_filter='Seeds/RepeatedFailoverTest.*' --gtest_brief=1
+  UBSAN_OPTIONS=halt_on_error=1 "$UBSAN_BUILD"/tests/replication_chaos_test \
+      --gtest_filter='Seeds/RepeatedSigkillRepairTest.*' --gtest_brief=1
+done
 echo "== chaos/lease suites over the reactor transport under UBSan =="
 IW_CHAOS_TRANSPORT=tcp UBSAN_OPTIONS=halt_on_error=1 \
     "$UBSAN_BUILD"/tests/chaos_test --gtest_filter='Seeds/ChaosTest.*'
@@ -98,7 +117,7 @@ TSAN_OPTIONS=halt_on_error=1 "$TSAN_BUILD"/tests/replication_chaos_test \
 echo "== replicated failover over real sockets under TSan =="
 IW_REPL_TRANSPORT=tcp TSAN_OPTIONS=halt_on_error=1 \
     "$TSAN_BUILD"/tests/replication_chaos_test \
-    --gtest_filter='Seeds/ReplicationFailoverTest.*'
+    --gtest_filter='Seeds/ReplicationFailoverTest.*:Seeds/RepeatedFailoverTest.*'
 echo "== chaos/lease suites over the reactor transport under TSan =="
 IW_CHAOS_TRANSPORT=tcp TSAN_OPTIONS=halt_on_error=1 \
     "$TSAN_BUILD"/tests/chaos_test --gtest_filter='Seeds/ChaosTest.*'

@@ -119,13 +119,15 @@ Frame ReconnectingChannel::call(MsgType type, Buffer& payload) {
     }
     return inner->call(type, payload);
   }
-  // Replaying a release is unsafe: a response lost after the server applied
-  // the diff would be re-applied against a moved base version, and the
-  // disconnect already dropped the lock either way. Everything else is
-  // idempotent once the old session is gone.
+  // Replaying a release after a *transport* loss is unsafe: a response lost
+  // after the server applied the diff would be re-applied against a moved
+  // base version, and the disconnect already dropped the lock either way.
+  // Everything else is idempotent once the old session is gone. (A
+  // kStaleEpoch *response* is different — see below — so the snapshot is
+  // captured for releases too.)
   const bool replayable = type != MsgType::kReleaseWrite;
   Buffer snapshot;
-  if (replayable) snapshot.append(payload.data(), payload.size());
+  snapshot.append(payload.data(), payload.size());
 
   for (uint32_t retry = 0;; ++retry) {
     std::shared_ptr<ClientChannel> inner;
@@ -137,7 +139,16 @@ Frame ReconnectingChannel::call(MsgType type, Buffer& payload) {
     try {
       return inner->call(type, payload);
     } catch (const Error& e) {
-      if (!is_retryable_transport(e)) throw;
+      // A kStaleEpoch response means the server has been deposed by a newer
+      // placement epoch — and, crucially, that it did NOT apply the request
+      // (the fence rejects before any effect). Reconnecting re-runs the
+      // connector, which re-resolves the placement with failover and lands
+      // on the promoted primary; the request is then safe to replay there,
+      // releases included (unlike a transport loss, where a release's fate
+      // is unknown).
+      const bool stale =
+          !e.is_transport() && e.code() == ErrorCode::kStaleEpoch;
+      if (!stale && !is_retryable_transport(e)) throw;
       if (e.code() == ErrorCode::kTimedOut) {
         call_timeouts_.fetch_add(1, std::memory_order_relaxed);
       }
@@ -145,7 +156,9 @@ Frame ReconnectingChannel::call(MsgType type, Buffer& payload) {
         std::lock_guard lock(mu_);
         reconnect_locked(inner);  // throws when the server stays down
       }
-      if (!replayable || retry + 1 >= options_.max_call_retries) throw;
+      if ((!replayable && !stale) || retry + 1 >= options_.max_call_retries) {
+        throw;
+      }
       retried_calls_.fetch_add(1, std::memory_order_relaxed);
       payload.clear();
       payload.append(snapshot.data(), snapshot.size());

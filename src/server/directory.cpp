@@ -47,6 +47,20 @@ void SegmentDirectory::add_node(const std::string& id,
   }
 }
 
+void SegmentDirectory::set_node_address(const std::string& id,
+                                        const std::string& address) {
+  std::lock_guard lock(mu_);
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) {
+    it->second = address;  // restarted node: same ring positions
+    return;
+  }
+  nodes_.emplace(id, address);
+  for (uint32_t v = 0; v < options_.virtual_nodes; ++v) {
+    ring_.emplace(ring_hash(id, v), id);
+  }
+}
+
 void SegmentDirectory::set_placement(const std::string& segment,
                                      std::vector<std::string> node_ids) {
   std::lock_guard lock(mu_);
@@ -212,6 +226,65 @@ std::string SegmentDirectory::address_of_locked(
   return it->second;
 }
 
+std::vector<std::string> SegmentDirectory::placed_segments() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(placements_.size());
+  for (const auto& [segment, p] : placements_) out.push_back(segment);
+  return out;
+}
+
+SegmentDirectory::Placement SegmentDirectory::placement_of(
+    const std::string& segment) const {
+  std::lock_guard lock(mu_);
+  auto it = placements_.find(segment);
+  if (it == placements_.end()) {
+    throw Error(ErrorCode::kNotFound, "no placement for '" + segment + "'");
+  }
+  return it->second;
+}
+
+void SegmentDirectory::substitute_replica(const std::string& segment,
+                                          const std::string& dead,
+                                          const std::string& substitute) {
+  std::lock_guard lock(mu_);
+  auto it = placements_.find(segment);
+  if (it == placements_.end()) {
+    throw Error(ErrorCode::kNotFound, "no placement for '" + segment + "'");
+  }
+  if (nodes_.count(substitute) == 0) {
+    throw Error(ErrorCode::kNotFound, "node '" + substitute + "'");
+  }
+  Placement& p = it->second;
+  if (std::find(p.nodes.begin(), p.nodes.end(), substitute) !=
+      p.nodes.end()) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "node '" + substitute + "' is already placed for '" +
+                    segment + "'");
+  }
+  auto pos = std::find(p.nodes.begin(), p.nodes.end(), dead);
+  if (pos == p.nodes.end()) {
+    throw Error(ErrorCode::kNotFound,
+                "node '" + dead + "' is not placed for '" + segment + "'");
+  }
+  if (pos == p.nodes.begin()) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "cannot substitute the primary of '" + segment +
+                    "'; fail over instead");
+  }
+  *pos = substitute;
+  IW_LOG(kInfo) << "substituted replica " << dead << " -> " << substitute
+                << " for " << segment << " (epoch " << p.epoch << ")";
+}
+
+std::vector<std::string> SegmentDirectory::node_ids() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, address] : nodes_) out.push_back(id);
+  return out;
+}
+
 SegmentDirectory::Stats SegmentDirectory::stats() const {
   Stats s;
   s.resolves = resolves_.load(std::memory_order_relaxed);
@@ -220,6 +293,184 @@ SegmentDirectory::Stats SegmentDirectory::stats() const {
   s.promotions = promotions_.load(std::memory_order_relaxed);
   s.promote_ms_last = promote_ms_last_.load(std::memory_order_relaxed);
   s.promote_ms_max = promote_ms_max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+ReplicationRepairer::ReplicationRepairer(SegmentDirectory& directory)
+    : ReplicationRepairer(directory, Options{}) {}
+
+ReplicationRepairer::ReplicationRepairer(SegmentDirectory& directory,
+                                         Options options)
+    : directory_(directory), options_(options) {}
+
+ReplicationRepairer::~ReplicationRepairer() { stop(); }
+
+void ReplicationRepairer::start() {
+  std::lock_guard lock(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  worker_ = std::thread([this] {
+    std::unique_lock lock(mu_);
+    while (!stop_) {
+      lock.unlock();
+      try {
+        tick();
+      } catch (const std::exception& e) {
+        IW_LOG(kWarn) << "repair tick failed: " << e.what();
+      }
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                   [this] { return stop_; });
+    }
+  });
+}
+
+void ReplicationRepairer::stop() {
+  std::thread worker;
+  {
+    std::lock_guard lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+    running_ = false;
+    cv_.notify_all();
+    worker = std::move(worker_);
+  }
+  if (worker.joinable()) worker.join();
+}
+
+bool ReplicationRepairer::recruit(const std::string& segment, uint32_t epoch,
+                                  const std::string& node,
+                                  const std::string& primary_address,
+                                  bool* transport_dead) {
+  recruits_attempted_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    auto channel = directory_.dialer()(directory_.address_of(node));
+    Buffer req;
+    req.append_lp_string(segment);
+    req.append_u32(epoch);
+    req.append_lp_string(primary_address);
+    channel->call(MsgType::kRecruit, std::move(req));
+    return true;
+  } catch (const Error& e) {
+    recruits_failed_.fetch_add(1, std::memory_order_relaxed);
+    if (e.is_transport()) {
+      if (transport_dead != nullptr) *transport_dead = true;
+    } else if (e.code() == ErrorCode::kStaleEpoch) {
+      // Raced a newer failover: the replica (or the primary it pulled
+      // from) already follows a newer epoch than our placement snapshot.
+      // The next tick re-reads the placement and recruits under it.
+      recruits_rejected_stale_.fetch_add(1, std::memory_order_relaxed);
+    }
+    IW_LOG(kWarn) << "recruit of " << node << " for " << segment
+                  << " (epoch " << epoch << ") failed: " << e.what();
+    return false;
+  } catch (const std::exception& e) {
+    recruits_failed_.fetch_add(1, std::memory_order_relaxed);
+    IW_LOG(kWarn) << "recruit of " << node << " for " << segment
+                  << " (epoch " << epoch << ") failed: " << e.what();
+    return false;
+  }
+}
+
+uint64_t ReplicationRepairer::tick() {
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  SegmentDirectory::Dialer dial = directory_.dialer();
+  const std::vector<std::string> ids = directory_.node_ids();
+  uint64_t under = 0;
+  for (const std::string& segment : directory_.placed_segments()) {
+    SegmentDirectory::Placement p;
+    try {
+      p = directory_.placement_of(segment);
+    } catch (const Error&) {
+      continue;  // unplaced since the listing; nothing to repair
+    }
+    // 1. Primary health: promote away from a dead primary now, instead of
+    // waiting for a client to trip over the corpse.
+    bool primary_ok = false;
+    try {
+      auto probe = dial(directory_.address_of(p.nodes.front()));
+      probe->call(MsgType::kPing, Buffer());
+      primary_ok = true;
+    } catch (const std::exception&) {
+    }
+    if (!primary_ok) {
+      try {
+        SegmentDirectory::Placement np =
+            directory_.resolve_for_failover(segment, p.epoch);
+        if (np.epoch != p.epoch) {
+          failovers_.fetch_add(1, std::memory_order_relaxed);
+        }
+        p = std::move(np);
+      } catch (const std::exception& e) {
+        IW_LOG(kWarn) << "repair cannot fail over " << segment << ": "
+                      << e.what();
+        ++under;
+        continue;
+      }
+    }
+    std::string primary_address;
+    try {
+      primary_address = directory_.address_of(p.nodes.front());
+    } catch (const Error&) {
+      ++under;
+      continue;
+    }
+    // 2. Recruit every replica in the placement; 3. substitute the
+    // unreachable ones from ring nodes outside it.
+    const size_t target = std::min<size_t>(
+        directory_.replica_target(), ids.empty() ? 0 : ids.size() - 1);
+    size_t live = 0;
+    for (size_t i = 1; i < p.nodes.size(); ++i) {
+      const std::string node = p.nodes[i];
+      bool transport_dead = false;
+      if (recruit(segment, p.epoch, node, primary_address,
+                  &transport_dead)) {
+        ++live;
+        continue;
+      }
+      if (!transport_dead) continue;  // app-level refusal: retry next tick
+      for (const std::string& candidate : ids) {
+        if (std::find(p.nodes.begin(), p.nodes.end(), candidate) !=
+            p.nodes.end()) {
+          continue;
+        }
+        if (!recruit(segment, p.epoch, candidate, primary_address,
+                     nullptr)) {
+          continue;
+        }
+        try {
+          directory_.substitute_replica(segment, node, candidate);
+          substitutions_.fetch_add(1, std::memory_order_relaxed);
+          p.nodes[i] = candidate;
+          ++live;
+        } catch (const Error& e) {
+          // The placement changed under us (another failover or repair);
+          // the backfill itself was still useful. Reconcile next tick.
+          IW_LOG(kWarn) << "substitution of " << node << " -> " << candidate
+                        << " for " << segment << " lost a race: " << e.what();
+        }
+        break;
+      }
+    }
+    if (live < target) ++under;
+  }
+  under_replicated_.store(under, std::memory_order_relaxed);
+  return under;
+}
+
+ReplicationRepairer::Stats ReplicationRepairer::stats() const {
+  Stats s;
+  s.ticks = ticks_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.recruits_attempted =
+      recruits_attempted_.load(std::memory_order_relaxed);
+  s.recruits_failed = recruits_failed_.load(std::memory_order_relaxed);
+  s.recruits_rejected_stale =
+      recruits_rejected_stale_.load(std::memory_order_relaxed);
+  s.substitutions = substitutions_.load(std::memory_order_relaxed);
+  s.under_replicated_segments =
+      under_replicated_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -31,12 +31,14 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -82,6 +84,11 @@ class SegmentDirectory {
   /// see the new ring).
   void add_node(const std::string& id, const std::string& address);
 
+  /// Registers a node, or updates a registered node's address in place — a
+  /// restarted server rejoins the ring under its old id (typically at a
+  /// new address) without reshuffling any placement.
+  void set_node_address(const std::string& id, const std::string& address);
+
   /// Pins `segment` to an explicit server list (primary first), epoch 1.
   /// Overrides both the ring and any cached placement.
   void set_placement(const std::string& segment,
@@ -101,6 +108,26 @@ class SegmentDirectory {
 
   /// Address registered for a node id (throws kNotFound).
   std::string address_of(const std::string& node_id) const;
+
+  // --- repair-loop surface ---
+  /// Segments with a cached placement: the repair loop's work list.
+  std::vector<std::string> placed_segments() const;
+  /// Cached placement of `segment` without resolving a fresh one (throws
+  /// kNotFound when the segment was never resolved).
+  Placement placement_of(const std::string& segment) const;
+  /// Replaces `dead` with `substitute` in a segment's cached placement,
+  /// preserving order. The epoch is NOT bumped: replica-tail membership
+  /// changes, ownership does not, so clients' observed epochs stay valid.
+  /// Throws kNotFound when the placement, `dead`, or `substitute` is
+  /// unknown; kInvalidArgument when `substitute` is already placed.
+  void substitute_replica(const std::string& segment, const std::string& dead,
+                          const std::string& substitute);
+  /// Registered node ids, in no particular order.
+  std::vector<std::string> node_ids() const;
+  /// Replicas-per-segment target from the options.
+  uint32_t replica_target() const { return options_.replicas; }
+  /// The directory's own dialer, shared with the repair loop.
+  Dialer dialer() const { return dial_; }
 
   Stats stats() const;
 
@@ -123,6 +150,86 @@ class SegmentDirectory {
   std::atomic<uint64_t> promotions_{0};
   std::atomic<uint64_t> promote_ms_last_{0};
   std::atomic<uint64_t> promote_ms_max_{0};
+};
+
+/// Anti-entropy repair loop: periodically walks every placed segment and
+/// restores its replication factor.
+///
+/// Each tick, per segment: (1) ping the primary, promoting the
+/// most-caught-up replica via resolve_for_failover when it is dead — so
+/// repair does not wait for a client to trip over the corpse; (2) send
+/// kRecruit to every replica in the placement, which makes the replica
+/// pull a backfill from the primary and re-establish its live WAL link
+/// (idempotent: a caught-up replica's recruit degenerates to an empty
+/// WAL-tail sync); (3) when a replica is unreachable, recruit a ring node
+/// outside the placement in its stead and substitute it into the replica
+/// tail. A kRecruit refused with kStaleEpoch means the repairer's view
+/// raced a newer failover; the next tick re-reads the placement and
+/// resolves toward the newer lineage.
+///
+/// tick() may be driven manually (tests) or by start()'s background
+/// thread. Recruit RPCs block for the duration of the backfill, so a tick
+/// is as slow as the largest transfer it triggers — acceptable for a
+/// repair cadence, and it naturally rate-limits concurrent backfills.
+class ReplicationRepairer {
+ public:
+  struct Options {
+    /// Background cadence between ticks.
+    uint32_t interval_ms = 250;
+  };
+
+  struct Stats {
+    uint64_t ticks = 0;
+    uint64_t failovers = 0;           ///< dead primaries promoted away
+    uint64_t recruits_attempted = 0;  ///< kRecruit RPCs sent
+    uint64_t recruits_failed = 0;     ///< kRecruit RPCs that threw
+    uint64_t recruits_rejected_stale = 0;  ///< refused: raced newer epoch
+    uint64_t substitutions = 0;       ///< replicas replaced from the ring
+    /// Gauge: segments below their replication factor after the last tick.
+    uint64_t under_replicated_segments = 0;
+  };
+
+  explicit ReplicationRepairer(SegmentDirectory& directory);
+  ReplicationRepairer(SegmentDirectory& directory, Options options);
+  ~ReplicationRepairer();
+
+  ReplicationRepairer(const ReplicationRepairer&) = delete;
+  ReplicationRepairer& operator=(const ReplicationRepairer&) = delete;
+
+  /// One repair pass over every placed segment. Returns the number of
+  /// segments still below their replication factor afterwards.
+  uint64_t tick();
+
+  /// Starts/stops the background loop (idempotent; destructor stops).
+  void start();
+  void stop();
+
+  Stats stats() const;
+
+ private:
+  /// Sends one kRecruit; true on success. `transport_dead` (optional) is
+  /// set when the node could not even be reached — the signal to
+  /// substitute it, as opposed to an application-level refusal.
+  bool recruit(const std::string& segment, uint32_t epoch,
+               const std::string& node, const std::string& primary_address,
+               bool* transport_dead);
+
+  SegmentDirectory& directory_;
+  Options options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread worker_;
+
+  std::atomic<uint64_t> ticks_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> recruits_attempted_{0};
+  std::atomic<uint64_t> recruits_failed_{0};
+  std::atomic<uint64_t> recruits_rejected_stale_{0};
+  std::atomic<uint64_t> substitutions_{0};
+  std::atomic<uint64_t> under_replicated_{0};
 };
 
 /// ServerCore fronting a SegmentDirectory, so clients in other processes

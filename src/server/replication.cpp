@@ -5,40 +5,193 @@
 
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/rand.hpp"
 #include "wire/payload.hpp"
 
 namespace iw::server {
+
+namespace {
+using steady_clock = std::chrono::steady_clock;
+}  // namespace
 
 WalReplicator::WalReplicator(Options options) : options_(options) {}
 
 WalReplicator::~WalReplicator() { shutdown(); }
 
+WalReplicator::Link* WalReplicator::find_link_locked(const std::string& id) {
+  for (auto& link : links_) {
+    if (link->id == id) return link.get();
+  }
+  return nullptr;
+}
+
 void WalReplicator::add_replica(std::string id, Dialer dial) {
-  auto link = std::make_unique<Link>();
-  link->id = std::move(id);
-  link->dial = std::move(dial);
-  Link* raw = link.get();
-  std::unique_lock lock(mu_);
-  if (stop_) throw Error(ErrorCode::kState, "replicator is shut down");
-  // A link added after records were trimmed can only stream from here on;
-  // catching a fresh replica up to the past is a snapshot transfer, which
-  // the directory's promotion policy (most-caught-up wins) sidesteps.
-  link->acked = log_.empty() ? next_seq_ : log_.front().seq - 1;
-  links_.push_back(std::move(link));
-  raw->worker = std::thread([this, raw] { link_loop(raw); });
+  std::shared_ptr<ClientChannel> stale_channel;
+  {
+    std::unique_lock lock(mu_);
+    if (stop_) throw Error(ErrorCode::kState, "replicator is shut down");
+    if (Link* link = find_link_locked(id)) {
+      // Revival: a restarted replica re-registers under its old id,
+      // possibly at a new address. Its missed history is a sync transfer
+      // (register_sync); from here it streams live again.
+      stale_channel = std::move(link->channel);
+      link->dial = std::move(dial);
+      link->paused = false;
+      link->dead = false;
+      link->failures = 0;
+      link->down_since = {};
+      link->acked = log_.empty() ? next_seq_ : log_.front().seq - 1;
+      send_cv_.notify_all();
+      ack_cv_.notify_all();
+    } else {
+      auto fresh = std::make_unique<Link>();
+      fresh->id = std::move(id);
+      fresh->dial = std::move(dial);
+      Link* raw = fresh.get();
+      // A link added after records were trimmed can only stream from here
+      // on; catching a fresh replica up to the past is a sync transfer
+      // (register_sync + the server's kSyncRequest backfill).
+      fresh->acked = log_.empty() ? next_seq_ : log_.front().seq - 1;
+      links_.push_back(std::move(fresh));
+      raw->worker = std::thread([this, raw] { link_loop(raw); });
+    }
+  }
+  // Shut the replaced channel down outside the lock so a worker blocked in
+  // call() on it fails over to the fresh dialer promptly.
+  if (stale_channel != nullptr) stale_channel->shutdown();
+}
+
+bool WalReplicator::register_sync(const std::string& id, Dialer dial) {
+  std::shared_ptr<ClientChannel> stale_channel;
+  {
+    std::unique_lock lock(mu_);
+    if (stop_) throw Error(ErrorCode::kState, "replicator is shut down");
+    Link* link = find_link_locked(id);
+    if (link != nullptr && !link->dead && !link->paused &&
+        link->channel != nullptr) {
+      // Already streaming live: this sync is anti-entropy over a healthy
+      // link. Leave it alone — pausing would dip the quorum — and let the
+      // replica's idempotent apply absorb the overlap between the sync cut
+      // and the concurrent stream.
+      return false;
+    }
+    if (link == nullptr) {
+      auto fresh = std::make_unique<Link>();
+      fresh->id = id;
+      Link* raw = fresh.get();
+      links_.push_back(std::move(fresh));
+      link = raw;
+      link->worker = std::thread([this, raw] { link_loop(raw); });
+    } else {
+      stale_channel = std::move(link->channel);
+    }
+    link->dial = std::move(dial);
+    link->paused = true;
+    link->dead = false;
+    link->failures = 0;
+    link->down_since = {};
+    link->paused_since = steady_clock::now();
+    // Pin the cursor at the log head: everything at or below it is covered
+    // by the snapshot/tail the caller is about to cut (it holds the
+    // segment lock), everything after is retained and replayed on resume —
+    // the no-gap handoff.
+    link->acked = next_seq_;
+    backfills_started_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (stale_channel != nullptr) stale_channel->shutdown();
+  return true;
+}
+
+bool WalReplicator::resume_replica(const std::string& id) {
+  std::lock_guard lock(mu_);
+  Link* link = find_link_locked(id);
+  if (link == nullptr || link->dead) return false;
+  if (link->paused) {
+    link->paused = false;
+    link->paused_since = {};
+    backfills_completed_.fetch_add(1, std::memory_order_relaxed);
+    send_cv_.notify_all();
+    ack_cv_.notify_all();
+  }
+  return true;
 }
 
 bool WalReplicator::quorum_reached_locked(uint64_t seq, uint32_t need) const {
   uint32_t acks = 0;
   for (const auto& link : links_) {
+    if (link->dead || link->paused) continue;
     if (link->acked >= seq && ++acks >= need) return true;
   }
   return need == 0;
 }
 
+uint32_t WalReplicator::active_need_locked() const {
+  uint32_t active = 0;
+  for (const auto& link : links_) {
+    if (!link->dead && !link->paused) ++active;
+  }
+  return std::min(options_.replication_factor, active);
+}
+
+void WalReplicator::advance_quorum_frontier_locked() {
+  const uint32_t need = active_need_locked();
+  uint64_t frontier = next_seq_;
+  if (need > 0) {
+    std::vector<uint64_t> acked;
+    acked.reserve(links_.size());
+    for (const auto& link : links_) {
+      if (!link->dead && !link->paused) acked.push_back(link->acked);
+    }
+    std::nth_element(acked.begin(), acked.begin() + (need - 1), acked.end(),
+                     std::greater<uint64_t>());
+    frontier = acked[need - 1];
+  }
+  if (frontier > quorum_frontier_) {
+    records_acked_.fetch_add(frontier - quorum_frontier_,
+                             std::memory_order_relaxed);
+    quorum_frontier_ = frontier;
+  }
+}
+
+void WalReplicator::declare_dead_locked(Link& link, const char* why) {
+  if (link.dead) return;
+  link.dead = true;
+  link.paused = false;
+  IW_LOG(kWarn) << "replica link " << link.id << " declared dead (" << why
+                << "); awaiting re-registration";
+  trim_locked();  // a dead link no longer pins the retained log
+  // The quorum need just shrank; blocked committers must re-evaluate, and
+  // the link's own worker must park.
+  ack_cv_.notify_all();
+  send_cv_.notify_all();
+}
+
+void WalReplicator::reap_expired_locked() {
+  if (options_.sync_grace_ms == 0) return;
+  const auto now = steady_clock::now();
+  const auto grace = std::chrono::milliseconds(options_.sync_grace_ms);
+  for (auto& link : links_) {
+    if (link->paused && !link->dead && now - link->paused_since >= grace) {
+      declare_dead_locked(*link, "backfill abandoned past sync grace");
+    }
+  }
+}
+
 void WalReplicator::trim_locked() {
   uint64_t min_acked = next_seq_;
-  for (const auto& link : links_) min_acked = std::min(min_acked, link->acked);
+  bool any_alive = false;
+  for (const auto& link : links_) {
+    if (link->dead) continue;
+    any_alive = true;
+    min_acked = std::min(min_acked, link->acked);
+  }
+  if (!any_alive) {
+    // Nobody left to drain the log; drop it so a dead fleet cannot pin
+    // memory. Revived links stream from the new head (their missed history
+    // is a sync transfer).
+    log_.clear();
+    return;
+  }
   while (!log_.empty() && log_.front().seq <= min_acked) log_.pop_front();
 }
 
@@ -55,6 +208,8 @@ void WalReplicator::replicate(const std::string& segment, uint32_t epoch,
     throw Error(ErrorCode::kStaleEpoch,
                 "segment '" + segment + "' is owned by a newer primary");
   }
+  reap_expired_locked();
+  segments_seen_.insert(segment);
   Rec rec;
   rec.seq = ++next_seq_;
   rec.segment = segment;
@@ -67,16 +222,21 @@ void WalReplicator::replicate(const std::string& segment, uint32_t epoch,
   const uint64_t seq = rec.seq;
   log_.push_back(std::move(rec));
   records_enqueued_.fetch_add(1, std::memory_order_relaxed);
-  if (links_.empty()) {
+  bool any_alive = false;
+  for (const auto& link : links_) {
+    if (!link->dead) {
+      any_alive = true;
+      break;
+    }
+  }
+  if (!any_alive) {
     // Nobody will ever drain the log; standalone operation stays O(1).
     log_.clear();
     return;
   }
   send_cv_.notify_all();
 
-  const uint32_t need = std::min<uint32_t>(
-      options_.replication_factor, static_cast<uint32_t>(links_.size()));
-  if (need == 0) return;
+  if (active_need_locked() == 0) return;
   const auto deadline =
       clock::now() + std::chrono::milliseconds(options_.ack_timeout_ms);
   while (true) {
@@ -86,6 +246,9 @@ void WalReplicator::replicate(const std::string& segment, uint32_t epoch,
       throw Error(ErrorCode::kStaleEpoch,
                   "segment '" + segment + "' is owned by a newer primary");
     }
+    // Recomputed every pass: links may pause (backfill) or die (grace)
+    // while we wait, and the need shrinks with them.
+    const uint32_t need = active_need_locked();
     if (quorum_reached_locked(seq, need)) return;
     if (stop_) {
       throw Error(ErrorCode::kState, "replicator is shut down");
@@ -106,8 +269,18 @@ void WalReplicator::replicate(const std::string& segment, uint32_t epoch,
 void WalReplicator::link_loop(Link* link) {
   std::unique_lock lock(mu_);
   bool ever_connected = false;
+  // Per-link jitter stream so links that fail together do not redial in
+  // lockstep; seeded from the id for reproducible interleavings in tests.
+  uint64_t seed = 0xA0761D6478BD642FULL;
+  for (const char c : link->id) {
+    seed = seed * 1099511628211ULL + static_cast<uint8_t>(c);
+  }
+  SplitMix64 jitter(seed);
   while (true) {
-    send_cv_.wait(lock, [&] { return stop_ || link->acked < next_seq_; });
+    send_cv_.wait(lock, [&] {
+      return stop_ ||
+             (!link->paused && !link->dead && link->acked < next_seq_);
+    });
     if (stop_) return;
     // Everything past this link's ack frontier, oldest first. Deque
     // pointers stay valid across the unlocked send: push_back never moves
@@ -121,6 +294,9 @@ void WalReplicator::link_loop(Link* link) {
     if (batch.empty()) continue;  // raced a trim; frontier already moved
     const uint64_t last_seq = batch.back()->seq;
     std::shared_ptr<ClientChannel> channel = link->channel;
+    // Copy the dialer under the lock: register_sync/add_replica may re-aim
+    // a link at a new address while its worker is unlocked.
+    Dialer dial = channel == nullptr ? link->dial : Dialer{};
     lock.unlock();
 
     bool sent = false;
@@ -128,7 +304,7 @@ void WalReplicator::link_loop(Link* link) {
     std::vector<std::string> stale;
     try {
       if (channel == nullptr) {
-        channel = link->dial();
+        channel = dial();
         if (ever_connected) {
           link_reconnects_.fetch_add(1, std::memory_order_relaxed);
         }
@@ -163,6 +339,8 @@ void WalReplicator::link_loop(Link* link) {
 
     lock.lock();
     if (sent) {
+      link->failures = 0;
+      link->down_since = {};
       // Stale records count as settled for sequencing — the promoted
       // replica will never accept them and the committer is told via the
       // fence instead of hanging on an ack that cannot come.
@@ -172,34 +350,37 @@ void WalReplicator::link_loop(Link* link) {
           stale_epoch_fences_.fetch_add(1, std::memory_order_relaxed);
         }
       }
-      // Advance the factor frontier: everything at or below the need-th
-      // highest link frontier has reached the replication factor.
-      const uint32_t need = std::min<uint32_t>(
-          options_.replication_factor, static_cast<uint32_t>(links_.size()));
-      uint64_t frontier = next_seq_;
-      if (need > 0) {
-        std::vector<uint64_t> acked;
-        acked.reserve(links_.size());
-        for (const auto& l : links_) acked.push_back(l->acked);
-        std::nth_element(acked.begin(), acked.begin() + (need - 1),
-                         acked.end(), std::greater<uint64_t>());
-        frontier = acked[need - 1];
-      }
-      if (frontier > quorum_frontier_) {
-        records_acked_.fetch_add(frontier - quorum_frontier_,
-                                 std::memory_order_relaxed);
-        quorum_frontier_ = frontier;
-      }
+      reap_expired_locked();
+      advance_quorum_frontier_locked();
       trim_locked();
       ack_cv_.notify_all();
     } else {
-      // Failed send: drop the channel and redial after a backoff (cut
-      // short by shutdown).
+      // Failed send: drop the channel and redial after a jittered
+      // exponential backoff (cut short by shutdown or a state flip). The
+      // backlog stays in the retained log and replays in order once a
+      // redial lands.
       link->channel.reset();
       channel.reset();
-      send_cv_.wait_for(
-          lock, std::chrono::milliseconds(options_.reconnect_backoff_ms),
-          [&] { return stop_; });
+      ++link->failures;
+      const auto now = steady_clock::now();
+      if (link->down_since == steady_clock::time_point{}) {
+        link->down_since = now;
+      }
+      if (!link->dead && options_.disconnect_grace_ms != 0 &&
+          now - link->down_since >=
+              std::chrono::milliseconds(options_.disconnect_grace_ms)) {
+        declare_dead_locked(*link, "unreachable past disconnect grace");
+        continue;  // park on the wait predicate until revived
+      }
+      const uint32_t shift = std::min<uint32_t>(link->failures - 1, 16);
+      uint64_t cap = std::max<uint64_t>(options_.reconnect_backoff_ms, 1)
+                     << shift;
+      cap = std::min<uint64_t>(
+          cap, std::max<uint32_t>(options_.reconnect_backoff_max_ms, 1));
+      const uint64_t delay = cap / 2 + jitter.below(cap / 2 + 1);
+      send_cv_.wait_for(lock, std::chrono::milliseconds(delay), [&] {
+        return stop_ || link->dead || link->paused;
+      });
       if (stop_) return;
     }
   }
@@ -208,6 +389,11 @@ void WalReplicator::link_loop(Link* link) {
 bool WalReplicator::fenced(const std::string& segment) const {
   std::lock_guard lock(mu_);
   return fenced_segments_.count(segment) != 0;
+}
+
+void WalReplicator::unfence(const std::string& segment) {
+  std::lock_guard lock(mu_);
+  fenced_segments_.erase(segment);
 }
 
 void WalReplicator::shutdown() {
@@ -244,8 +430,32 @@ WalReplicator::Stats WalReplicator::stats() const {
   s.link_errors = link_errors_.load(std::memory_order_relaxed);
   s.stale_epoch_fences = stale_epoch_fences_.load(std::memory_order_relaxed);
   s.ack_timeouts = ack_timeouts_.load(std::memory_order_relaxed);
+  s.backfills_started = backfills_started_.load(std::memory_order_relaxed);
+  s.backfills_completed =
+      backfills_completed_.load(std::memory_order_relaxed);
   std::lock_guard lock(mu_);
   s.backlog_records = log_.size();
+  uint32_t active = 0;
+  for (const auto& link : links_) {
+    LinkStats ls;
+    ls.id = link->id;
+    ls.acked_seq = link->acked;
+    ls.replication_lag_records =
+        next_seq_ - std::min(link->acked, next_seq_);
+    ls.paused = link->paused;
+    ls.dead = link->dead;
+    if (link->dead) {
+      ++s.dead_links;
+    } else if (!link->paused) {
+      ++active;
+    }
+    s.links.push_back(std::move(ls));
+  }
+  if (active < options_.replication_factor) {
+    for (const auto& seg : segments_seen_) {
+      if (fenced_segments_.count(seg) == 0) ++s.under_replicated_segments;
+    }
+  }
   return s;
 }
 

@@ -24,14 +24,33 @@
 // the replicator then fences that segment and every later replicate() for
 // it throws kStaleEpoch. Because acks gate commit acknowledgement, a
 // deposed primary can never again ack a commit — the ack gate doubles as
-// the fence.
+// the fence. unfence() clears the fence when the server is re-promoted.
 //
-// Links reconnect with backoff and re-send from their last acked record;
-// replicas apply idempotently (a commit at or below the store version is
-// skipped), so duplicated batches after a reconnect are harmless.
+// Link lifecycle (the self-healing half):
+//
+//   live ──error──▶ backoff (jittered exponential, backlog retained)
+//     ▲                │ grace expired
+//     │ redial ok      ▼
+//     └────────────  dead  ──add_replica()/register_sync()──▶ revived
+//
+// A failed link redials with jittered exponential backoff and re-sends
+// from its last acked record out of the retained log; replicas apply
+// idempotently, so duplicated batches after a reconnect are harmless. A
+// link that stays unreachable past the disconnect grace is declared dead:
+// it stops pinning the retained log and stops counting toward the quorum,
+// so a permanently lost replica degrades the factor instead of wedging
+// trim. Re-registering the same id revives a dead link.
+//
+// Backfill pause: register_sync() parks a link with its ack cursor pinned
+// at the current log head — everything at or below the pin is covered by
+// the snapshot/tail the caller is cutting, everything after is retained
+// and replayed when resume_replica() flips the link live. Paused links are
+// excluded from the quorum need, so a bootstrap never blocks commits; the
+// sync grace bounds how long an abandoned backfill may pin the log.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -58,16 +77,35 @@ class WalReplicator {
 
   struct Options {
     /// Links that must journal a record before replicate() returns
-    /// (clamped to the number of replicas; 0 streams without gating acks).
+    /// (clamped to the number of live, unpaused links; 0 streams without
+    /// gating acks).
     uint32_t replication_factor = 1;
     /// Bound on replicate()'s wait for the factor. Expiry throws kTimedOut
     /// to the committing client — the record itself stays queued.
     uint32_t ack_timeout_ms = 5'000;
-    /// Backoff between link redial attempts.
+    /// Initial backoff between link redial attempts; consecutive failures
+    /// double it (with jitter) up to reconnect_backoff_max_ms.
     uint32_t reconnect_backoff_ms = 10;
+    uint32_t reconnect_backoff_max_ms = 500;
+    /// A link continuously unreachable for this long is declared dead: it
+    /// no longer pins the retained log or counts toward the quorum until
+    /// revived by add_replica()/register_sync(). 0 = retry forever.
+    uint32_t disconnect_grace_ms = 10'000;
+    /// A sync-paused link whose backfill has not resumed within this
+    /// deadline is declared dead for the same reason. 0 = wait forever.
+    uint32_t sync_grace_ms = 30'000;
     /// Records per kWalAppend frame; a deeper backlog is sent as several
     /// consecutive frames.
     uint32_t max_batch_records = 256;
+  };
+
+  /// Point-in-time view of one replica link.
+  struct LinkStats {
+    std::string id;
+    uint64_t acked_seq = 0;
+    uint64_t replication_lag_records = 0;  ///< records enqueued but unacked
+    bool paused = false;                   ///< mid-backfill (register_sync)
+    bool dead = false;                     ///< past grace; awaiting revival
   };
 
   struct Stats {
@@ -80,6 +118,13 @@ class WalReplicator {
     uint64_t stale_epoch_fences = 0; ///< segments fenced by a replica
     uint64_t backlog_records = 0;    ///< records not yet acked by every link
     uint64_t ack_timeouts = 0;       ///< replicate() waits that expired
+    uint64_t backfills_started = 0;  ///< paused sync registrations
+    uint64_t backfills_completed = 0;///< syncs flipped to live tailing
+    uint64_t dead_links = 0;         ///< links currently declared dead
+    /// Segments journaled by this primary while fewer live, unpaused links
+    /// exist than the replication factor (0 when the factor is met).
+    uint64_t under_replicated_segments = 0;
+    std::vector<LinkStats> links;    ///< one entry per registered link
   };
 
   explicit WalReplicator(Options options);
@@ -88,9 +133,26 @@ class WalReplicator {
   WalReplicator(const WalReplicator&) = delete;
   WalReplicator& operator=(const WalReplicator&) = delete;
 
-  /// Registers a replica link and starts its worker. Call before the
-  /// first replicate(); `id` only labels logs and errors.
+  /// Registers a replica link and starts its worker, or revives an
+  /// existing (possibly dead) link under the same id with a fresh dialer —
+  /// a restarted replica re-registers here, typically at a new address.
+  /// The link streams from the current log head; history it missed is a
+  /// sync transfer (register_sync). `id` keys revival and labels logs.
   void add_replica(std::string id, Dialer dial);
+
+  /// Registers (or re-aims) `id` as a *paused* link whose ack cursor is
+  /// pinned at the current log head. The primary's sync serving calls this
+  /// under the segment lock *before* cutting the snapshot/tail, which is
+  /// what makes the handoff gap-free: records enqueued after the pin are
+  /// retained and replayed on resume. A link that is already streaming
+  /// live is left untouched (anti-entropy over a healthy link must not dip
+  /// the quorum) and false is returned.
+  bool register_sync(const std::string& id, Dialer dial);
+
+  /// Flips a sync-paused link to live streaming (the kSyncDone edge).
+  /// Returns false when no live link with that id exists (e.g. the sync
+  /// grace already declared it dead).
+  bool resume_replica(const std::string& id);
 
   /// Enqueues one WAL record (body = type byte | head | body, exactly as
   /// journaled locally) for every link and blocks until the replication
@@ -107,6 +169,10 @@ class WalReplicator {
   /// True when a replica reported this segment as owned by a newer epoch;
   /// replicate() for it fails until the server is re-promoted.
   bool fenced(const std::string& segment) const;
+
+  /// Clears a segment's stale-epoch fence — the kPromote edge: this server
+  /// now owns the segment's newest epoch, so its records are current again.
+  void unfence(const std::string& segment);
 
   /// Stops the links and joins the workers. Unsent records are dropped —
   /// they were never acknowledged to any client. Idempotent; the
@@ -130,13 +196,25 @@ class WalReplicator {
     std::string id;
     Dialer dial;
     std::shared_ptr<ClientChannel> channel;  // worker-owned once started
-    uint64_t acked = 0;  ///< highest seq this replica has journaled
+    uint64_t acked = 0;   ///< highest seq this replica has journaled
+    bool paused = false;  ///< parked mid-backfill; cursor pinned
+    bool dead = false;    ///< grace expired; parked until revived
+    uint32_t failures = 0;  ///< consecutive failed sends (backoff input)
+    std::chrono::steady_clock::time_point down_since{};
+    std::chrono::steady_clock::time_point paused_since{};
     std::thread worker;
   };
 
   void link_loop(Link* link);
-  /// Records acked by at least `need` links at or above `seq`.
+  Link* find_link_locked(const std::string& id);
+  /// Records acked by at least `need` live, unpaused links at/above `seq`.
   bool quorum_reached_locked(uint64_t seq, uint32_t need) const;
+  /// Replication factor clamped to the live, unpaused link count.
+  uint32_t active_need_locked() const;
+  void advance_quorum_frontier_locked();
+  void declare_dead_locked(Link& link, const char* why);
+  /// Declares paused links dead once their sync grace expires.
+  void reap_expired_locked();
   void trim_locked();
 
   Options options_;
@@ -149,6 +227,7 @@ class WalReplicator {
   uint64_t quorum_frontier_ = 0;  ///< highest seq at the replication factor
   std::vector<std::unique_ptr<Link>> links_;
   std::unordered_set<std::string> fenced_segments_;
+  std::unordered_set<std::string> segments_seen_;  ///< ever replicated
   bool stop_ = false;
 
   // Counters not derivable from the log (relaxed; stats() snapshots).
@@ -160,6 +239,8 @@ class WalReplicator {
   std::atomic<uint64_t> link_errors_{0};
   std::atomic<uint64_t> stale_epoch_fences_{0};
   std::atomic<uint64_t> ack_timeouts_{0};
+  std::atomic<uint64_t> backfills_started_{0};
+  std::atomic<uint64_t> backfills_completed_{0};
 };
 
 }  // namespace iw::server

@@ -153,6 +153,21 @@ void SegmentServer::open_fresh_wal(SegmentEntry& entry,
   created.append_lp_string(name);
   entry.wal->append(WalRecordType::kSegmentCreate,
                     {created.data(), created.size()});
+  journal_lineage_locked(entry);
+}
+
+void SegmentServer::journal_lineage_locked(SegmentEntry& entry) {
+  if (entry.wal == nullptr || entry.lineage_epoch <= 1) return;
+  uint8_t head[4];
+  store_be32(head, entry.lineage_epoch);
+  entry.wal->append(WalRecordType::kEpochAdopt, {head, sizeof head});
+}
+
+void SegmentServer::adopt_epoch_locked(SegmentEntry& entry, uint32_t epoch) {
+  entry.repl_epoch = std::max(entry.repl_epoch, epoch);
+  if (epoch == entry.lineage_epoch) return;
+  entry.lineage_epoch = epoch;
+  journal_lineage_locked(entry);
 }
 
 SegmentServer::SegmentEntry& SegmentServer::segment(const std::string& name) {
@@ -661,6 +676,13 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
       uint32_t client_version = in.read_u32();
       SegmentEntry& entry = segment(name);
       std::unique_lock el(entry.mu);
+      if (options_.replicator != nullptr && options_.replicator->fenced(name)) {
+        // Deposed primary: fail the acquire fast so the client re-resolves
+        // placement now, instead of building a commit that can only die
+        // with kStaleEpoch at release time.
+        throw Error(ErrorCode::kStaleEpoch,
+                    "segment '" + name + "' is owned by a newer primary");
+      }
       if (entry.writer == session) {
         throw Error(ErrorCode::kState, "write lock already held");
       }
@@ -902,6 +924,8 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
         // the identical record.
         uint8_t tag = in.read_u8();
         const uint8_t masked = tag & ~kPayloadCompressedTagBit;
+        // Only types 1..4 travel the replication stream; kEpochAdopt is a
+        // local lineage marker each server journals for itself.
         if (masked < static_cast<uint8_t>(WalRecordType::kSegmentCreate) ||
             masked > static_cast<uint8_t>(WalRecordType::kSegmentDestroy)) {
           throw Error(ErrorCode::kProtocol, "unknown replicated record type");
@@ -924,6 +948,12 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
             stale.push_back(std::move(name));
           }
           continue;
+        }
+        if (epoch > entry->lineage_epoch) {
+          // First record from a newer primary: from here this replica's
+          // applied history *is* the promoted lineage; record the adoption
+          // before the records produced under it.
+          adopt_epoch_locked(*entry, epoch);
         }
         entry->repl_epoch = epoch;
         apply_replicated_locked(*entry, name, rtype, body, compressed, raw);
@@ -951,12 +981,81 @@ Frame SegmentServer::dispatch(SessionId session, const Frame& request,
                         std::to_string(new_epoch) + " is behind epoch " +
                         std::to_string(entry->repl_epoch));
       }
-      entry->repl_epoch = new_epoch;
+      adopt_epoch_locked(*entry, new_epoch);
+      if (options_.replicator != nullptr) {
+        // Whatever fenced this server is now behind it: it owns the
+        // segment's newest epoch and may gate commits on its links again.
+        options_.replicator->unfence(name);
+      }
       stats_.promotions_accepted.fetch_add(1, std::memory_order_relaxed);
       IW_LOG(kInfo) << "promoted to primary of " << name << " (epoch "
                     << new_epoch << ", v" << entry->store->version() << ")";
       resp.type = MsgType::kPromoteResp;
       payload.append_u32(entry->store->version());
+      break;
+    }
+
+    case MsgType::kSyncRequest: {
+      return serve_sync_request(session, in);
+    }
+
+    case MsgType::kSyncDone: {
+      // A replica finished pulling its backfill: flip its link from the
+      // paused sync registration to live kWalAppend tailing. Records
+      // enqueued since the sync cut are retained on the link and replay
+      // now, completing the gap-free handoff.
+      std::string name = in.read_lp_string();
+      std::string replica_id = in.read_lp_string();
+      std::string replica_address = in.read_lp_string();
+      const uint32_t adopted_epoch = in.read_u32();
+      const uint32_t version = in.read_u32();
+      if (options_.replicator != nullptr && !replica_id.empty()) {
+        const bool resumed = options_.replicator->resume_replica(replica_id);
+        if (!resumed && options_.peer_dial != nullptr &&
+            !replica_address.empty()) {
+          // The paused registration is gone (sync grace expired during a
+          // long pull); the completed backfill still covers the history, so
+          // register the link live from here.
+          auto dial = options_.peer_dial;
+          options_.replicator->add_replica(
+              replica_id,
+              [dial, replica_address] { return dial(replica_address); });
+        }
+      }
+      IW_LOG(kInfo) << "replica " << replica_id << " completed sync of "
+                    << name << " (epoch " << adopted_epoch << ", v" << version
+                    << ")";
+      resp.type = MsgType::kAck;
+      break;
+    }
+
+    case MsgType::kRecruit: {
+      // The repair loop asks this server to (re)join a segment's replica
+      // set: fence-check the recruitment epoch, pull the backfill from the
+      // primary, and report the resulting position. A recruit for a
+      // caught-up replica degenerates to an empty WAL-tail sync, so the
+      // repairer can re-recruit every tick as idempotent anti-entropy.
+      std::string name = in.read_lp_string();
+      uint32_t epoch = in.read_u32();
+      std::string primary_address = in.read_lp_string();
+      {
+        SegmentEntry* entry = find_segment(name, true);
+        std::lock_guard el(entry->mu);
+        if (epoch < entry->repl_epoch) {
+          // Repair racing a newer failover: this replica already follows a
+          // newer placement than the recruiter knows about.
+          stats_.recruits_rejected_stale.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          throw Error(ErrorCode::kStaleEpoch,
+                      "recruitment of '" + name + "' at epoch " +
+                          std::to_string(epoch) + " is behind epoch " +
+                          std::to_string(entry->repl_epoch));
+        }
+      }
+      const uint32_t version = backfill_segment(name, primary_address, epoch);
+      resp.type = MsgType::kRecruitResp;
+      payload.append_u32(segment_placement_epoch(name));
+      payload.append_u32(version);
       break;
     }
 
@@ -1028,6 +1127,285 @@ void SegmentServer::apply_replicated_locked(SegmentEntry& entry,
   // primary promises its client. The encoded bytes go in verbatim —
   // compression was the primary's decision and is inherited, never redone.
   if (entry.wal != nullptr) entry.wal->append(type, body, {}, compressed);
+}
+
+void SegmentServer::set_node_identity(std::string id, std::string address) {
+  std::lock_guard lock(node_mu_);
+  node_id_ = std::move(id);
+  node_address_ = std::move(address);
+}
+
+Frame SegmentServer::serve_sync_request(SessionId session, BufReader& in) {
+  std::string name = in.read_lp_string();
+  const uint32_t have_version = in.read_u32();
+  const uint32_t have_lineage = in.read_u32();
+  const uint32_t have_types = in.read_u32();
+  const uint32_t want_epoch = in.read_u32();
+  const uint64_t cursor = in.read_u64();
+  std::string replica_id = in.read_lp_string();
+  std::string replica_address = in.read_lp_string();
+  stats_.sync_requests.fetch_add(1, std::memory_order_relaxed);
+
+  SegmentEntry& entry = segment(name);
+  std::unique_lock el(entry.mu);
+  if (want_epoch > entry.repl_epoch) {
+    // The requester was recruited under a placement newer than anything
+    // this server has seen: it is asking a deposed primary. Refuse rather
+    // than seed it with a dead lineage.
+    throw Error(ErrorCode::kStaleEpoch,
+                "sync of '" + name + "' wants epoch " +
+                    std::to_string(want_epoch) + " but this server is at " +
+                    std::to_string(entry.repl_epoch));
+  }
+  SegmentSession& ss = seg_session(entry, session);
+  Frame resp;
+  resp.type = MsgType::kSyncChunk;
+  Buffer payload;
+  if (cursor == 0) {
+    if (options_.replicator != nullptr && options_.peer_dial != nullptr &&
+        !replica_id.empty() && !replica_address.empty()) {
+      // Park the requester's link with its ack cursor pinned *before* the
+      // cut below: the sync covers everything up to the pin, the retained
+      // log replays everything after it once kSyncDone resumes the link. A
+      // link already streaming live is left alone (see register_sync).
+      auto dial = options_.peer_dial;
+      options_.replicator->register_sync(
+          replica_id,
+          [dial, replica_address] { return dial(replica_address); });
+    }
+    const uint32_t version = entry.store->version();
+    const uint32_t types = entry.store->type_count();
+    bool tail_ok = false;
+    Buffer tail;
+    if (have_lineage == entry.lineage_epoch && have_version <= version &&
+        have_types <= types) {
+      // Same lineage and not ahead of us: the requester's gap is exactly
+      // what an incremental checkpoint stores — the type graphs registered
+      // since, the fold history, one diff. Reuse that encoding as the sync
+      // tail; an equal-position requester gets an empty body.
+      try {
+        if (have_version != version || have_types != types) {
+          tail.append_u32(types - have_types);
+          for (uint32_t serial = have_types + 1; serial <= types; ++serial) {
+            auto graph = entry.store->type_graph(serial);
+            tail.append_u32(serial);
+            tail.append_u32(static_cast<uint32_t>(graph.size()));
+            tail.append(graph.data(), graph.size());
+          }
+          entry.store->collect_fold_history(have_version, tail);
+          auto diff = entry.store->collect_diff(have_version);
+          tail.append(diff->data(), diff->size());
+        }
+        tail_ok = true;
+      } catch (const std::exception&) {
+        // The store's fold history no longer reaches back to have_version;
+        // fall through to a snapshot.
+        tail.clear();
+      }
+    }
+    if (tail_ok) {
+      stats_.sync_tails_served.fetch_add(1, std::memory_order_relaxed);
+      // The epoch stamped on the chunk is the *lineage* of the content: a
+      // puller recruited under a newer epoch than our history was produced
+      // under must reject it (we may be a deposed primary serving stale
+      // state), which its install-side fence does by comparing this value.
+      payload.append_u32(entry.lineage_epoch);
+      payload.append_u32(version);
+      payload.append_u8(0);  // mode: WAL-tail fold
+      payload.append_u8(1);  // done
+      payload.append_u64(0);
+      payload.append(tail.data(), tail.size());
+      resp.payload = payload.take();
+      return resp;
+    }
+    // Snapshot: cut once under the lock, cache it on the session, slice per
+    // chunk — a large segment streams consistently even while new commits
+    // land between chunk requests.
+    Buffer full;
+    entry.store->serialize(full);
+    ss.sync_snapshot =
+        std::make_shared<const std::vector<uint8_t>>(full.take());
+    ss.sync_version = version;
+    ss.sync_epoch = entry.lineage_epoch;
+    stats_.sync_snapshots_served.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (ss.sync_snapshot == nullptr) {
+    throw Error(ErrorCode::kState, "no sync in progress for '" + name + "'");
+  }
+  const std::vector<uint8_t>& snap = *ss.sync_snapshot;
+  if (cursor > snap.size()) {
+    throw Error(ErrorCode::kProtocol, "sync cursor past snapshot end");
+  }
+  const size_t step = std::max<uint32_t>(options_.sync_chunk_bytes, 1);
+  const size_t n = std::min(step, snap.size() - static_cast<size_t>(cursor));
+  const bool done = cursor + n == snap.size();
+  payload.append_u32(ss.sync_epoch);
+  payload.append_u32(ss.sync_version);
+  payload.append_u8(1);  // mode: snapshot
+  payload.append_u8(done ? 1 : 0);
+  payload.append_u64(cursor + n);
+  payload.append(snap.data() + cursor, n);
+  if (done) ss.sync_snapshot.reset();
+  resp.payload = payload.take();
+  return resp;
+}
+
+void SegmentServer::seal_backfill_locked(SegmentEntry& entry, uint32_t epoch) {
+  entry.repl_epoch = std::max(entry.repl_epoch, epoch);
+  entry.lineage_epoch = epoch;
+  // The journal may carry a divergent unacked suffix from this server's
+  // deposed incarnation; the state just installed supersedes it, so a full
+  // checkpoint followed by journal truncation retires it for good.
+  if (!options_.checkpoint_dir.empty()) checkpoint_full_locked(entry);
+  if (entry.wal != nullptr) {
+    entry.wal->truncate_after_checkpoint();
+    journal_lineage_locked(entry);
+  }
+  entry.versions_since_checkpoint = 0;
+}
+
+uint32_t SegmentServer::backfill_segment(const std::string& name,
+                                         const std::string& primary_address,
+                                         uint32_t want_epoch) {
+  if (options_.peer_dial == nullptr) {
+    throw Error(ErrorCode::kState,
+                "backfill of '" + name + "' needs a peer dialer");
+  }
+  SegmentEntry* entry = find_segment(name, true);
+  uint32_t have_version = 0;
+  uint32_t have_lineage = 1;
+  uint32_t have_types = 0;
+  {
+    std::lock_guard el(entry->mu);
+    have_version = entry->store->version();
+    have_lineage = entry->lineage_epoch;
+    have_types = entry->store->type_count();
+  }
+  std::string self_id;
+  std::string self_address;
+  {
+    std::lock_guard nl(node_mu_);
+    self_id = node_id_;
+    self_address = node_address_;
+  }
+  auto channel = options_.peer_dial(primary_address);
+
+  uint64_t cursor = 0;
+  uint32_t epoch = 0;
+  uint32_t version = 0;
+  bool done = false;
+  bool snapshot_mode = false;
+  std::vector<uint8_t> snapshot;
+  while (!done) {
+    Buffer req;
+    req.append_lp_string(name);
+    req.append_u32(have_version);
+    req.append_u32(have_lineage);
+    req.append_u32(have_types);
+    req.append_u32(want_epoch);
+    req.append_u64(cursor);
+    req.append_lp_string(self_id);
+    req.append_lp_string(self_address);
+    Frame chunk = channel->call(MsgType::kSyncRequest, std::move(req));
+    BufReader cin = chunk.reader();
+    epoch = cin.read_u32();
+    version = cin.read_u32();
+    const uint8_t mode = cin.read_u8();
+    done = cin.read_u8() != 0;
+    cursor = cin.read_u64();
+    auto bytes = cin.read_bytes(cin.remaining());
+    if (mode == 0) {
+      // WAL-tail fold: same lineage, applied in place (single chunk by
+      // construction). The fence below rejects content from a lineage
+      // older than either what this replica already follows or what the
+      // recruiter demanded — repair racing a newer failover resolves
+      // toward the newer lineage.
+      std::lock_guard el(entry->mu);
+      if (epoch < entry->repl_epoch ||
+          (want_epoch != 0 && epoch < want_epoch)) {
+        throw Error(ErrorCode::kStaleEpoch,
+                    "sync tail for '" + name + "' carries epoch " +
+                        std::to_string(epoch) + " behind epoch " +
+                        std::to_string(std::max(entry->repl_epoch,
+                                                want_epoch)));
+      }
+      bool changed = false;
+      if (!bytes.empty()) {
+        BufReader tin(bytes.data(), bytes.size());
+        uint32_t new_types = tin.read_u32();
+        for (uint32_t i = 0; i < new_types; ++i) {
+          uint32_t serial = tin.read_u32();
+          uint32_t len = tin.read_u32();
+          auto graph = tin.read_bytes(len);
+          if (serial <= entry->store->type_count()) continue;
+          uint32_t got = entry->store->register_type(graph);
+          if (got != serial) {
+            throw Error(ErrorCode::kProtocol,
+                        "sync type serial gap on '" + name + "' (stream " +
+                            std::to_string(serial) + ", store assigned " +
+                            std::to_string(got) + ")");
+          }
+          changed = true;
+        }
+        if (version > entry->store->version()) {
+          uint32_t got = entry->store->apply_fold(version, tin);
+          if (got != version) {
+            throw Error(ErrorCode::kProtocol,
+                        "sync version gap on '" + name + "' (stream v" +
+                            std::to_string(version) + ", store reached v" +
+                            std::to_string(got) + ")");
+          }
+          changed = true;
+        }
+      }
+      if (changed || epoch != entry->lineage_epoch) {
+        // The fold moved the store past the recorded checkpoint chain
+        // positions; seal over a fresh full base.
+        entry->checkpoint_base_version = 0;
+        entry->last_checkpoint_version = 0;
+        entry->checkpoint_chain_len = 0;
+        entry->checkpoint_types_recorded = 0;
+        seal_backfill_locked(*entry, epoch);
+      }
+      version = entry->store->version();
+    } else {
+      snapshot_mode = true;
+      snapshot.insert(snapshot.end(), bytes.begin(), bytes.end());
+    }
+  }
+  if (snapshot_mode) {
+    std::lock_guard el(entry->mu);
+    if (epoch < entry->repl_epoch ||
+        (want_epoch != 0 && epoch < want_epoch)) {
+      throw Error(ErrorCode::kStaleEpoch,
+                  "sync snapshot for '" + name + "' carries epoch " +
+                      std::to_string(epoch) + " behind epoch " +
+                      std::to_string(std::max(entry->repl_epoch,
+                                              want_epoch)));
+    }
+    BufReader sin(snapshot.data(), snapshot.size());
+    entry->store = SegmentStore::deserialize(name, options_.store, sin);
+    entry->checkpoint_base_version = 0;
+    entry->last_checkpoint_version = 0;
+    entry->checkpoint_chain_len = 0;
+    entry->checkpoint_types_recorded = 0;
+    seal_backfill_locked(*entry, epoch);
+    version = entry->store->version();
+  }
+  stats_.backfills_completed.fetch_add(1, std::memory_order_relaxed);
+  IW_LOG(kInfo) << "backfilled " << name << " from " << primary_address
+                << " (epoch " << epoch << ", v" << version << ", "
+                << (snapshot_mode ? "snapshot" : "tail") << ")";
+  // Complete the handshake: the primary flips (or re-adds) this server's
+  // link to live kWalAppend tailing from the sync's pin.
+  Buffer fin;
+  fin.append_lp_string(name);
+  fin.append_lp_string(self_id);
+  fin.append_lp_string(self_address);
+  fin.append_u32(epoch);
+  fin.append_u32(version);
+  channel->call(MsgType::kSyncDone, std::move(fin));
+  return version;
 }
 
 uint64_t SegmentServer::sweep_expired_grants() {
@@ -1111,7 +1489,10 @@ void SegmentServer::checkpoint_segment_locked(SegmentEntry& entry) {
       types == entry.checkpoint_types_recorded) {
     // Nothing new since the last checkpoint record: just retire the
     // journal, which the existing base + chain already covers.
-    if (entry.wal != nullptr) entry.wal->truncate_after_checkpoint();
+    if (entry.wal != nullptr) {
+      entry.wal->truncate_after_checkpoint();
+      journal_lineage_locked(entry);
+    }
     entry.versions_since_checkpoint = 0;
     return;
   }
@@ -1147,8 +1528,12 @@ void SegmentServer::checkpoint_segment_locked(SegmentEntry& entry) {
   }
   // Only once the checkpoint is durably in place may the journal records it
   // supersedes be discarded. A crash between the two is benign: replay
-  // skips records at or below the covered version.
-  if (entry.wal != nullptr) entry.wal->truncate_after_checkpoint();
+  // skips records at or below the covered version. The lineage marker is
+  // not covered by the snapshot, so it is re-journaled after the cut.
+  if (entry.wal != nullptr) {
+    entry.wal->truncate_after_checkpoint();
+    journal_lineage_locked(entry);
+  }
   entry.versions_since_checkpoint = 0;
 }
 
@@ -1162,7 +1547,7 @@ void SegmentServer::checkpoint() {
 
 uint64_t SegmentServer::replay_wal_records(
     const std::string& name, std::unique_ptr<SegmentStore>& store,
-    const WriteAheadLog::Replay& replay) {
+    const WriteAheadLog::Replay& replay, uint32_t* lineage_epoch) {
   uint64_t applied_end = 0;
   uint64_t applied = 0;
   for (const WriteAheadLog::Record& rec : replay.records) {
@@ -1206,6 +1591,13 @@ uint64_t SegmentServer::replay_wal_records(
         case WalRecordType::kSegmentDestroy:
           store = std::make_unique<SegmentStore>(name, options_.store);
           break;
+        case WalRecordType::kEpochAdopt: {
+          uint32_t epoch = in.read_u32();
+          if (lineage_epoch != nullptr) {
+            *lineage_epoch = std::max(*lineage_epoch, epoch);
+          }
+          break;
+        }
       }
     } catch (const std::exception& e) {
       // A record that cannot be applied (version gap after a quarantined
@@ -1422,8 +1814,14 @@ void SegmentServer::recover() {
     }
     SegmentEntry& entry = *it->second;
     std::lock_guard el(entry.mu);
+    uint32_t lineage = 1;
     uint64_t resume =
-        replay_wal_records(it->first, entry.store, replay);
+        replay_wal_records(it->first, entry.store, replay, &lineage);
+    // A recovered replica resumes fenced at the lineage it had adopted: a
+    // deposed primary that restarts must not believe it still owns the
+    // segment's newest epoch.
+    entry.lineage_epoch = std::max(entry.lineage_epoch, lineage);
+    entry.repl_epoch = std::max(entry.repl_epoch, entry.lineage_epoch);
     if (!wal_on()) continue;  // journal preserved but not extended
     if (resume >= WriteAheadLog::kHeaderSize) {
       entry.wal = std::make_unique<WriteAheadLog>(path.string(), wal_options(),
@@ -1497,6 +1895,15 @@ SegmentServer::Stats SegmentServer::stats() const {
       stats_.promotions_accepted.load(std::memory_order_relaxed);
   s.expired_grants_swept =
       stats_.expired_grants_swept.load(std::memory_order_relaxed);
+  s.sync_requests = stats_.sync_requests.load(std::memory_order_relaxed);
+  s.sync_tails_served =
+      stats_.sync_tails_served.load(std::memory_order_relaxed);
+  s.sync_snapshots_served =
+      stats_.sync_snapshots_served.load(std::memory_order_relaxed);
+  s.backfills_completed =
+      stats_.backfills_completed.load(std::memory_order_relaxed);
+  s.recruits_rejected_stale =
+      stats_.recruits_rejected_stale.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -1521,6 +1928,12 @@ uint32_t SegmentServer::segment_placement_epoch(const std::string& name) const {
   const SegmentEntry& entry = segment(name);
   std::lock_guard el(entry.mu);
   return entry.repl_epoch;
+}
+
+uint32_t SegmentServer::segment_lineage_epoch(const std::string& name) const {
+  const SegmentEntry& entry = segment(name);
+  std::lock_guard el(entry.mu);
+  return entry.lineage_epoch;
 }
 
 }  // namespace iw::server

@@ -75,6 +75,17 @@ class SegmentServer : public ServerCore {
     /// acknowledgement on its replication factor (see replication.hpp);
     /// null runs standalone.
     std::shared_ptr<WalReplicator> replicator;
+    /// Dials another segment server by address — the server-to-server leg
+    /// of self-healing replication. A primary uses it to open the live
+    /// link back to a replica that completed a sync (kSyncDone), and a
+    /// recruited replica uses it to pull its backfill from the primary
+    /// (kRecruit → backfill_segment). Null disables both: syncs are served
+    /// but links are never (re-)established from this side.
+    std::function<std::shared_ptr<ClientChannel>(const std::string&)>
+        peer_dial;
+    /// Snapshot bytes per kSyncChunk response when a sync falls back to a
+    /// full snapshot; small values force multi-chunk streaming (tests).
+    uint32_t sync_chunk_bytes = 1u << 20;
     /// Payload compression (wire/payload.hpp). When on, the server offers
     /// per-connection diff compression in its hello (feature bit 1; only
     /// connections whose client announced the same bit get the section
@@ -135,6 +146,12 @@ class SegmentServer : public ServerCore {
     uint64_t repl_stale_rejected = 0;    ///< records refused by epoch fence
     uint64_t promotions_accepted = 0;    ///< kPromote epochs adopted
     uint64_t expired_grants_swept = 0;   ///< cached grants dropped by TTL
+    // Self-healing replication (sync serving + backfill pulls).
+    uint64_t sync_requests = 0;          ///< kSyncRequest frames served
+    uint64_t sync_tails_served = 0;      ///< syncs answered with a WAL-tail fold
+    uint64_t sync_snapshots_served = 0;  ///< syncs answered with a snapshot
+    uint64_t backfills_completed = 0;    ///< backfill_segment() installs
+    uint64_t recruits_rejected_stale = 0;///< kRecruit refused by epoch fence
   };
 
   SegmentServer();
@@ -172,6 +189,31 @@ class SegmentServer : public ServerCore {
   uint32_t segment_epoch(const std::string& name) const;
   /// Placement epoch of a segment (bumped by kPromote; throws kNotFound).
   uint32_t segment_placement_epoch(const std::string& name) const;
+  /// Lineage epoch of a segment: the placement epoch its applied version
+  /// history was produced under — adopted at promotion, after a backfill
+  /// install, or from a replayed kEpochAdopt record (throws kNotFound). A
+  /// rejoining replica whose lineage matches the primary's may take a
+  /// WAL-tail fold; a mismatch means its unacked suffix may diverge and it
+  /// takes a snapshot instead.
+  uint32_t segment_lineage_epoch(const std::string& name) const;
+
+  /// This server's identity in the replication ring; stamped into
+  /// kSyncRequest/kSyncDone so the primary can key the replica's link and
+  /// dial it back. Safe to call again after a restart on a new address.
+  void set_node_identity(std::string id, std::string address);
+
+  /// Pulls `name` from the primary at `primary_address` (the kRecruit /
+  /// rejoin path): drives the kSyncRequest chunk loop, installs the
+  /// snapshot or applies the WAL-tail fold, adopts the sync's epoch, and
+  /// completes the handshake with kSyncDone so the primary flips this
+  /// server's link to live kWalAppend tailing. `want_epoch` is the
+  /// placement epoch the caller believes (0 = any); the pull aborts with
+  /// kStaleEpoch when either side has already seen a newer epoch — repair
+  /// racing a newer failover resolves toward the newer lineage. Returns
+  /// the segment version after install.
+  uint32_t backfill_segment(const std::string& name,
+                            const std::string& primary_address,
+                            uint32_t want_epoch);
 
  private:
   /// One session's view of one segment. Guarded by the owning
@@ -196,6 +238,13 @@ class SegmentServer : public ServerCore {
     /// When the current cached grant was issued; the grant-TTL sweep
     /// compares against it.
     std::chrono::steady_clock::time_point grant_time{};
+    /// Snapshot cut for an in-progress sync pull by this session
+    /// (kSyncRequest in snapshot mode): serialized once at cursor 0 and
+    /// sliced per chunk, so every chunk comes from one consistent cut even
+    /// while commits keep landing. Cleared when the last chunk is served.
+    std::shared_ptr<const std::vector<uint8_t>> sync_snapshot;
+    uint32_t sync_version = 0;  ///< version the cached cut covers
+    uint32_t sync_epoch = 0;    ///< placement epoch stamped on the cut
     Notifier notify;  // copied from the session record at first touch
   };
   /// One segment plus everything guarded by its lock. Heap-allocated and
@@ -225,6 +274,12 @@ class SegmentServer : public ServerCore {
     /// kWalAppend on a replica, bumped by kPromote. A record carrying an
     /// older epoch comes from a deposed primary and is refused.
     uint32_t repl_epoch = 1;
+    /// Placement epoch the segment's applied history was produced under
+    /// (see segment_lineage_epoch). Trails repl_epoch on a fenced replica
+    /// that has heard of a newer primary but not yet synced from it;
+    /// catches up at promotion or backfill install, persisted via
+    /// WalRecordType::kEpochAdopt.
+    uint32_t lineage_epoch = 1;
     uint32_t versions_since_checkpoint = 0;
     /// Incremental-checkpoint chain state (see checkpoint.hpp). The base is
     /// the version of the last full `.iwseg` this incarnation wrote (0 =
@@ -276,6 +331,11 @@ class SegmentServer : public ServerCore {
     std::atomic<uint64_t> repl_stale_rejected{0};
     std::atomic<uint64_t> promotions_accepted{0};
     std::atomic<uint64_t> expired_grants_swept{0};
+    std::atomic<uint64_t> sync_requests{0};
+    std::atomic<uint64_t> sync_tails_served{0};
+    std::atomic<uint64_t> sync_snapshots_served{0};
+    std::atomic<uint64_t> backfills_completed{0};
+    std::atomic<uint64_t> recruits_rejected_stale{0};
   };
 
   Frame dispatch(SessionId session, const Frame& request,
@@ -335,6 +395,24 @@ class SegmentServer : public ServerCore {
                                std::span<const uint8_t> body, bool compressed,
                                std::span<const uint8_t> raw);
 
+  // --- self-healing replication plumbing ---
+  /// Serves one kSyncRequest: registers the requester's link paused (first
+  /// chunk only), picks WAL-tail fold vs snapshot via the version/lineage
+  /// handshake, and emits one kSyncChunk payload. Caller holds nothing.
+  Frame serve_sync_request(SessionId session, BufReader& in);
+  /// Adopts `epoch` as both the replication fence and the lineage of the
+  /// applied history, journaling a kEpochAdopt record (local-only) so the
+  /// lineage survives restart. Caller holds entry.mu.
+  void adopt_epoch_locked(SegmentEntry& entry, uint32_t epoch);
+  /// Makes a freshly installed/folded backfill durable: full checkpoint,
+  /// journal truncated to it (discarding any divergent unacked suffix from
+  /// a deposed incarnation), lineage re-journaled. Caller holds entry.mu.
+  void seal_backfill_locked(SegmentEntry& entry, uint32_t epoch);
+  /// Re-appends the lineage marker to the journal (no-op at lineage 1 or
+  /// without a journal) — called after every journal truncation/reopen so
+  /// the lineage survives checkpoint retirement. Caller holds entry.mu.
+  void journal_lineage_locked(SegmentEntry& entry);
+
   // --- durability plumbing ---
   /// True when commits are journaled (checkpoint_dir set + wal_enabled).
   bool wal_on() const noexcept;
@@ -354,10 +432,13 @@ class SegmentServer : public ServerCore {
   /// Applies replayed journal records to `store` in order, stopping at the
   /// first record that cannot be applied. Returns the end offset of the
   /// last applied record (so the reopened log is truncated to exactly the
-  /// applied prefix) and counts applied records into the stats.
+  /// applied prefix) and counts applied records into the stats. When
+  /// `lineage_epoch` is non-null it receives the newest kEpochAdopt value
+  /// in the applied prefix (untouched when the journal has none).
   uint64_t replay_wal_records(const std::string& name,
                               std::unique_ptr<SegmentStore>& store,
-                              const WriteAheadLog::Replay& replay);
+                              const WriteAheadLog::Replay& replay,
+                              uint32_t* lineage_epoch = nullptr);
 
   Options options_;
   /// Aggregated append/fsync counters shared by every segment's journal.
@@ -379,6 +460,11 @@ class SegmentServer : public ServerCore {
   /// while the server has it enabled too — only these ever see the diff
   /// section envelope. Guarded by sessions_mu_.
   std::unordered_set<SessionId> compress_sessions_;
+
+  /// Ring identity (set_node_identity); leaf lock like the session table.
+  mutable std::mutex node_mu_;
+  std::string node_id_;
+  std::string node_address_;
 
   AtomicStats stats_;
 };

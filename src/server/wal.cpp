@@ -81,7 +81,7 @@ WriteAheadLog::Replay WriteAheadLog::replay(const std::string& path) {
   while (scanner.next(&sr) == RecordScanner::Status::kRecord) {
     const uint8_t type = sr.tag & ~kPayloadCompressedTagBit;
     if (type < static_cast<uint8_t>(WalRecordType::kSegmentCreate) ||
-        type > static_cast<uint8_t>(WalRecordType::kSegmentDestroy)) {
+        type > static_cast<uint8_t>(WalRecordType::kEpochAdopt)) {
       break;  // unknown type: record boundaries beyond here are unsafe
     }
     Record rec;

@@ -59,6 +59,13 @@ enum class WalRecordType : uint8_t {
   kRegisterType = 2,   ///< payload: u32 serial, encoded type graph
   kCommit = 3,         ///< payload: u32 resulting version, diff bytes
   kSegmentDestroy = 4, ///< payload: empty; replay resets the segment
+  kEpochAdopt = 5,     ///< payload: u32 adopted placement epoch. Local-only
+                       ///< lineage marker written at promotion and after a
+                       ///< backfill install; never replicated (kWalAppend
+                       ///< accepts only types 1..4), so a deposed primary's
+                       ///< replayed history carries the epoch it last served
+                       ///< under and a rejoin can tell whether its version
+                       ///< lineage matches the promoted one.
 };
 
 /// Shared relaxed-atomic counters; the owning server aggregates one

@@ -34,6 +34,11 @@ std::string msg_type_name(MsgType type) {
     case MsgType::kDirResolveResp: return "kDirResolveResp";
     case MsgType::kPromote: return "kPromote";
     case MsgType::kPromoteResp: return "kPromoteResp";
+    case MsgType::kSyncRequest: return "kSyncRequest";
+    case MsgType::kSyncChunk: return "kSyncChunk";
+    case MsgType::kSyncDone: return "kSyncDone";
+    case MsgType::kRecruit: return "kRecruit";
+    case MsgType::kRecruitResp: return "kRecruitResp";
   }
   return "kMsg" + std::to_string(static_cast<int>(type));
 }

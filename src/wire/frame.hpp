@@ -54,6 +54,21 @@ enum class MsgType : uint8_t {
   kPromote = 28,         ///< directory -> replica: lp segment, u32 new
                          ///< placement epoch — serve as primary from here
   kPromoteResp = 29,     ///< u32 segment version after promotion
+  // --- self-healing replication (replica backfill + anti-entropy repair) ---
+  kSyncRequest = 30,     ///< replica -> primary: lp segment, u32 have version,
+                         ///< u32 have lineage epoch, u32 have type count,
+                         ///< u32 want placement epoch (0 = any), u64 cursor
+                         ///< (0 starts a sync), lp replica node id, lp replica
+                         ///< address (both may be empty: anonymous pull)
+  kSyncChunk = 31,       ///< u32 placement epoch, u32 version covered, u8 mode
+                         ///< (0 = WAL-tail fold, 1 = snapshot), u8 done, u64
+                         ///< next cursor, chunk bytes
+  kSyncDone = 32,        ///< replica -> primary: lp segment, lp replica node
+                         ///< id, lp replica address, u32 adopted epoch, u32
+                         ///< version — flip my link to live kWalAppend tailing
+  kRecruit = 33,         ///< repairer -> replica: lp segment, u32 placement
+                         ///< epoch, lp primary address — backfill yourself
+  kRecruitResp = 34,     ///< u32 placement epoch, u32 version after backfill
 };
 
 /// Human-readable name of a MsgType ("kAcquireWrite", ...) for error
